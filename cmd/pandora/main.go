@@ -1,0 +1,169 @@
+// Command pandora regenerates the tables and figures of "Opening
+// Pandora's Box" (ISCA 2021) on the simulator stack in this repository.
+//
+// Usage:
+//
+//	pandora list                 # enumerate experiments
+//	pandora <experiment> [flags] # run one (e.g. pandora table1)
+//	pandora all [flags]          # run every experiment
+//
+// Flags:
+//
+//	-samples N    distribution sample count (fig6)
+//	-secretlen N  bytes to leak in the URG experiments
+//	-full         full-scale sweeps (keyrec: 65536 values per slot)
+//	-v            narrative progress tracing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pandora/internal/asm"
+	"pandora/internal/cache"
+	"pandora/internal/core"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+	"pandora/internal/pipeline"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	if cmd == "run" {
+		os.Exit(runAssembly(os.Args[2:]))
+	}
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	samples := fs.Int("samples", 0, "distribution sample count")
+	secretLen := fs.Int("secretlen", 0, "bytes to leak in URG experiments")
+	full := fs.Bool("full", false, "full-scale sweeps")
+	verbose := fs.Bool("v", false, "narrative progress tracing")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	opts := core.Options{Samples: *samples, SecretLen: *secretLen, Full: *full}
+	if *verbose {
+		opts.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	switch cmd {
+	case "list", "help", "-h", "--help":
+		usage()
+	case "all":
+		failed := 0
+		for _, e := range core.Experiments() {
+			if !runOne(e, opts) {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d experiment(s) did not reproduce\n", failed)
+			os.Exit(1)
+		}
+	default:
+		e, ok := core.Get(cmd)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pandora: unknown experiment %q\n\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+		if !runOne(e, opts) {
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(e *core.Experiment, opts core.Options) bool {
+	fmt.Printf("== %s (%s) ==\n\n", e.Name, e.Artifact)
+	res, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %s: %v\n", e.Name, err)
+		return false
+	}
+	fmt.Println(res.Text)
+	status := "REPRODUCED"
+	if !res.Pass {
+		status = "NOT REPRODUCED"
+	}
+	fmt.Printf("[%s]\n\n", status)
+	return res.Pass
+}
+
+// runAssembly implements `pandora run <file.s>`: execute an assembly file
+// on a configurable simulated machine and report timing.
+func runAssembly(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	machine := fs.String("machine", "", "comma-separated machine features: "+core.MachineFeatures())
+	events := fs.Bool("events", false, "print the pipeline event log")
+	pipeview := fs.Bool("pipeview", false, "draw a per-µop pipeline diagram")
+	regs := fs.Bool("regs", false, "dump non-zero architectural registers")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return 1
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return 1
+	}
+	cfg, err := core.ParseMachineSpec(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return 1
+	}
+	cfg.RecordEvents = *events || *pipeview
+	m, err := pipeline.New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return 1
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return 1
+	}
+	fmt.Printf("cycles:  %d\nretired: %d\nIPC:     %.3f\n", res.Cycles, res.Retired,
+		float64(res.Retired)/float64(res.Cycles))
+	fmt.Printf("stats:   %+v\n", m.Stats)
+	if *regs {
+		for r := isa.Reg(1); r < isa.NumRegs; r++ {
+			if v := m.Reg(r); v != 0 {
+				fmt.Printf("  %v = %d (%#x)\n", r, v, v)
+			}
+		}
+	}
+	if *events {
+		for _, e := range m.Events {
+			fmt.Println(e)
+		}
+	}
+	if *pipeview {
+		fmt.Print(pipeline.RenderPipeview(m.Events, 96))
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Println("pandora — reproduction harness for \"Opening Pandora's Box\" (ISCA 2021)")
+	fmt.Println("\nexperiments:")
+	for _, e := range core.Experiments() {
+		fmt.Printf("  %-16s %-24s %s\n", e.Name, e.Artifact, e.Title)
+	}
+	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-v]")
+	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
+}

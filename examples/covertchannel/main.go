@@ -1,0 +1,48 @@
+// covertchannel demonstrates the receiver primitive every attack in this
+// repository builds on: a Prime+Probe covert channel through cache sets.
+// A sender encodes a byte as which L2 set it touches; the receiver
+// recovers it from probe latencies alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pandora/internal/cache"
+	"pandora/internal/channel"
+)
+
+func main() {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	pp, err := channel.NewPrimeProbe(h, channel.L2, 0x10000000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const senderBase = uint64(0x200000)
+	message := []byte("pandora")
+	fmt.Printf("transmitting %q one byte per Prime+Probe round...\n\n", message)
+
+	var received []byte
+	for _, b := range message {
+		pp.PrimeAll()
+
+		// Sender: one load whose set index encodes the byte.
+		h.Access(senderBase+uint64(b)*64, 0, false)
+
+		// Receiver: find the hot set.
+		hot := channel.HotSets(pp.ProbeAll())
+		if len(hot) != 1 {
+			log.Fatalf("expected one hot set, got %v", hot)
+		}
+		baseSet := pp.SetOf(senderBase)
+		decoded := byte((hot[0] - baseSet + pp.Sets()) % pp.Sets())
+		received = append(received, decoded)
+		fmt.Printf("  sent %q -> hot set %3d -> received %q\n", b, hot[0], decoded)
+	}
+
+	fmt.Printf("\nreceived: %q\n", received)
+	fmt.Println("\nThis is the channel (Section II-1). The paper's point is what NEW data")
+	fmt.Println("reaches it: with a data memory-dependent prefetcher, the 'sender' above")
+	fmt.Println("is hardware dereferencing memory the attacker could never read.")
+}

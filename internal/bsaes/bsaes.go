@@ -1,0 +1,299 @@
+// Package bsaes implements constant-time bitsliced AES-128 encryption —
+// the victim of the paper's silent-store proof of concept (Section V-A3).
+//
+// The 128-bit state is held as eight 16-bit slices: bit p of slice i is
+// bit i of state byte p (byte p = row p%4, column p/4, FIPS-197
+// column-major order). The linear layers (ShiftRows, MixColumns,
+// AddRoundKey) operate directly on slices; byte substitution applies a
+// branchless, table-free S-box (GF(2^8) inversion by Fermat's little
+// theorem plus the affine transform) to each byte position. No secret-
+// dependent branches or memory indices exist anywhere in the cipher.
+//
+// The eight final-round slices are exactly the "eight locations storing
+// intermediate values that can be used to reconstruct the AES state after
+// byte substitution" that the paper's attack targets: they are 16 bits
+// each, they are spilled to the victim's stack, and together with the
+// ciphertext they reveal the last round key — from which the master key
+// is recovered because the key schedule is invertible.
+package bsaes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// State is the bitsliced AES state: eight 16-bit planes.
+type State [8]uint16
+
+// Slice converts 16 state bytes (column-major, FIPS order) to planes.
+func Slice(block []byte) State {
+	var s State
+	for p := 0; p < 16; p++ {
+		b := block[p]
+		for i := 0; i < 8; i++ {
+			s[i] |= uint16(b>>i&1) << p
+		}
+	}
+	return s
+}
+
+// Unslice converts planes back to 16 state bytes.
+func (s State) Unslice() []byte {
+	out := make([]byte, 16)
+	for p := 0; p < 16; p++ {
+		var b byte
+		for i := 0; i < 8; i++ {
+			b |= byte(s[i]>>p&1) << i
+		}
+		out[p] = b
+	}
+	return out
+}
+
+// gfMul multiplies in GF(2^8) mod x^8+x^4+x^3+x+1, branchlessly.
+func gfMul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		p ^= a & (0 - (b & 1))
+		hi := a >> 7
+		a = (a << 1) ^ (0x1b & (0 - hi))
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv computes the GF(2^8) inverse as x^254 (maps 0 to 0), using the
+// fixed addition chain 254 = 2+4+8+16+32+64+128 — constant time.
+func gfInv(x byte) byte {
+	cur := gfMul(x, x) // x^2
+	acc := cur
+	for i := 0; i < 6; i++ {
+		cur = gfMul(cur, cur) // x^4 .. x^128
+		acc = gfMul(acc, cur)
+	}
+	return acc
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// SBox is the AES S-box evaluated branchlessly: inversion then the affine
+// transform.
+func SBox(x byte) byte {
+	inv := gfInv(x)
+	return inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+}
+
+// subBytes applies the S-box to every byte position of the sliced state.
+// Extraction and reinsertion are pure shifts/masks; no secret indexes
+// memory.
+func subBytes(s State) State {
+	var out State
+	for p := 0; p < 16; p++ {
+		var b byte
+		for i := 0; i < 8; i++ {
+			b |= byte(s[i]>>p&1) << i
+		}
+		b = SBox(b)
+		for i := 0; i < 8; i++ {
+			out[i] |= uint16(b>>i&1) << p
+		}
+	}
+	return out
+}
+
+// permute applies a byte-position permutation to every plane: output bit
+// p comes from input bit perm[p].
+func permute(s State, perm *[16]int) State {
+	var out State
+	for i := 0; i < 8; i++ {
+		var v uint16
+		for p := 0; p < 16; p++ {
+			v |= s[i] >> perm[p] & 1 << p
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// shiftRowsPerm: byte (r,c) takes the value of byte (r, c+r mod 4); bit
+// index p = r + 4c.
+var shiftRowsPerm = func() *[16]int {
+	var perm [16]int
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			perm[r+4*c] = r + 4*((c+r)%4)
+		}
+	}
+	return &perm
+}()
+
+// rotRowPerms[k]: byte (r,c) takes the value of byte (r+k mod 4, c) —
+// the column rotations used by MixColumns.
+var rotRowPerms = func() [4]*[16]int {
+	var out [4]*[16]int
+	for k := 0; k < 4; k++ {
+		var perm [16]int
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				perm[r+4*c] = (r+k)%4 + 4*c
+			}
+		}
+		p := perm
+		out[k] = &p
+	}
+	return out
+}()
+
+// xtime multiplies every state byte by 2 in slice form.
+func xtime(s State) State {
+	return State{
+		s[7],
+		s[0] ^ s[7],
+		s[1],
+		s[2] ^ s[7],
+		s[3] ^ s[7],
+		s[4],
+		s[5],
+		s[6],
+	}
+}
+
+func xorState(a, b State) State {
+	var out State
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// mixColumns: out = xtime(a ^ rot1(a)) ^ rot1(a) ^ rot2(a) ^ rot3(a),
+// i.e. out[r] = 2·a[r] ^ 3·a[r+1] ^ a[r+2] ^ a[r+3] per column.
+func mixColumns(s State) State {
+	r1 := permute(s, rotRowPerms[1])
+	r2 := permute(s, rotRowPerms[2])
+	r3 := permute(s, rotRowPerms[3])
+	return xorState(xorState(xtime(xorState(s, r1)), r1), xorState(r2, r3))
+}
+
+// ExpandKey computes the AES-128 key schedule: 11 round keys of 16 bytes.
+func ExpandKey(key []byte) ([11][16]byte, error) {
+	var rk [11][16]byte
+	if len(key) != KeySize {
+		return rk, fmt.Errorf("bsaes: key length %d, want %d", len(key), KeySize)
+	}
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	rcon := byte(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			t = [4]byte{SBox(t[1]) ^ rcon, SBox(t[2]), SBox(t[3]), SBox(t[0])}
+			rcon = gfMul(rcon, 2)
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ t[j]
+		}
+	}
+	for r := 0; r < 11; r++ {
+		for c := 0; c < 4; c++ {
+			copy(rk[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return rk, nil
+}
+
+// InvertKeySchedule recovers the master key from the round-10 key — the
+// step the paper's attack uses after the silent-store channel reveals the
+// final-round state ("the key expansion algorithm is invertible").
+func InvertKeySchedule(round10 [16]byte) [16]byte {
+	var w [44][4]byte
+	for c := 0; c < 4; c++ {
+		copy(w[40+c][:], round10[4*c:4*c+4])
+	}
+	rcons := [11]byte{}
+	rc := byte(1)
+	for i := 1; i <= 10; i++ {
+		rcons[i] = rc
+		rc = gfMul(rc, 2)
+	}
+	for i := 43; i >= 4; i-- {
+		t := w[i-1]
+		if i%4 == 0 {
+			t = [4]byte{SBox(t[1]) ^ rcons[i/4], SBox(t[2]), SBox(t[3]), SBox(t[0])}
+		}
+		for j := 0; j < 4; j++ {
+			w[i-4][j] = w[i][j] ^ t[j]
+		}
+	}
+	var key [16]byte
+	for i := 0; i < 4; i++ {
+		copy(key[4*i:4*i+4], w[i][:])
+	}
+	return key
+}
+
+// Trace captures the observable intermediates the attack targets.
+type Trace struct {
+	// FinalSlices are the eight 16-bit planes of the state after the
+	// last round's byte substitution and ShiftRows — the eight 16-bit
+	// stack-spilled values of Section V-A3.
+	FinalSlices State
+	// Ciphertext is the encryption result.
+	Ciphertext [16]byte
+}
+
+// Encrypt encrypts one 16-byte block under a 16-byte key.
+func Encrypt(block, key []byte) ([16]byte, error) {
+	tr, err := EncryptTrace(block, key)
+	if err != nil {
+		return [16]byte{}, err
+	}
+	return tr.Ciphertext, nil
+}
+
+// EncryptTrace encrypts and also returns the final-round intermediate
+// slices (the attack's target values).
+func EncryptTrace(block, key []byte) (Trace, error) {
+	var tr Trace
+	if len(block) != BlockSize {
+		return tr, fmt.Errorf("bsaes: block length %d, want %d", len(block), BlockSize)
+	}
+	rk, err := ExpandKey(key)
+	if err != nil {
+		return tr, err
+	}
+	var rkSlices [11]State
+	for r := range rk {
+		rkSlices[r] = Slice(rk[r][:])
+	}
+
+	s := xorState(Slice(block), rkSlices[0])
+	for r := 1; r <= 9; r++ {
+		s = subBytes(s)
+		s = permute(s, shiftRowsPerm)
+		s = mixColumns(s)
+		s = xorState(s, rkSlices[r])
+	}
+	s = subBytes(s)
+	s = permute(s, shiftRowsPerm)
+	tr.FinalSlices = s
+	out := xorState(s, rkSlices[10]).Unslice()
+	copy(tr.Ciphertext[:], out)
+	return tr, nil
+}
+
+// RecoverRound10Key reconstructs the last round key from the recovered
+// final-round slices and an observed ciphertext: K10 = state ⊕ ciphertext.
+func RecoverRound10Key(finalSlices State, ciphertext [16]byte) [16]byte {
+	state := finalSlices.Unslice()
+	var k [16]byte
+	for i := range k {
+		k[i] = state[i] ^ ciphertext[i]
+	}
+	return k
+}

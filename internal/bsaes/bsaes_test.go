@@ -1,0 +1,244 @@
+package bsaes
+
+import (
+	"bytes"
+	"crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fips197Key/Plain/Cipher are the Appendix B vectors of FIPS-197.
+var (
+	fips197Key    = []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	fips197Plain  = []byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	fips197Cipher = []byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+)
+
+func TestSBoxKnownValues(t *testing.T) {
+	known := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x10: 0xca, 0xc5: 0xa6,
+	}
+	for in, want := range known {
+		if got := SBox(in); got != want {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestSBoxIsPermutation(t *testing.T) {
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		v := SBox(byte(i))
+		if seen[v] {
+			t.Fatalf("SBox collision at %#02x", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGFInv(t *testing.T) {
+	if gfInv(0) != 0 {
+		t.Error("gfInv(0) must be 0")
+	}
+	for i := 1; i < 256; i++ {
+		x := byte(i)
+		if gfMul(x, gfInv(x)) != 1 {
+			t.Fatalf("gfInv(%#02x) wrong", x)
+		}
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		return bytes.Equal(Slice(b[:]).Unslice(), b[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIPS197Vector(t *testing.T) {
+	ct, err := Encrypt(fips197Plain, fips197Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ct[:], fips197Cipher) {
+		t.Errorf("ciphertext = %x, want %x", ct, fips197Cipher)
+	}
+}
+
+// TestAgainstCryptoAES differential-tests the whole cipher against the
+// standard library for random keys and blocks.
+func TestAgainstCryptoAES(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		var key, pt [16]byte
+		rng.Read(key[:])
+		rng.Read(pt[:])
+		want := make([]byte, 16)
+		c, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Encrypt(want, pt[:])
+		got, err := Encrypt(pt[:], key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("iter %d: got %x, want %x (key %x, pt %x)", i, got, want, key, pt)
+		}
+	}
+}
+
+func TestExpandKeyFirstRounds(t *testing.T) {
+	// FIPS-197 Appendix A.1: w4..w7 for the same key.
+	rk, err := ExpandKey(fips197Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRK1 := []byte{0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c, 0x76, 0x05}
+	if !bytes.Equal(rk[1][:], wantRK1) {
+		t.Errorf("round key 1 = %x, want %x", rk[1], wantRK1)
+	}
+	wantRK10 := []byte{0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6}
+	if !bytes.Equal(rk[10][:], wantRK10) {
+		t.Errorf("round key 10 = %x, want %x", rk[10], wantRK10)
+	}
+}
+
+func TestInvertKeySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		var key [16]byte
+		rng.Read(key[:])
+		rk, err := ExpandKey(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := InvertKeySchedule(rk[10])
+		if got != key {
+			t.Fatalf("inverted key = %x, want %x", got, key)
+		}
+	}
+}
+
+// TestAttackReconstruction is the paper's end-to-end algebra: final-round
+// slices + ciphertext → round-10 key → master key.
+func TestAttackReconstruction(t *testing.T) {
+	var key [16]byte
+	copy(key[:], fips197Key)
+	tr, err := EncryptTrace(fips197Plain, key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	k10 := RecoverRound10Key(tr.FinalSlices, tr.Ciphertext)
+	recovered := InvertKeySchedule(k10)
+	if recovered != key {
+		t.Errorf("recovered key %x, want %x", recovered, key)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := Encrypt(make([]byte, 15), fips197Key); err == nil {
+		t.Error("short block accepted")
+	}
+	if _, err := Encrypt(fips197Plain, make([]byte, 8)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := ExpandKey(nil); err == nil {
+		t.Error("nil key accepted")
+	}
+}
+
+// TestFinalSlicesMatchLastRoundAlgebra checks the documented property the
+// attack relies on: FinalSlices ⊕ K10 = ciphertext.
+func TestFinalSlicesMatchLastRoundAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		var key, pt [16]byte
+		rng.Read(key[:])
+		rng.Read(pt[:])
+		tr, err := EncryptTrace(pt[:], key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk, _ := ExpandKey(key[:])
+		state := tr.FinalSlices.Unslice()
+		for j := 0; j < 16; j++ {
+			if state[j]^rk[10][j] != tr.Ciphertext[j] {
+				t.Fatalf("algebra violated at byte %d", j)
+			}
+		}
+	}
+}
+
+func TestInvSBoxInverts(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if got := InvSBox(SBox(byte(i))); got != byte(i) {
+			t.Fatalf("InvSBox(SBox(%#02x)) = %#02x", i, got)
+		}
+	}
+}
+
+func TestDecryptFIPS197(t *testing.T) {
+	pt, err := Decrypt(fips197Cipher, fips197Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt[:], fips197Plain) {
+		t.Errorf("decrypted %x, want %x", pt, fips197Plain)
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		var key, msg [16]byte
+		rng.Read(key[:])
+		rng.Read(msg[:])
+		ct, err := Encrypt(msg[:], key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := Decrypt(ct[:], key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt != msg {
+			t.Fatalf("round trip failed: %x -> %x -> %x", msg, ct, pt)
+		}
+	}
+}
+
+func TestDecryptAgainstCryptoAES(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		var key, ct [16]byte
+		rng.Read(key[:])
+		rng.Read(ct[:])
+		want := make([]byte, 16)
+		c, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Decrypt(want, ct[:])
+		got, err := Decrypt(ct[:], key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("iter %d: got %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestDecryptErrors(t *testing.T) {
+	if _, err := Decrypt(make([]byte, 8), fips197Key); err == nil {
+		t.Error("short block accepted")
+	}
+	if _, err := Decrypt(fips197Cipher, make([]byte, 3)); err == nil {
+		t.Error("short key accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package bsaes
+
+import "fmt"
+
+// Decryption, with the same constant-time discipline as encryption: the
+// inverse S-box goes through the affine inverse plus Fermat inversion,
+// and the inverse linear layers are slice-domain permutations and xtime
+// chains. The attack does not need decryption; a credible AES library
+// does.
+
+// InvSBox is the inverse AES S-box, evaluated branchlessly: undo the
+// affine transform, then invert in GF(2^8).
+func InvSBox(x byte) byte {
+	// Inverse affine: s = rotl(x,1) ^ rotl(x,3) ^ rotl(x,6) ^ 0x05.
+	t := rotl8(x, 1) ^ rotl8(x, 3) ^ rotl8(x, 6) ^ 0x05
+	return gfInv(t)
+}
+
+// invShiftRowsPerm: byte (r,c) takes the value of byte (r, c-r mod 4).
+var invShiftRowsPerm = func() *[16]int {
+	var perm [16]int
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			perm[r+4*c] = r + 4*((c-r+4)%4)
+		}
+	}
+	return &perm
+}()
+
+// invSubBytes applies the inverse S-box to every byte position.
+func invSubBytes(s State) State {
+	var out State
+	for p := 0; p < 16; p++ {
+		var b byte
+		for i := 0; i < 8; i++ {
+			b |= byte(s[i]>>p&1) << i
+		}
+		b = InvSBox(b)
+		for i := 0; i < 8; i++ {
+			out[i] |= uint16(b>>i&1) << p
+		}
+	}
+	return out
+}
+
+// invMixColumns: out[r] = 14·a[r] ^ 11·a[r+1] ^ 13·a[r+2] ^ 9·a[r+3],
+// built from xtime chains in slice form: with a2 = xtime(a), a4 =
+// xtime(a2), a8 = xtime(a4):
+//
+//	9·a  = a8 ^ a
+//	11·a = a8 ^ a2 ^ a
+//	13·a = a8 ^ a4 ^ a
+//	14·a = a8 ^ a4 ^ a2
+func invMixColumns(s State) State {
+	mulBy := func(v State, m byte) State {
+		var out State
+		cur := v
+		for bit := byte(1); bit <= 8; bit <<= 1 {
+			if m&bit != 0 {
+				out = xorState(out, cur)
+			}
+			cur = xtime(cur)
+		}
+		return out
+	}
+	r1 := permute(s, rotRowPerms[1])
+	r2 := permute(s, rotRowPerms[2])
+	r3 := permute(s, rotRowPerms[3])
+	return xorState(
+		xorState(mulBy(s, 14), mulBy(r1, 11)),
+		xorState(mulBy(r2, 13), mulBy(r3, 9)),
+	)
+}
+
+// Decrypt decrypts one 16-byte block under a 16-byte key.
+func Decrypt(block, key []byte) ([16]byte, error) {
+	var out [16]byte
+	if len(block) != BlockSize {
+		return out, fmt.Errorf("bsaes: block length %d, want %d", len(block), BlockSize)
+	}
+	rk, err := ExpandKey(key)
+	if err != nil {
+		return out, err
+	}
+	var rkSlices [11]State
+	for r := range rk {
+		rkSlices[r] = Slice(rk[r][:])
+	}
+
+	s := xorState(Slice(block), rkSlices[10])
+	s = permute(s, invShiftRowsPerm)
+	s = invSubBytes(s)
+	for r := 9; r >= 1; r-- {
+		s = xorState(s, rkSlices[r])
+		s = invMixColumns(s)
+		s = permute(s, invShiftRowsPerm)
+		s = invSubBytes(s)
+	}
+	s = xorState(s, rkSlices[0])
+	copy(out[:], s.Unslice())
+	return out, nil
+}

@@ -1,0 +1,321 @@
+// Package cache implements the set-associative cache models used by the
+// simulator: single caches with pluggable replacement policies, and a
+// two-level inclusive hierarchy with a fixed-latency memory behind it.
+//
+// The cache is a pure timing/presence model: data values live in package
+// mem. That split mirrors how the paper reasons about channels — a cache
+// leaks *which lines are present*, never their contents.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects a replacement policy.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU Policy = iota
+	// Random evicts a uniformly random way (seeded, deterministic).
+	Random
+	// TreePLRU evicts following a binary pseudo-LRU tree.
+	TreePLRU
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	case TreePLRU:
+		return "tree-plru"
+	}
+	return "policy?"
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Sets       int // power of two
+	Ways       int
+	LineSize   int // bytes, power of two
+	HitLatency int // cycles
+	Policy     Policy
+	Seed       int64 // for Random replacement
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: Sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: LineSize must be a positive power of two, got %d", c.Name, c.LineSize)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: Ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.HitLatency <= 0 {
+		return fmt.Errorf("cache %s: HitLatency must be positive, got %d", c.Name, c.HitLatency)
+	}
+	return nil
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	PrefetchFills uint64
+	PrefetchHits  uint64 // demand accesses satisfied by a prefetched line
+}
+
+type line struct {
+	valid      bool
+	tag        uint64
+	lastUse    uint64 // LRU timestamp
+	prefetched bool   // filled by a prefetch, not yet demand-touched
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	plru  [][]bool // tree bits per set, len ways-1 (TreePLRU)
+	rng   *rand.Rand
+	tick  uint64
+	Stats Stats
+
+	lineShift uint
+	setMask   uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	if cfg.Policy == TreePLRU {
+		c.plru = make([][]bool, cfg.Sets)
+		for i := range c.plru {
+			c.plru[i] = make([]bool, maxInt(cfg.Ways-1, 1))
+		}
+	}
+	c.rng = rand.New(rand.NewSource(cfg.Seed))
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		c.lineShift++
+	}
+	c.setMask = uint64(cfg.Sets - 1)
+	return c, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetOf returns the set index addr maps to.
+func (c *Cache) SetOf(addr uint64) int {
+	return int((addr >> c.lineShift) & c.setMask)
+}
+
+// tagOf returns the tag for addr.
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return addr >> c.lineShift / uint64(c.cfg.Sets)
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr >> c.lineShift << c.lineShift
+}
+
+// Contains reports whether the line holding addr is present. It does not
+// update replacement state (a pure probe, for assertions and analysis, not
+// a hardware operation).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.SetOf(addr), c.tagOf(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup performs a demand access: on hit it updates replacement state and
+// returns true; on miss it returns false without filling (the hierarchy
+// decides fills). evictedLine reports the address of a line displaced by
+// Fill, not Lookup, so it is absent here.
+func (c *Cache) Lookup(addr uint64) bool {
+	c.tick++
+	set, tag := c.SetOf(addr), c.tagOf(addr)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			c.Stats.Hits++
+			if ln.prefetched {
+				c.Stats.PrefetchHits++
+				ln.prefetched = false
+			}
+			c.touch(set, i)
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Fill inserts the line holding addr, evicting per policy if needed. It
+// returns the line-aligned address of the victim and whether one was
+// evicted. prefetched marks the line as prefetch-filled for stats.
+func (c *Cache) Fill(addr uint64, prefetched bool) (victim uint64, evicted bool) {
+	c.tick++
+	set, tag := c.SetOf(addr), c.tagOf(addr)
+	// Already present: refresh.
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.valid && ln.tag == tag {
+			c.touch(set, i)
+			return 0, false
+		}
+	}
+	// Free way?
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			c.sets[set][i] = line{valid: true, tag: tag, prefetched: prefetched}
+			c.touch(set, i)
+			if prefetched {
+				c.Stats.PrefetchFills++
+			}
+			return 0, false
+		}
+	}
+	// Evict.
+	w := c.victimWay(set)
+	old := c.sets[set][w]
+	c.sets[set][w] = line{valid: true, tag: tag, prefetched: prefetched}
+	c.touch(set, w)
+	c.Stats.Evictions++
+	if prefetched {
+		c.Stats.PrefetchFills++
+	}
+	return c.addrOf(set, old.tag), true
+}
+
+// Evict removes the line containing addr if present, returning whether it
+// was. Models back-invalidation (inclusive hierarchies) and test setup.
+func (c *Cache) Evict(addr uint64) bool {
+	set, tag := c.SetOf(addr), c.tagOf(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			c.sets[set][i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates every line.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// addrOf reconstructs the line address for (set, tag).
+func (c *Cache) addrOf(set int, tag uint64) uint64 {
+	return (tag*uint64(c.cfg.Sets) + uint64(set)) << c.lineShift
+}
+
+// SetContents returns the line addresses currently valid in set, for
+// analysis and tests (most-recently-used order is not implied).
+func (c *Cache) SetContents(set int) []uint64 {
+	var out []uint64
+	for _, ln := range c.sets[set] {
+		if ln.valid {
+			out = append(out, c.addrOf(set, ln.tag))
+		}
+	}
+	return out
+}
+
+func (c *Cache) touch(set, way int) {
+	switch c.cfg.Policy {
+	case LRU, Random:
+		c.sets[set][way].lastUse = c.tick
+	case TreePLRU:
+		// Walk root→leaf; at each node set the bit to point away from
+		// the touched way (true = victim side is right).
+		bits := c.plru[set]
+		n := c.cfg.Ways
+		node, lo := 0, 0
+		for n > 1 && node < len(bits) {
+			half := n / 2
+			if way < lo+half {
+				bits[node] = true
+				node = 2*node + 1
+				n = half
+			} else {
+				bits[node] = false
+				node = 2*node + 2
+				lo += half
+				n -= half
+			}
+		}
+	}
+}
+
+func (c *Cache) victimWay(set int) int {
+	switch c.cfg.Policy {
+	case Random:
+		return c.rng.Intn(c.cfg.Ways)
+	case TreePLRU:
+		// Follow the bits toward the pseudo-LRU leaf.
+		bits := c.plru[set]
+		n := c.cfg.Ways
+		node, lo := 0, 0
+		for n > 1 {
+			half := n / 2
+			if node < len(bits) && bits[node] {
+				node = 2*node + 2
+				lo += half
+				n -= half
+			} else {
+				node = 2*node + 1
+				n = half
+			}
+		}
+		return lo
+	default: // LRU
+		best, bestUse := 0, ^uint64(0)
+		for i, ln := range c.sets[set] {
+			if ln.lastUse < bestUse {
+				best, bestUse = i, ln.lastUse
+			}
+		}
+		return best
+	}
+}

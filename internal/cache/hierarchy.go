@@ -1,0 +1,221 @@
+package cache
+
+import "fmt"
+
+// HierConfig describes a two-level inclusive hierarchy with a flat memory
+// latency behind L2.
+type HierConfig struct {
+	L1, L2     Config
+	MemLatency int // cycles for an access that misses everywhere
+
+	// PrefetchBuffer, when true, directs prefetch fills at a small buffer
+	// in front of L1 instead of L1 itself (Section V-B3 of the paper).
+	// Prefetches still fill L2 — which is exactly why the paper argues
+	// prefetch buffers do not mitigate the DMP attack: the receiver just
+	// monitors L2.
+	PrefetchBuffer     bool
+	PrefetchBufferSize int // entries; default 8
+}
+
+// DefaultHierConfig returns the configuration used by most experiments:
+// 32-set 4-way 64B L1 (2-cycle hit), 256-set 8-way L2 (12-cycle hit),
+// 100-cycle memory.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1:         Config{Name: "L1D", Sets: 32, Ways: 4, LineSize: 64, HitLatency: 2, Policy: LRU},
+		L2:         Config{Name: "L2", Sets: 256, Ways: 8, LineSize: 64, HitLatency: 12, Policy: LRU},
+		MemLatency: 100,
+	}
+}
+
+// AccessResult describes where a demand access was satisfied.
+type AccessResult struct {
+	Latency int
+	L1Hit   bool
+	L2Hit   bool
+	// BufferHit reports the access was satisfied by the prefetch buffer.
+	BufferHit bool
+}
+
+// Hierarchy is an inclusive two-level cache with prefetch support.
+type Hierarchy struct {
+	cfg HierConfig
+	L1  *Cache
+	L2  *Cache
+
+	pbuf []uint64 // FIFO of line addresses in the prefetch buffer
+
+	// Listeners observe demand accesses; the data memory-dependent
+	// prefetcher registers itself here.
+	listeners []AccessListener
+
+	DemandAccesses   uint64
+	PrefetchRequests uint64
+}
+
+// AccessListener observes every demand access made through the hierarchy.
+// addr is the byte address; data is the value the access returned (loads)
+// or wrote (stores); isWrite distinguishes the two. The IMP trains on
+// loads: it needs both the value returned to the core and the addresses
+// the core subsequently touches.
+type AccessListener interface {
+	OnAccess(addr uint64, data uint64, isWrite bool)
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) {
+	if cfg.MemLatency <= 0 {
+		return nil, fmt.Errorf("cache: MemLatency must be positive, got %d", cfg.MemLatency)
+	}
+	if cfg.L1.LineSize != cfg.L2.LineSize {
+		return nil, fmt.Errorf("cache: L1/L2 line sizes differ (%d vs %d)", cfg.L1.LineSize, cfg.L2.LineSize)
+	}
+	l1, err := New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PrefetchBuffer && cfg.PrefetchBufferSize == 0 {
+		cfg.PrefetchBufferSize = 8
+	}
+	return &Hierarchy{cfg: cfg, L1: l1, L2: l2}, nil
+}
+
+// MustNewHierarchy is NewHierarchy that panics on config error.
+func MustNewHierarchy(cfg HierConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// AddListener registers an access observer.
+func (h *Hierarchy) AddListener(l AccessListener) {
+	h.listeners = append(h.listeners, l)
+}
+
+// Access performs a demand access (timing only; data moves in package
+// mem). data is the value read or written, forwarded to listeners so the
+// IMP can train. Fills are inclusive: an L2 miss fills both levels.
+func (h *Hierarchy) Access(addr uint64, data uint64, isWrite bool) AccessResult {
+	h.DemandAccesses++
+	res := h.accessTiming(addr)
+	for _, l := range h.listeners {
+		l.OnAccess(addr, data, isWrite)
+	}
+	return res
+}
+
+// AccessSilent is Access without notifying listeners — used by hardware-
+// internal accesses (the silent-store SS-Load, prefetcher pointer chases)
+// that must not retrain the prefetcher on themselves.
+func (h *Hierarchy) AccessSilent(addr uint64) AccessResult {
+	return h.accessTiming(addr)
+}
+
+func (h *Hierarchy) accessTiming(addr uint64) AccessResult {
+	if h.L1.Lookup(addr) {
+		return AccessResult{Latency: h.cfg.L1.HitLatency, L1Hit: true}
+	}
+	// Prefetch buffer in front of L1.
+	if h.cfg.PrefetchBuffer {
+		la := h.L1.LineAddr(addr)
+		for i, b := range h.pbuf {
+			if b == la {
+				h.pbuf = append(h.pbuf[:i], h.pbuf[i+1:]...)
+				h.fillL1(addr)
+				// Buffer hit costs an L2-ish latency: the buffer sits
+				// beside L1 but off the critical path.
+				return AccessResult{Latency: h.cfg.L1.HitLatency + 1, BufferHit: true}
+			}
+		}
+	}
+	if h.L2.Lookup(addr) {
+		h.fillL1(addr)
+		return AccessResult{Latency: h.cfg.L2.HitLatency, L2Hit: true}
+	}
+	h.fillL2(addr, false)
+	h.fillL1(addr)
+	return AccessResult{Latency: h.cfg.MemLatency}
+}
+
+// fillL2 inserts into L2 and enforces inclusion: a line evicted from L2
+// is back-invalidated out of L1 (and the prefetch buffer).
+func (h *Hierarchy) fillL2(addr uint64, prefetched bool) {
+	victim, evicted := h.L2.Fill(addr, prefetched)
+	if evicted {
+		h.L1.Evict(victim)
+		la := h.L1.LineAddr(victim)
+		for i, b := range h.pbuf {
+			if b == la {
+				h.pbuf = append(h.pbuf[:i], h.pbuf[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// fillL1 inserts into L1 (demand fill).
+func (h *Hierarchy) fillL1(addr uint64) {
+	h.L1.Fill(addr, false)
+}
+
+// Prefetch inserts the line holding addr as a prefetch. With a prefetch
+// buffer configured, L1 is bypassed but L2 still fills.
+func (h *Hierarchy) Prefetch(addr uint64) {
+	h.PrefetchRequests++
+	h.fillL2(addr, true)
+	if h.cfg.PrefetchBuffer {
+		la := h.L1.LineAddr(addr)
+		for _, b := range h.pbuf {
+			if b == la {
+				return
+			}
+		}
+		h.pbuf = append(h.pbuf, la)
+		if len(h.pbuf) > h.cfg.PrefetchBufferSize {
+			h.pbuf = h.pbuf[1:]
+		}
+		return
+	}
+	h.L1.Fill(addr, true)
+}
+
+// Latency returns the cycles a load of addr would take right now, without
+// perturbing any state. Used by analysis code, never by modeled hardware.
+func (h *Hierarchy) Latency(addr uint64) int {
+	if h.L1.Contains(addr) {
+		return h.cfg.L1.HitLatency
+	}
+	if h.L2.Contains(addr) {
+		return h.cfg.L2.HitLatency
+	}
+	return h.cfg.MemLatency
+}
+
+// EvictAll removes the line containing addr from every level.
+func (h *Hierarchy) EvictAll(addr uint64) {
+	h.L1.Evict(addr)
+	h.L2.Evict(addr)
+	la := h.L1.LineAddr(addr)
+	for i, b := range h.pbuf {
+		if b == la {
+			h.pbuf = append(h.pbuf[:i], h.pbuf[i+1:]...)
+			break
+		}
+	}
+}
+
+// FlushAll empties every level and the prefetch buffer.
+func (h *Hierarchy) FlushAll() {
+	h.L1.FlushAll()
+	h.L2.FlushAll()
+	h.pbuf = nil
+}

@@ -1,0 +1,127 @@
+package channel
+
+import (
+	"fmt"
+
+	"pandora/internal/cache"
+)
+
+// EvictionSetBuilder discovers minimal eviction sets using timing alone —
+// no knowledge of the cache geometry beyond the line size and an upper
+// bound on associativity. This is the attacker tooling Prime+Probe needs
+// in the real world, where set-index bits are unknown (physical indexing,
+// unknown hashing): start from a large candidate pool that evicts the
+// victim, then shrink it by group testing [Vila, Köpf & Morales, S&P'19].
+type EvictionSetBuilder struct {
+	hier *cache.Hierarchy
+	// Ways is the upper bound on the monitored cache's associativity.
+	Ways int
+	// LineSize is the line granularity for pool generation.
+	LineSize int
+	// Threshold above which a reload counts as a miss; defaults to
+	// halfway between the L2 hit latency and memory.
+	Threshold int
+
+	// Tests counts eviction tests performed (the algorithm's cost).
+	Tests int
+}
+
+// NewEvictionSetBuilder targets the hierarchy's last level.
+func NewEvictionSetBuilder(h *cache.Hierarchy, ways int) (*EvictionSetBuilder, error) {
+	if h == nil {
+		return nil, fmt.Errorf("channel: nil hierarchy")
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("channel: ways bound must be positive")
+	}
+	cfg := h.Config()
+	return &EvictionSetBuilder{
+		hier:      h,
+		Ways:      ways,
+		LineSize:  cfg.L2.LineSize,
+		Threshold: (cfg.L2.HitLatency + cfg.MemLatency) / 2,
+	}, nil
+}
+
+// Evicts reports whether accessing the candidate set flushes victim out
+// of the monitored cache: load victim, walk the candidates, reload victim
+// and time it.
+func (b *EvictionSetBuilder) Evicts(candidates []uint64, victim uint64) bool {
+	b.Tests++
+	b.hier.Access(victim, 0, false)
+	for _, c := range candidates {
+		b.hier.Access(c, 0, false)
+	}
+	res := b.hier.Access(victim, 0, false)
+	return res.Latency >= b.Threshold
+}
+
+// Pool generates n candidate line addresses starting at base, stepping
+// one line at a time in permuted order (a linear walk would train
+// prefetchers and skew the timing tests).
+func (b *EvictionSetBuilder) Pool(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		j := (i*97 + 13) % n
+		out[i] = base + uint64(j*b.LineSize)
+	}
+	return out
+}
+
+// Reduce shrinks a working eviction pool to at most Ways addresses that
+// still evict the victim, by group testing: split the set into Ways+1
+// groups; at least one group is redundant (the set has more than Ways
+// congruent members), so drop the first group whose removal preserves
+// eviction, and repeat.
+func (b *EvictionSetBuilder) Reduce(pool []uint64, victim uint64) ([]uint64, error) {
+	set := append([]uint64(nil), pool...)
+	if !b.Evicts(set, victim) {
+		return nil, fmt.Errorf("channel: initial pool of %d does not evict the victim", len(set))
+	}
+	for len(set) > b.Ways {
+		groups := b.Ways + 1
+		if groups > len(set) {
+			groups = len(set)
+		}
+		per := (len(set) + groups - 1) / groups
+		removed := false
+		for g := 0; g < groups; g++ {
+			lo := g * per
+			if lo >= len(set) {
+				break
+			}
+			hi := lo + per
+			if hi > len(set) {
+				hi = len(set)
+			}
+			trial := make([]uint64, 0, len(set)-(hi-lo))
+			trial = append(trial, set[:lo]...)
+			trial = append(trial, set[hi:]...)
+			if b.Evicts(trial, victim) {
+				set = trial
+				removed = true
+				break
+			}
+		}
+		if removed {
+			continue
+		}
+		// Group removal can stall when redundant members straddle every
+		// group; fall back to single-element elimination, which always
+		// makes progress while the set is above the minimal size.
+		for i := 0; i < len(set); i++ {
+			trial := make([]uint64, 0, len(set)-1)
+			trial = append(trial, set[:i]...)
+			trial = append(trial, set[i+1:]...)
+			if b.Evicts(trial, victim) {
+				set = trial
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return nil, fmt.Errorf("channel: reduction stuck at %d members (threshold or noise)", len(set))
+		}
+	}
+	return set, nil
+}

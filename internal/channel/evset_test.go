@@ -1,0 +1,87 @@
+package channel
+
+import (
+	"testing"
+
+	"pandora/internal/cache"
+)
+
+func TestEvictionSetReduction(t *testing.T) {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	b, err := NewEvictionSetBuilder(h, h.Config().L2.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := uint64(0x123440)
+	// A pool spanning many times the cache: guaranteed to contain at
+	// least Ways lines congruent with the victim.
+	poolSize := h.Config().L2.Sets * h.Config().L2.Ways * 2
+	pool := b.Pool(0x40000000, poolSize)
+
+	set, err := b.Reduce(pool, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) > b.Ways {
+		t.Fatalf("reduced set has %d members, want <= %d", len(set), b.Ways)
+	}
+	// Every surviving member must be congruent with the victim — the
+	// builder discovered the set mapping from timing alone.
+	want := h.L2.SetOf(victim)
+	for _, a := range set {
+		if h.L2.SetOf(a) != want {
+			t.Errorf("member %#x maps to set %d, victim is in %d", a, h.L2.SetOf(a), want)
+		}
+	}
+	// And it still works as an eviction set.
+	if !b.Evicts(set, victim) {
+		t.Error("reduced set no longer evicts the victim")
+	}
+	t.Logf("reduced %d -> %d members in %d timing tests", poolSize, len(set), b.Tests)
+}
+
+func TestEvictionSetErrors(t *testing.T) {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	if _, err := NewEvictionSetBuilder(nil, 8); err == nil {
+		t.Error("nil hierarchy accepted")
+	}
+	if _, err := NewEvictionSetBuilder(h, 0); err == nil {
+		t.Error("zero ways accepted")
+	}
+	b, _ := NewEvictionSetBuilder(h, 8)
+	// A tiny pool in the wrong sets cannot evict: Reduce must refuse.
+	if _, err := b.Reduce([]uint64{0x40, 0x80}, 0x123440); err == nil {
+		t.Error("non-evicting pool accepted")
+	}
+}
+
+// TestEvictionSetFeedsPrimeProbe: the discovered set works as a
+// Prime+Probe prime for its set.
+func TestEvictionSetFeedsPrimeProbe(t *testing.T) {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	b, err := NewEvictionSetBuilder(h, h.Config().L2.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := uint64(0x555000)
+	pool := b.Pool(0x40000000, h.Config().L2.Sets*h.Config().L2.Ways*2)
+	set, err := b.Reduce(pool, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime with the discovered set, victim touches its line, probe: at
+	// least one member must have been evicted.
+	for _, a := range set {
+		h.Access(a, 0, false)
+	}
+	h.Access(victim, 0, false)
+	evictions := 0
+	for _, a := range set {
+		if h.Access(a, 0, false).Latency >= b.Threshold {
+			evictions++
+		}
+	}
+	if evictions == 0 {
+		t.Error("discovered set saw no victim activity")
+	}
+}

@@ -1,0 +1,57 @@
+package channel
+
+import (
+	"fmt"
+
+	"pandora/internal/cache"
+)
+
+// FlushReload is the shared-memory receiver [Yarom & Falkner, USENIX
+// Sec'14]: flush a line the victim may touch, wait, then reload it and
+// time the access — a hit means the victim (or a prefetcher acting on the
+// victim's behalf) brought it back. Line-granular and noise-free compared
+// to Prime+Probe, but requires the monitored line to be shared between
+// attacker and victim.
+type FlushReload struct {
+	hier *cache.Hierarchy
+	// Threshold below which a reload counts as a hit; defaults to halfway
+	// between the L2 hit latency and memory.
+	Threshold int
+}
+
+// NewFlushReload builds a receiver on the hierarchy.
+func NewFlushReload(h *cache.Hierarchy) (*FlushReload, error) {
+	if h == nil {
+		return nil, fmt.Errorf("channel: nil hierarchy")
+	}
+	cfg := h.Config()
+	return &FlushReload{
+		hier:      h,
+		Threshold: (cfg.L2.HitLatency + cfg.MemLatency) / 2,
+	}, nil
+}
+
+// Flush evicts the line holding addr from the whole hierarchy (the
+// clflush analogue).
+func (fr *FlushReload) Flush(addr uint64) { fr.hier.EvictAll(addr) }
+
+// Reload accesses addr and reports whether it hit (the victim touched the
+// line since the flush) along with the observed latency.
+func (fr *FlushReload) Reload(addr uint64) (hit bool, latency int) {
+	res := fr.hier.Access(addr, 0, false)
+	return res.Latency < fr.Threshold, res.Latency
+}
+
+// Monitor flushes a set of lines, runs the victim, and returns which
+// lines the victim touched.
+func (fr *FlushReload) Monitor(lines []uint64, victim func()) []bool {
+	for _, a := range lines {
+		fr.Flush(a)
+	}
+	victim()
+	out := make([]bool, len(lines))
+	for i, a := range lines {
+		out[i], _ = fr.Reload(a)
+	}
+	return out
+}

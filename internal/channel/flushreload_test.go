@@ -1,0 +1,66 @@
+package channel
+
+import (
+	"testing"
+
+	"pandora/internal/cache"
+)
+
+func newFR(t *testing.T) (*FlushReload, *cache.Hierarchy) {
+	t.Helper()
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	fr, err := NewFlushReload(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr, h
+}
+
+func TestFlushReloadBasic(t *testing.T) {
+	fr, h := newFR(t)
+	const line = uint64(0x4000)
+	h.Access(line, 0, false)
+
+	fr.Flush(line)
+	if hit, lat := fr.Reload(line); hit {
+		t.Errorf("reload after flush hit (lat=%d)", lat)
+	}
+
+	// Victim touches the line; reload must hit.
+	h.Access(line, 0, false)
+	if hit, lat := fr.Reload(line); !hit {
+		t.Errorf("reload after victim access missed (lat=%d)", lat)
+	}
+}
+
+func TestFlushReloadSeesPrefetch(t *testing.T) {
+	// The DMP threat model: the "victim touch" is a prefetcher fill.
+	fr, h := newFR(t)
+	const line = uint64(0x8000)
+	fr.Flush(line)
+	h.Prefetch(line)
+	if hit, _ := fr.Reload(line); !hit {
+		t.Error("prefetch fill not visible to Flush+Reload")
+	}
+}
+
+func TestFlushReloadMonitor(t *testing.T) {
+	fr, h := newFR(t)
+	lines := []uint64{0x1000, 0x2000, 0x3000, 0x4000}
+	touched := fr.Monitor(lines, func() {
+		h.Access(0x2000, 0, false)
+		h.Access(0x4000, 0, false)
+	})
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if touched[i] != want[i] {
+			t.Errorf("line %#x: touched=%v want %v", lines[i], touched[i], want[i])
+		}
+	}
+}
+
+func TestFlushReloadNilHierarchy(t *testing.T) {
+	if _, err := NewFlushReload(nil); err == nil {
+		t.Error("nil hierarchy accepted")
+	}
+}

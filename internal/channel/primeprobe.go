@@ -1,0 +1,159 @@
+// Package channel implements classic cache covert-channel receivers on
+// top of the cache model — the measurement half of every attack in this
+// repository. The transmitter is whatever modulates cache state (a victim
+// program, or a data memory-dependent prefetcher); the receiver is
+// Prime+Probe [Osvik, Shamir & Tromer, CT-RSA'06]: fill the monitored
+// sets with attacker lines, let the transmitter run, then re-access the
+// attacker lines and time them — an evicted line means the transmitter
+// touched that set.
+package channel
+
+import (
+	"fmt"
+
+	"pandora/internal/cache"
+)
+
+// Level selects which cache the receiver monitors.
+type Level int
+
+// Receiver monitoring levels.
+const (
+	L1 Level = iota
+	L2
+)
+
+func (l Level) String() string {
+	if l == L1 {
+		return "L1"
+	}
+	return "L2"
+}
+
+// PrimeProbe is a deterministic Prime+Probe receiver bound to one cache
+// level of a hierarchy.
+type PrimeProbe struct {
+	hier  *cache.Hierarchy
+	level Level
+	base  uint64 // attacker-owned probe buffer (must be cache-set aligned)
+
+	sets     int
+	ways     int
+	lineSize int
+	stride   uint64 // byte distance between same-set lines
+
+	// Threshold above which a probed line counts as evicted; defaults to
+	// halfway between the monitored level's hit latency and the next
+	// level's.
+	Threshold int
+}
+
+// NewPrimeProbe builds a receiver. base is the start of an attacker-owned
+// buffer of at least sets*ways*stride bytes; it should be line-aligned.
+func NewPrimeProbe(h *cache.Hierarchy, level Level, base uint64) (*PrimeProbe, error) {
+	if h == nil {
+		return nil, fmt.Errorf("channel: nil hierarchy")
+	}
+	var cfg cache.Config
+	var threshold int
+	hc := h.Config()
+	switch level {
+	case L1:
+		cfg = hc.L1
+		threshold = (hc.L1.HitLatency + hc.L2.HitLatency) / 2
+	case L2:
+		cfg = hc.L2
+		threshold = (hc.L2.HitLatency + hc.MemLatency) / 2
+	default:
+		return nil, fmt.Errorf("channel: bad level %d", level)
+	}
+	if base%uint64(cfg.LineSize) != 0 {
+		return nil, fmt.Errorf("channel: probe base %#x not line-aligned", base)
+	}
+	return &PrimeProbe{
+		hier:      h,
+		level:     level,
+		base:      base,
+		sets:      cfg.Sets,
+		ways:      cfg.Ways,
+		lineSize:  cfg.LineSize,
+		stride:    uint64(cfg.Sets * cfg.LineSize),
+		Threshold: threshold,
+	}, nil
+}
+
+// Sets returns the number of monitored sets.
+func (pp *PrimeProbe) Sets() int { return pp.sets }
+
+// SetOf returns the monitored-level set index of addr.
+func (pp *PrimeProbe) SetOf(addr uint64) int {
+	return int(addr / uint64(pp.lineSize) % uint64(pp.sets))
+}
+
+// evictionAddr returns the attacker line for (set, way).
+func (pp *PrimeProbe) evictionAddr(set, way int) uint64 {
+	return pp.base + uint64(set)*uint64(pp.lineSize) + uint64(way)*pp.stride
+}
+
+// permutedWay visits ways in a fixed non-sequential order so the probe
+// loop does not itself look like a constant-stride stream to a
+// data-dependent prefetcher watching the access bus.
+func (pp *PrimeProbe) permutedWay(i int) int {
+	return (i*7 + 3) % pp.ways
+}
+
+// permutedSet visits sets with a large coprime stride for the same
+// reason: consecutive same-way prime accesses to adjacent sets differ by
+// exactly one line, which is a textbook stream.
+func (pp *PrimeProbe) permutedSet(i int) int {
+	return (i*97 + 13) % pp.sets
+}
+
+// Prime fills one monitored set with attacker lines.
+func (pp *PrimeProbe) Prime(set int) {
+	for i := 0; i < pp.ways; i++ {
+		pp.hier.Access(pp.evictionAddr(set, pp.permutedWay(i)), 0, false)
+	}
+}
+
+// PrimeAll primes every monitored set (in stream-free permuted order).
+func (pp *PrimeProbe) PrimeAll() {
+	for i := 0; i < pp.sets; i++ {
+		pp.Prime(pp.permutedSet(i))
+	}
+}
+
+// Probe re-accesses one set's attacker lines and returns how many missed
+// the monitored level (were evicted since Prime).
+func (pp *PrimeProbe) Probe(set int) int {
+	evicted := 0
+	for i := 0; i < pp.ways; i++ {
+		res := pp.hier.Access(pp.evictionAddr(set, pp.permutedWay(i)), 0, false)
+		if res.Latency >= pp.Threshold {
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// ProbeAll probes every set (permuted order), returning per-set eviction
+// counts.
+func (pp *PrimeProbe) ProbeAll() []int {
+	out := make([]int, pp.sets)
+	for i := 0; i < pp.sets; i++ {
+		s := pp.permutedSet(i)
+		out[s] = pp.Probe(s)
+	}
+	return out
+}
+
+// HotSets returns the sets whose probe detected at least one eviction.
+func HotSets(counts []int) []int {
+	var hot []int
+	for s, c := range counts {
+		if c > 0 {
+			hot = append(hot, s)
+		}
+	}
+	return hot
+}

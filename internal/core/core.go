@@ -1,0 +1,105 @@
+// Package core is the public facade of the Pandora reproduction: a
+// registry of named experiments, one per table and figure of the paper
+// (plus the section-level analyses), each returning a human-readable
+// report and structured metrics. The cmd/pandora CLI, the examples and
+// the benchmark harness all drive experiments through this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune experiment effort.
+type Options struct {
+	// Samples is the per-class sample count for distribution experiments
+	// (Figure 6). Zero means a small default.
+	Samples int
+	// SecretLen is the number of protected bytes the URG experiments
+	// leak. Zero means a short default.
+	SecretLen int
+	// Full enables full-scale sweeps (e.g. the 65536-value slice sweep in
+	// the key-recovery experiment). Off by default: full sweeps take
+	// minutes.
+	Full bool
+	// Trace receives narrative progress lines when non-nil.
+	Trace func(format string, args ...any)
+}
+
+func (o Options) trace(format string, args ...any) {
+	if o.Trace != nil {
+		o.Trace(format, args...)
+	}
+}
+
+func (o Options) samples(def int) int {
+	if o.Samples > 0 {
+		return o.Samples
+	}
+	return def
+}
+
+func (o Options) secretLen(def int) int {
+	if o.SecretLen > 0 {
+		return o.SecretLen
+	}
+	return def
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	Name string
+	// Text is the rendered report (the regenerated table/figure).
+	Text string
+	// Metrics carries the headline numbers for benches and EXPERIMENTS.md
+	// (e.g. cycle gaps, leak accuracy, agreement counts).
+	Metrics map[string]float64
+	// Pass reports whether the experiment reproduced the paper's
+	// qualitative result (shape agreement, not absolute numbers).
+	Pass bool
+}
+
+// Experiment is one registered reproduction artifact.
+type Experiment struct {
+	// Name is the CLI/registry key, e.g. "table1".
+	Name string
+	// Artifact cites the paper artifact, e.g. "Table I".
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (Result, error)
+}
+
+var registry = map[string]*Experiment{}
+var order []string
+
+func register(e *Experiment) {
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate experiment %q", e.Name))
+	}
+	registry[e.Name] = e
+	order = append(order, e.Name)
+}
+
+// Get returns the named experiment.
+func Get(name string) (*Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Experiments returns all registered experiments in registration order.
+func Experiments() []*Experiment {
+	out := make([]*Experiment, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Names returns the sorted experiment names.
+func Names() []string {
+	out := append([]string(nil), order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"pandora/internal/pipeline"
+)
+
+func TestParseMachineSpec(t *testing.T) {
+	cfg, err := ParseMachineSpec("silentstores,compsimp,packing,reuse-sv,vp:3,rfc-any,sq=5,rob=32,prf=48,alu=4,ld=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SilentStores == nil || cfg.SilentStores.Scheme != pipeline.SSReadPortStealing {
+		t.Error("silentstores not configured")
+	}
+	if cfg.Simplifier == nil || !cfg.Simplifier.ZeroSkipMul {
+		t.Error("compsimp not configured")
+	}
+	if cfg.Packer == nil || cfg.Reuse == nil || cfg.Predictor == nil {
+		t.Error("packing/reuse/vp not configured")
+	}
+	if cfg.SQSize != 5 || cfg.ROBSize != 32 || cfg.PhysRegs != 48 || cfg.ALUPorts != 4 || cfg.LoadPorts != 1 {
+		t.Errorf("sizing overrides not applied: %+v", cfg)
+	}
+}
+
+func TestParseMachineSpecVariants(t *testing.T) {
+	cfg, err := ParseMachineSpec("silentstores-lsq,vp-stride,strengthred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SilentStores.Scheme != pipeline.SSLSQCompare {
+		t.Error("lsq scheme not selected")
+	}
+	if cfg.Predictor == nil {
+		t.Error("stride predictor not selected")
+	}
+	if cfg.Simplifier == nil || !cfg.Simplifier.StrengthReduction {
+		t.Error("strength reduction not selected")
+	}
+}
+
+func TestParseMachineSpecErrors(t *testing.T) {
+	for _, spec := range []string{"bogus", "vp:x", "sq=0", "sq=-3"} {
+		if _, err := ParseMachineSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if cfg, err := ParseMachineSpec("  "); err != nil || cfg.FetchWidth == 0 {
+		t.Error("empty spec must yield the default baseline")
+	}
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pandora/internal/cache"
+	"pandora/internal/mem"
+	"pandora/internal/pipeline"
+	"pandora/internal/uopt"
+)
+
+// This file provides measured *timing witnesses* for the Table I analysis:
+// for each optimization class, a pair of victim kernels that differ only
+// in a secret value. With the optimization enabled the cycle counts
+// differ (the leak); on the baseline they are identical (the data was
+// safe). These runs turn the MLD-derived table into observed pipeline
+// behavior.
+
+// witness is one paired-kernel experiment.
+type witness struct {
+	name     string
+	item     string // the Table I row it witnesses
+	config   func() pipeline.Config
+	baseline func() pipeline.Config
+	// kernel builds the victim program text for a given secret.
+	kernel func(secret uint64) string
+	// secrets are the two values to contrast.
+	secrets [2]uint64
+	// setup optionally preconditions memory/caches.
+	setup func(m *mem.Memory, h *cache.Hierarchy)
+}
+
+func base() pipeline.Config { return pipeline.DefaultConfig() }
+
+// rfcWitnessConfig is a wide core with a deliberately tight physical
+// register file, so rename — not issue — is the bottleneck and register
+// sharing has an observable effect.
+func rfcWitnessConfig() pipeline.Config {
+	c := base()
+	c.PhysRegs = 48
+	c.ROBSize = 128
+	c.IQSize = 96
+	c.FetchWidth = 8
+	c.RetireWidth = 8
+	c.ALUPorts = 8
+	return c
+}
+
+func witnesses() []witness {
+	return []witness{
+		{
+			name: "zero-skip multiply", item: "Operands: Int mul (CS)",
+			config: func() pipeline.Config {
+				c := base()
+				c.Simplifier = &uopt.Simplifier{ZeroSkipMul: true}
+				return c
+			},
+			baseline: base,
+			kernel: func(secret uint64) string {
+				return fmt.Sprintf(`
+					addi x1, x0, %d     # secret operand
+					addi x2, x0, 12345
+					addi x5, x0, 64
+				loop:
+					mul  x3, x1, x2     # dependent chain of multiplies
+					mul  x3, x1, x3
+					addi x5, x5, -1
+					bne  x5, x0, loop
+					halt
+				`, secret)
+			},
+			secrets: [2]uint64{0, 3},
+		},
+		{
+			name: "early-exit division", item: "Operands: Int div (CS)",
+			config: func() pipeline.Config {
+				c := base()
+				c.Simplifier = &uopt.Simplifier{EarlyExitDiv: true}
+				return c
+			},
+			baseline: base,
+			kernel: func(secret uint64) string {
+				return fmt.Sprintf(`
+					addi x1, x0, %d     # secret dividend
+					addi x2, x0, 3
+					addi x5, x0, 32
+				loop:
+					div  x3, x1, x2
+					addi x5, x5, -1
+					bne  x5, x0, loop
+					halt
+				`, secret)
+			},
+			secrets: [2]uint64{9, 0x7fffffff},
+		},
+		{
+			name: "operand packing", item: "Operands: Int simple ops (PC)",
+			config: func() pipeline.Config {
+				c := base()
+				c.ALUPorts = 1
+				c.Packer = uopt.NewPacker()
+				return c
+			},
+			baseline: func() pipeline.Config {
+				c := base()
+				c.ALUPorts = 1
+				return c
+			},
+			kernel: func(secret uint64) string {
+				// Independent add pairs: all-narrow operands co-issue on
+				// the single ALU port when packing is enabled.
+				return fmt.Sprintf(`
+					addi x1, x0, %d     # secret operand
+					addi x2, x0, 7
+					addi x9, x0, 48
+				loop:
+					add  x3, x1, x2
+					add  x4, x1, x2
+					add  x5, x1, x2
+					add  x6, x1, x2
+					addi x9, x9, -1
+					bne  x9, x0, loop
+					halt
+				`, secret)
+			},
+			secrets: [2]uint64{12, 1 << 20},
+		},
+		{
+			name: "computation reuse (Sv)", item: "Operands: Int mul (CR)",
+			config: func() pipeline.Config {
+				c := base()
+				c.Reuse = uopt.NewReuseBuffer(uopt.SchemeSv, 64)
+				return c
+			},
+			baseline: base,
+			kernel: func(secret uint64) string {
+				// The multiply's operand alternates between 1000 and the
+				// secret each iteration. If the secret equals 1000, every
+				// dynamic instance matches the memoized operands and the
+				// chain collapses to reuse hits; otherwise every lookup
+				// misses against the previous iteration's entry.
+				return fmt.Sprintf(`
+					addi x1, x0, 1000
+					addi x2, x0, %d     # secret: equals 1000 or not
+					addi x4, x0, 3
+					addi x9, x0, 40
+				loop:
+					mul  x5, x1, x4     # memoized instance (operand alternates)
+					mul  x7, x5, x4     # dependent multiply: same story
+					add  x6, x1, x0     # swap x1 <-> x2
+					add  x1, x2, x0
+					add  x2, x6, x0
+					addi x9, x9, -1
+					bne  x9, x0, loop
+					halt
+				`, secret)
+			},
+			secrets: [2]uint64{1000, 1001},
+		},
+		{
+			name: "load value prediction", item: "Data: Load (VP)",
+			config: func() pipeline.Config {
+				c := base()
+				c.Predictor = uopt.NewPredictor(2)
+				return c
+			},
+			baseline: base,
+			kernel: func(secret uint64) string {
+				// A loop whose load feeds a long dependent chain. The
+				// stored value either stays constant (predictable) or
+				// changes every iteration (squash storm).
+				return fmt.Sprintf(`
+					addi x1, x0, 0x900
+					addi x2, x0, 5
+					sd   x2, 0(x1)
+					addi x9, x0, 48
+				loop:
+					ld   x3, 0(x1)      # predicted load
+					mul  x4, x3, x2     # dependent work
+					mul  x4, x4, x2
+					add  x5, x5, x4
+					add  x6, x3, x2
+					andi x6, x6, %d     # secret selects constant vs varying
+					sd   x6, 0(x1)
+					addi x9, x9, -1
+					bne  x9, x0, loop
+					halt
+				`, secret)
+			},
+			// secret 0: store writes 0 forever (after iteration 1 the
+			// load is fully predictable); secret -1: the stored value
+			// keeps changing, so every confident prediction squashes.
+			secrets: [2]uint64{0, 0xfff},
+		},
+		{
+			name: "register-file compression", item: "At rest: Register file (RFC)",
+			config: func() pipeline.Config {
+				c := rfcWitnessConfig()
+				c.RFC = uopt.RFCAnyValue
+				return c
+			},
+			baseline: rfcWitnessConfig,
+			kernel: func(secret uint64) string {
+				// Eight accumulators with per-register increments scaled
+				// by the secret: secret 0 keeps every in-flight result at
+				// value 0 (all collapse onto one shared register under
+				// RFC); secret 1 makes every result distinct (full rename
+				// pressure on the tight free list).
+				return fmt.Sprintf(`
+					addi x10, x0, %d
+					addi x11, x0, %d
+					addi x12, x0, %d
+					addi x13, x0, %d
+					addi x14, x0, %d
+					addi x15, x0, %d
+					addi x16, x0, %d
+					addi x17, x0, %d
+					addi x9, x0, 40
+					addi x20, x0, 1
+					div  x21, x9, x20   # long op at the ROB head: younger
+					div  x22, x21, x20  # results must hold their registers
+					div  x23, x22, x20  # until it retires — unless RFC
+					div  x24, x23, x20  # returned them at writeback
+				loop:
+					add  x1, x1, x10
+					add  x2, x2, x11
+					add  x3, x3, x12
+					add  x4, x4, x13
+					add  x5, x5, x14
+					add  x6, x6, x15
+					add  x7, x7, x16
+					add  x8, x8, x17
+					addi x9, x9, -1
+					bne  x9, x0, loop
+					halt
+				`, secret*0x10000019, secret*0x30000023, secret*0x5000002f, secret*0x70000039,
+					secret*0xb0000041, secret*0xd0000053, secret*0x110000061, secret*0x130000071)
+			},
+			secrets: [2]uint64{0, 1},
+		},
+		{
+			name: "silent stores", item: "Data: Store (SS)",
+			config: func() pipeline.Config {
+				c := base()
+				c.SilentStores = &pipeline.SilentStoreConfig{}
+				c.SQSize = 4
+				return c
+			},
+			baseline: func() pipeline.Config {
+				c := base()
+				c.SQSize = 4
+				return c
+			},
+			setup: func(m *mem.Memory, h *cache.Hierarchy) {
+				for i := uint64(0); i < 8; i++ {
+					m.Write(0xa00+i*64, 8, 7)
+					h.Access(0xa00+i*64, 7, false)
+				}
+			},
+			kernel: func(secret uint64) string {
+				// Eight stores over stale value 7; when the secret is 7
+				// they all dequeue silently (in one cycle each group).
+				return fmt.Sprintf(`
+					addi x1, x0, 0xa00
+					addi x2, x0, %d     # secret store data
+					addi x9, x0, 100
+					div  x3, x9, x9     # delay retirement so SS-Loads win
+					sd   x2, 0(x1)
+					sd   x2, 64(x1)
+					sd   x2, 128(x1)
+					sd   x2, 192(x1)
+					sd   x2, 256(x1)
+					sd   x2, 320(x1)
+					sd   x2, 384(x1)
+					sd   x2, 448(x1)
+					halt
+				`, secret)
+			},
+			secrets: [2]uint64{7, 8},
+		},
+	}
+}
+
+// runWitness returns the cycle counts of the two kernels under cfg.
+func runWitness(w witness, mk func() pipeline.Config) (a, b int64, err error) {
+	run := func(secret uint64) (int64, error) {
+		m := mem.New()
+		h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+		if w.setup != nil {
+			w.setup(m, h)
+		}
+		mach, err := pipeline.New(mk(), m, h)
+		if err != nil {
+			return 0, err
+		}
+		prog, err := asmMust(w.kernel(secret))
+		if err != nil {
+			return 0, err
+		}
+		res, err := mach.Run(prog)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+	if a, err = run(w.secrets[0]); err != nil {
+		return
+	}
+	b, err = run(w.secrets[1])
+	return
+}
+
+// WitnessReport holds one measured witness outcome.
+type WitnessReport struct {
+	Name, Item           string
+	OptA, OptB           int64 // cycles with the optimization, per secret
+	BaseA, BaseB         int64 // cycles on the baseline
+	LeakDelta, BaseDelta int64
+}
+
+// RunWitnesses executes every timing witness.
+func RunWitnesses() ([]WitnessReport, error) {
+	var out []WitnessReport
+	for _, w := range witnesses() {
+		oa, ob, err := runWitness(w, w.config)
+		if err != nil {
+			return nil, fmt.Errorf("witness %s: %w", w.name, err)
+		}
+		ba, bb, err := runWitness(w, w.baseline)
+		if err != nil {
+			return nil, fmt.Errorf("witness %s baseline: %w", w.name, err)
+		}
+		out = append(out, WitnessReport{
+			Name: w.name, Item: w.item,
+			OptA: oa, OptB: ob, BaseA: ba, BaseB: bb,
+			LeakDelta: abs64(oa - ob), BaseDelta: abs64(ba - bb),
+		})
+	}
+	return out, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func init() {
+	register(&Experiment{
+		Name: "witness", Artifact: "Table I (measured)",
+		Title: "Per-class timing witnesses: secret-dependent cycles appear only with the optimization",
+		Run:   runWitnessExperiment,
+	})
+	register(&Experiment{
+		Name: "reuse", Artifact: "Section VI-A3",
+		Title: "Sv vs Sn computation reuse: security/performance trade-off",
+		Run:   runReuseAblation,
+	})
+}
+
+func runWitnessExperiment(Options) (Result, error) {
+	reports, err := RunWitnesses()
+	if err != nil {
+		return Result{}, err
+	}
+	var b strings.Builder
+	b.WriteString("Measured timing witnesses for Table I\n\n")
+	fmt.Fprintf(&b, "%-28s %-34s %10s %10s\n", "Optimization", "Data item", "opt Δcyc", "base Δcyc")
+	b.WriteString(strings.Repeat("-", 86) + "\n")
+	pass := true
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-28s %-34s %10d %10d\n", r.Name, r.Item, r.LeakDelta, r.BaseDelta)
+		if r.LeakDelta == 0 || r.BaseDelta != 0 {
+			pass = false
+		}
+	}
+	b.WriteString("\nopt Δcyc > 0 with base Δcyc = 0 means the secret is observable only\nthrough the optimization — the Table I transition S→U, measured.\n")
+	m := map[string]float64{"witnesses": float64(len(reports))}
+	for _, r := range reports {
+		m["leak_"+strings.ReplaceAll(r.Name, " ", "_")] = float64(r.LeakDelta)
+	}
+	return Result{Name: "witness", Text: b.String(), Metrics: m, Pass: pass}, nil
+}
+
+// runReuseAblation contrasts the Sv and Sn reuse variants (Section VI-A3):
+// Sv leaks operand values but reuses more; Sn is value-blind.
+func runReuseAblation(Options) (Result, error) {
+	kernel := func(secret uint64) string {
+		// The multiply operand alternates between 1000 and the secret, so
+		// value-keyed reuse hits exactly when the secret matches.
+		return fmt.Sprintf(`
+			addi x1, x0, 1000
+			addi x2, x0, %d
+			addi x4, x0, 3
+			addi x9, x0, 40
+		loop:
+			mul  x5, x1, x4
+			mul  x7, x5, x4
+			add  x6, x1, x0
+			add  x1, x2, x0
+			add  x2, x6, x0
+			addi x9, x9, -1
+			bne  x9, x0, loop
+			halt
+		`, secret)
+	}
+	run := func(scheme uopt.ReuseScheme, secret uint64) (int64, uint64, error) {
+		cfg := base()
+		rb := uopt.NewReuseBuffer(scheme, 64)
+		cfg.Reuse = rb
+		m, err := pipeline.New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
+		if err != nil {
+			return 0, 0, err
+		}
+		prog, err := asmMust(kernel(secret))
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := m.Run(prog)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Cycles, rb.Hits, nil
+	}
+	svEq, svEqHits, err := run(uopt.SchemeSv, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	svNe, _, err := run(uopt.SchemeSv, 1001)
+	if err != nil {
+		return Result{}, err
+	}
+	snEq, snEqHits, err := run(uopt.SchemeSn, 1000)
+	if err != nil {
+		return Result{}, err
+	}
+	snNe, _, err := run(uopt.SchemeSn, 1001)
+	if err != nil {
+		return Result{}, err
+	}
+	svLeak := abs64(svEq - svNe)
+	snLeak := abs64(snEq - snNe)
+	text := fmt.Sprintf(`Section VI-A3 — architecting security-conscious microarchitecture
+
+Dynamic instruction reuse, value-keyed (Sv) vs name-keyed (Sn):
+
+  Sv: cycles(secret==memoized) = %4d, cycles(differs) = %4d  → leak Δ = %d
+  Sn: cycles(secret==memoized) = %4d, cycles(differs) = %4d  → leak Δ = %d
+  reuse hits: Sv = %d, Sn = %d
+
+Sv's hit condition depends on operand *values*: the secret modulates
+timing. Sn keys on register names only: same timing either way — the
+"slight tweak" the paper highlights as still-efficient, more-secure.
+`, svEq, svNe, svLeak, snEq, snNe, snLeak, svEqHits, snEqHits)
+	return Result{
+		Name: "reuse", Text: text,
+		Metrics: map[string]float64{
+			"sv_leak": float64(svLeak), "sn_leak": float64(snLeak),
+			"sv_hits": float64(svEqHits), "sn_hits": float64(snEqHits),
+		},
+		Pass: svLeak > 0 && snLeak == 0,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package dmp
+
+import (
+	"testing"
+
+	"pandora/internal/cache"
+	"pandora/internal/mem"
+)
+
+const wBase = uint64(0xC0000)
+
+// chase4 drives the Ainsworth-Jones pattern W[X[Y[Z[i]]]].
+func chase4(h *cache.Hierarchy, m *mem.Memory, n int) {
+	for i := 0; i < n; i++ {
+		zAddr := zBase + uint64(i*elemW)
+		z := m.Read(zAddr, elemW)
+		h.Access(zAddr, z, false)
+
+		yAddr := yBase + z*elemW
+		y := m.Read(yAddr, elemW)
+		h.Access(yAddr, y, false)
+
+		xAddr := xBase + y*elemW
+		x := m.Read(xAddr, elemW)
+		h.Access(xAddr, x, false)
+
+		wAddr := wBase + x*elemW
+		w := m.Read(wAddr, elemW)
+		h.Access(wAddr, w, false)
+	}
+}
+
+// setupChase4 extends setupChase with irregular X contents so the W
+// addresses do not form a stream.
+func setupChase4(n int) *mem.Memory {
+	m := setupChase(n)
+	for j := 0; j < 600; j++ {
+		// X[j] irregular via a multiplicative scramble mod a prime range.
+		m.Write(xBase+uint64(j*elemW), elemW, uint64((j*131+17)%500))
+	}
+	return m
+}
+
+func TestIMPFourLevelChase(t *testing.T) {
+	m := setupChase4(32)
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(DefaultConfig(FourLevel), h, m)
+	h.AddListener(p)
+
+	chase4(h, m, 20)
+
+	if d := p.ConfirmedDepth(); d != 3 {
+		t.Fatalf("confirmed depth = %d, want 3 (W over X over Y over Z)", d)
+	}
+	for k, wantBase := range []uint64{yBase, xBase, wBase} {
+		base, shift, ok := p.LevelMapping(k)
+		if !ok || base != wantBase || shift != 2 {
+			t.Errorf("level %d mapping = (%#x, %d, %v), want (%#x, 2, true)", k, base, shift, ok, wantBase)
+		}
+	}
+
+	// The prefetch chain for i = 19+Δ must have touched all four arrays.
+	delta := p.Config().Delta
+	i := 19 + delta
+	z := m.Read(zBase+uint64(i*elemW), elemW)
+	y := m.Read(yBase+z*elemW, elemW)
+	x := m.Read(xBase+y*elemW, elemW)
+	for _, a := range []uint64{zBase + uint64(i*elemW), yBase + z*elemW, xBase + y*elemW, wBase + x*elemW} {
+		if !h.L1.Contains(a) {
+			t.Errorf("chain address %#x not prefetched", a)
+		}
+	}
+}
+
+func TestIMPFourLevelDepthBounds(t *testing.T) {
+	m := setupChase4(32)
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(DefaultConfig(FourLevel), h, m)
+	h.AddListener(p)
+	// Drive only the 3-level pattern: the fourth level must not confirm.
+	chase(h, m, 16)
+	if d := p.ConfirmedDepth(); d != 2 {
+		t.Errorf("confirmed depth = %d, want 2 when no fourth-level accesses occur", d)
+	}
+}
+
+func TestLevelsValidation(t *testing.T) {
+	m := mem.New()
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(Config{Levels: 9}, h, m)
+	if p.Config().Levels != ThreeLevel {
+		t.Errorf("out-of-range depth not defaulted: %d", p.Config().Levels)
+	}
+	p2 := New(Config{Levels: FourLevel}, h, m)
+	if p2.Config().Levels != FourLevel {
+		t.Errorf("4-level config rejected: %d", p2.Config().Levels)
+	}
+}
+
+func TestResetClearsLevels(t *testing.T) {
+	m := setupChase4(32)
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(DefaultConfig(FourLevel), h, m)
+	h.AddListener(p)
+	chase4(h, m, 20)
+	p.Reset()
+	if p.ConfirmedDepth() != 0 {
+		t.Error("Reset left confirmed levels")
+	}
+}

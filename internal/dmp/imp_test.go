@@ -1,0 +1,212 @@
+package dmp
+
+import (
+	"testing"
+
+	"pandora/internal/cache"
+	"pandora/internal/mem"
+)
+
+const (
+	zBase = uint64(0x1000)
+	yBase = uint64(0x40000)
+	xBase = uint64(0x80000)
+	elemW = 4
+)
+
+// zvals holds deliberately irregular index values: consecutive differences
+// exceed one cache line so the dependent Y/X accesses do not themselves
+// look like streams (which would be legitimate stride-prefetcher prey and
+// starve the indirect detector).
+var zvals = []uint64{5, 50, 9, 77, 23, 61, 130, 90, 31, 170, 2, 44, 111, 66, 19, 84,
+	37, 150, 7, 99, 58, 21, 140, 73, 46, 12, 88, 30, 120, 65, 3, 55}
+
+// setupChase builds memory holding Z, Y, X with X[Y[Z[i]]] well defined:
+// Z[i] = zvals[i], Y[j] = j+100, X read implicitly (contents irrelevant).
+func setupChase(n int) *mem.Memory {
+	m := mem.New()
+	for i := 0; i < n; i++ {
+		m.Write(zBase+uint64(i*elemW), elemW, zvals[i%len(zvals)])
+	}
+	for j := 0; j < 512; j++ {
+		m.Write(yBase+uint64(j*elemW), elemW, uint64(j+100))
+	}
+	return m
+}
+
+// chase performs the demand-access pattern of the victim loop
+// for i in [0,n): X[Y[Z[i]]].
+func chase(h *cache.Hierarchy, m *mem.Memory, n int) {
+	for i := 0; i < n; i++ {
+		zAddr := zBase + uint64(i*elemW)
+		z := m.Read(zAddr, elemW)
+		h.Access(zAddr, z, false)
+
+		yAddr := yBase + z*elemW
+		y := m.Read(yAddr, elemW)
+		h.Access(yAddr, y, false)
+
+		xAddr := xBase + y*elemW
+		x := m.Read(xAddr, elemW)
+		h.Access(xAddr, x, false)
+	}
+}
+
+func newIMP(t *testing.T, levels Levels) (*IMP, *cache.Hierarchy, *mem.Memory) {
+	t.Helper()
+	m := setupChase(32)
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(DefaultConfig(levels), h, m)
+	h.AddListener(p)
+	return p, h, m
+}
+
+func TestIMPDetectsStreamAndIndirections(t *testing.T) {
+	p, h, m := newIMP(t, ThreeLevel)
+	chase(h, m, 12)
+	if p.Stats.StreamsDetected == 0 {
+		t.Fatal("stream not detected")
+	}
+	l1, l2 := p.Confirmed()
+	if !l1 {
+		t.Fatal("level-1 indirection not confirmed")
+	}
+	if !l2 {
+		t.Fatal("level-2 indirection not confirmed")
+	}
+	base, shift, _ := p.Lvl1Mapping()
+	if base != yBase || shift != 2 {
+		t.Errorf("lvl1 mapping = (%#x, %d), want (%#x, 2)", base, shift, yBase)
+	}
+	base, shift, _ = p.Lvl2Mapping()
+	if base != xBase || shift != 2 {
+		t.Errorf("lvl2 mapping = (%#x, %d), want (%#x, 2)", base, shift, xBase)
+	}
+	if p.Stats.Prefetches == 0 {
+		t.Error("no prefetch chains launched")
+	}
+}
+
+func TestIMPPrefetchesAhead(t *testing.T) {
+	p, h, m := newIMP(t, ThreeLevel)
+	n := 12
+	chase(h, m, n)
+	// After the loop reached i = n-1, the prefetcher should have touched
+	// the chain for i = n-1+Δ: Z, Y[Z], X[Y[Z]].
+	delta := p.Config().Delta
+	i := n - 1 + delta
+	zAddr := zBase + uint64(i*elemW)
+	z := m.Read(zAddr, elemW)
+	yAddr := yBase + z*elemW
+	y := m.Read(yAddr, elemW)
+	xAddr := xBase + y*elemW
+	for _, a := range []uint64{zAddr, yAddr, xAddr} {
+		if !h.L1.Contains(a) {
+			t.Errorf("address %#x not prefetched into L1", a)
+		}
+	}
+}
+
+func TestIMPTwoLevelSkipsX(t *testing.T) {
+	p, h, m := newIMP(t, TwoLevel)
+	chase(h, m, 12)
+	l1, l2 := p.Confirmed()
+	if !l1 {
+		t.Fatal("2-level IMP should confirm level 1")
+	}
+	if l2 {
+		t.Error("2-level IMP must not track a second indirection")
+	}
+	// Each 2-level chain touches exactly two lines (Z and Y), never X.
+	if p.Stats.Prefetches == 0 {
+		t.Fatal("no prefetch chains")
+	}
+	if p.Stats.LinesFetched != 2*p.Stats.Prefetches {
+		t.Errorf("2-level chain fetched %d lines over %d chains, want exactly 2 per chain",
+			p.Stats.LinesFetched, p.Stats.Prefetches)
+	}
+}
+
+// TestIMPOutOfBoundsChase is the heart of the paper's attack (Figure 1):
+// when the value "just past" the trained stream is attacker-controlled, the
+// prefetcher dereferences it with no bounds awareness and fills a cache
+// line whose index is a function of protected memory.
+func TestIMPOutOfBoundsChase(t *testing.T) {
+	m := setupChase(16)
+	// Protected secret way outside every array.
+	secretAddr := yBase + 5000*elemW
+	if err := m.AddRegion(mem.Region{Name: "protected", Base: secretAddr, Size: 64, Protected: true}); err != nil {
+		t.Fatal(err)
+	}
+	secret := uint64(0xAB)
+	m.Write(secretAddr, elemW, secret)
+
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	p := New(DefaultConfig(ThreeLevel), h, m)
+	h.AddListener(p)
+
+	// Attacker plants target = 5000 out of bounds of Z at index 8+Δ,
+	// then walks the loop up to i=8.
+	delta := p.Config().Delta
+	m.Write(zBase+uint64((8+delta)*elemW), elemW, 5000)
+
+	chase(h, m, 9)
+
+	if p.Stats.Prefetches == 0 {
+		t.Fatal("no prefetches")
+	}
+	// The prefetcher must have read the secret and touched
+	// X[secret] = xBase + secret<<2.
+	leakLine := xBase + secret*elemW
+	if !h.L2.Contains(leakLine) {
+		t.Errorf("leak line %#x not filled — secret not transmitted", leakLine)
+	}
+	if p.Stats.ProtectedReads == 0 {
+		t.Error("prefetcher never read protected memory (diagnostic counter)")
+	}
+}
+
+func TestIMPReset(t *testing.T) {
+	p, h, m := newIMP(t, ThreeLevel)
+	chase(h, m, 12)
+	p.Reset()
+	if l1, l2 := p.Confirmed(); l1 || l2 {
+		t.Error("Reset left confirmations")
+	}
+}
+
+func TestStridePrefetcher(t *testing.T) {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	s := NewStride(h)
+	h.AddListener(s)
+	for i := 0; i < 6; i++ {
+		a := uint64(0x1000 + i*64)
+		h.Access(a, 0, false)
+	}
+	if s.Prefetches == 0 {
+		t.Fatal("stride prefetcher never fired")
+	}
+	// Next lines ahead must be present.
+	if !h.L1.Contains(0x1000 + 6*64) {
+		t.Error("next line not prefetched")
+	}
+}
+
+func TestStrideIgnoresWritesAndRandom(t *testing.T) {
+	h := cache.MustNewHierarchy(cache.DefaultHierConfig())
+	s := NewStride(h)
+	h.AddListener(s)
+	addrs := []uint64{0x9000, 0x100, 0x77000, 0x340, 0x51000}
+	for _, a := range addrs {
+		h.Access(a, 0, false)
+	}
+	if s.Prefetches != 0 {
+		t.Errorf("stride prefetcher fired on random pattern: %d", s.Prefetches)
+	}
+	for i := 0; i < 8; i++ {
+		h.Access(uint64(0x1000+i*64), 0, true) // writes
+	}
+	if s.Prefetches != 0 {
+		t.Errorf("stride prefetcher trained on stores: %d", s.Prefetches)
+	}
+}

@@ -1,0 +1,56 @@
+package dmp
+
+import "pandora/internal/cache"
+
+// Stride is a conventional per-stream stride prefetcher. It is the
+// security baseline: because it consumes only access *addresses* (never
+// data memory contents), it leaks nothing beyond the address pattern that
+// the baseline architecture already leaks (Table I row "Addr"), and it
+// cannot form a universal read gadget.
+type Stride struct {
+	hier *cache.Hierarchy
+	// Degree is how many lines ahead to prefetch (default 2).
+	Degree int
+	// Threshold is confirmations required before prefetching (default 2).
+	Threshold int
+
+	last    uint64
+	stride  int64
+	hits    int
+	started bool
+
+	Prefetches uint64
+}
+
+var _ cache.AccessListener = (*Stride)(nil)
+
+// NewStride returns a stride prefetcher attached to hier.
+func NewStride(hier *cache.Hierarchy) *Stride {
+	return &Stride{hier: hier, Degree: 2, Threshold: 2}
+}
+
+// OnAccess implements cache.AccessListener.
+func (s *Stride) OnAccess(addr uint64, _ uint64, isWrite bool) {
+	if isWrite {
+		return
+	}
+	if !s.started {
+		s.last = addr
+		s.started = true
+		return
+	}
+	d := int64(addr) - int64(s.last)
+	if d == s.stride && d != 0 {
+		s.hits++
+	} else {
+		s.stride = d
+		s.hits = 1
+	}
+	s.last = addr
+	if s.hits >= s.Threshold && s.stride != 0 {
+		for i := 1; i <= s.Degree; i++ {
+			s.Prefetches++
+			s.hier.Prefetch(addr + uint64(s.stride*int64(i)))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package ebpf implements the miniature eBPF subsystem used by the
+// paper's data memory-dependent prefetcher proof of concept (Section V-B,
+// Figure 7): a small register bytecode with array maps, a verifier that
+// enforces the kernel's memory-safety discipline (map lookups return
+// NULL-or-pointer; pointers must be null-checked before dereference and
+// accesses must stay inside the element), a JIT that lowers programs to
+// the toy ISA — inlining bounds-checked array lookups exactly as the
+// kernel JIT does in Figure 7b — and a reference interpreter for
+// differential testing.
+//
+// Deviations from Linux eBPF, chosen to keep the model small while
+// preserving everything the attack depends on: branch targets are
+// absolute instruction indices; the map-lookup helper takes its key as a
+// value in R2 (not a pointer to stack); there is no stack frame.
+package ebpf
+
+import "fmt"
+
+// Reg is an eBPF register R0..R10 (R10 is reserved; unused here).
+type Reg uint8
+
+// NumRegs is the number of eBPF registers.
+const NumRegs = 11
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op enumerates the supported bytecode operations.
+type Op uint8
+
+// Bytecode operations.
+const (
+	OpInvalid Op = iota
+
+	OpMovImm // dst = imm
+	OpMovReg // dst = src
+
+	OpAddImm
+	OpAddReg
+	OpSubImm
+	OpSubReg
+	OpMulImm
+	OpMulReg
+	OpAndImm
+	OpAndReg
+	OpOrImm
+	OpOrReg
+	OpXorImm
+	OpXorReg
+	OpLshImm
+	OpRshImm
+
+	// OpLoad: dst = *(size bytes)(src + off), zero-extended.
+	OpLoad
+	// OpStore: *(size bytes)(dst + off) = src.
+	OpStore
+
+	// OpJmp jumps unconditionally to the absolute index Imm.
+	OpJmp
+	// Conditional jumps compare dst against src (register) or Imm
+	// (immediate) and jump to the absolute index Off when true.
+	OpJEqImm
+	OpJNeImm
+	OpJLtImm // unsigned
+	OpJGeImm // unsigned
+	OpJEqReg
+	OpJNeReg
+
+	// OpCallLookup is the bpf_map_lookup_elem helper: map index in Imm,
+	// key (an element index) in R2; R0 receives a pointer to the element
+	// or 0 when the key is out of bounds.
+	OpCallLookup
+
+	// OpExit returns R0.
+	OpExit
+)
+
+var opNames = map[Op]string{
+	OpMovImm: "mov", OpMovReg: "mov", OpAddImm: "add", OpAddReg: "add",
+	OpSubImm: "sub", OpSubReg: "sub", OpMulImm: "mul", OpMulReg: "mul",
+	OpAndImm: "and", OpAndReg: "and", OpOrImm: "or", OpOrReg: "or",
+	OpXorImm: "xor", OpXorReg: "xor", OpLshImm: "lsh", OpRshImm: "rsh",
+	OpLoad: "ldx", OpStore: "stx", OpJmp: "ja", OpJEqImm: "jeq",
+	OpJNeImm: "jne", OpJLtImm: "jlt", OpJGeImm: "jge", OpJEqReg: "jeq",
+	OpJNeReg: "jne", OpCallLookup: "call lookup", OpExit: "exit",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Inst is one bytecode instruction.
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	Src  Reg
+	Off  int64 // branch target (absolute index) or memory offset
+	Imm  int64
+	Size int // memory access size (1/2/4/8) for OpLoad/OpStore
+}
+
+// Program is a bytecode sequence.
+type Program []Inst
+
+// Map describes one BPF_ARRAY map: NElems elements of ElemSize bytes,
+// materialized at Base in simulated memory.
+type Map struct {
+	Name     string
+	ElemSize int
+	NElems   int
+	Base     uint64
+}
+
+// ElemShift returns log2(ElemSize); ElemSize must be a power of two no
+// larger than 4096 (arrays of structs up to a page are common BPF usage).
+func (m Map) ElemShift() (uint, error) {
+	if m.ElemSize <= 0 || m.ElemSize > 4096 || m.ElemSize&(m.ElemSize-1) != 0 {
+		return 0, fmt.Errorf("ebpf: map %s element size %d not a supported power of two", m.Name, m.ElemSize)
+	}
+	var s uint
+	for v := m.ElemSize; v > 1; v >>= 1 {
+		s++
+	}
+	return s, nil
+}
+
+// Env is the sandbox environment a program runs against.
+type Env struct {
+	Maps []Map
+}
+
+// MapByName returns the named map and its index.
+func (e *Env) MapByName(name string) (Map, int, bool) {
+	for i, m := range e.Maps {
+		if m.Name == name {
+			return m, i, true
+		}
+	}
+	return Map{}, 0, false
+}
+
+func (in Inst) String() string {
+	switch in.Op {
+	case OpMovImm, OpAddImm, OpSubImm, OpMulImm, OpAndImm, OpOrImm, OpXorImm, OpLshImm, OpRshImm:
+		return fmt.Sprintf("%v %v, %d", in.Op, in.Dst, in.Imm)
+	case OpMovReg, OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg, OpXorReg:
+		return fmt.Sprintf("%v %v, %v", in.Op, in.Dst, in.Src)
+	case OpLoad:
+		return fmt.Sprintf("ldx%d %v, [%v%+d]", in.Size, in.Dst, in.Src, in.Off)
+	case OpStore:
+		return fmt.Sprintf("stx%d [%v%+d], %v", in.Size, in.Dst, in.Off, in.Src)
+	case OpJmp:
+		return fmt.Sprintf("ja %d", in.Imm)
+	case OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm:
+		return fmt.Sprintf("%v %v, %d, -> %d", in.Op, in.Dst, in.Imm, in.Off)
+	case OpJEqReg, OpJNeReg:
+		return fmt.Sprintf("%v %v, %v, -> %d", in.Op, in.Dst, in.Src, in.Off)
+	case OpCallLookup:
+		return fmt.Sprintf("r0 = lookup(map%d, key=r2)", in.Imm)
+	case OpExit:
+		return "exit"
+	}
+	return fmt.Sprintf("%v ...", in.Op)
+}

@@ -1,0 +1,419 @@
+package ebpf
+
+import (
+	"strings"
+	"testing"
+
+	"pandora/internal/emu"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+)
+
+func testEnv() *Env {
+	return &Env{Maps: []Map{
+		{Name: "Z", ElemSize: 4, NElems: 64, Base: 0x1000},
+		{Name: "Y", ElemSize: 4, NElems: 64, Base: 0x2000},
+		{Name: "X", ElemSize: 4, NElems: 64, Base: 0x3000},
+	}}
+}
+
+// --- Verifier ---
+
+func TestVerifierAcceptsFigure7(t *testing.T) {
+	env := testEnv()
+	prog := Figure7Program(0, 1, 2, 16, 4, 4, 4)
+	if err := Verify(prog, env); err != nil {
+		t.Fatalf("Figure 7 program rejected: %v", err)
+	}
+}
+
+func TestVerifierRejectsUncheckedFigure7(t *testing.T) {
+	env := testEnv()
+	prog := Figure7ProgramUnchecked(0, 1, 2, 16, 4, 4, 4)
+	err := Verify(prog, env)
+	if err == nil {
+		t.Fatal("unchecked program accepted — the sandbox would be trivially broken")
+	}
+	if !strings.Contains(err.Error(), "NULL") {
+		t.Errorf("rejection should cite the missing null check: %v", err)
+	}
+}
+
+func TestVerifierRejections(t *testing.T) {
+	env := testEnv()
+	cases := []struct {
+		name string
+		prog Program
+		want string
+	}{
+		{"uninitialized register", Program{
+			{Op: OpAddReg, Dst: 3, Src: 4},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "before initialization"},
+		{"pointer arithmetic", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 1},
+			{Op: OpCallLookup, Imm: 0},
+			{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 5},
+			{Op: OpAddImm, Dst: 0, Imm: 8}, // ptr += 8
+			{Op: OpLoad, Dst: 3, Src: 0, Size: 4},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "pointer"},
+		{"out-of-element access", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 1},
+			{Op: OpCallLookup, Imm: 0},
+			{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 4},
+			{Op: OpLoad, Dst: 3, Src: 0, Off: 4, Size: 4}, // [4,8) of a 4-byte elem
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "outside map"},
+		{"deref on null path", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 1},
+			{Op: OpCallLookup, Imm: 0},
+			{Op: OpJNeImm, Dst: 0, Imm: 0, Off: 4}, // jump away when valid
+			{Op: OpLoad, Dst: 3, Src: 0, Size: 4},  // reached only when NULL
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "NULL on this path"},
+		{"unknown map", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 0},
+			{Op: OpCallLookup, Imm: 9},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "unknown map"},
+		{"fall off end", Program{
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+		}, "out of program"},
+		{"exit with pointer", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 0},
+			{Op: OpCallLookup, Imm: 0},
+			{Op: OpExit},
+		}, "exit with R0"},
+		{"jump out of range", Program{
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpJmp, Imm: 99},
+			{Op: OpExit},
+		}, "out of program"},
+		{"storing a map pointer", Program{
+			{Op: OpMovImm, Dst: 2, Imm: 0},
+			{Op: OpCallLookup, Imm: 0},
+			{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 6},
+			{Op: OpMovReg, Dst: 3, Src: 0},
+			{Op: OpStore, Dst: 0, Src: 3, Size: 4},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		}, "leaks sandbox layout"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Verify(c.prog, env)
+			if err == nil {
+				t.Fatal("program accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVerifierAcceptsStoreThroughCheckedPtr(t *testing.T) {
+	env := testEnv()
+	prog := Program{
+		{Op: OpMovImm, Dst: 2, Imm: 3},
+		{Op: OpCallLookup, Imm: 0},
+		{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 5},
+		{Op: OpMovImm, Dst: 3, Imm: 77},
+		{Op: OpStore, Dst: 0, Src: 3, Size: 4},
+		{Op: OpMovImm, Dst: 0, Imm: 0},
+		{Op: OpExit},
+	}
+	if err := Verify(prog, env); err != nil {
+		t.Fatalf("valid store rejected: %v", err)
+	}
+}
+
+func TestVerifierLoopConverges(t *testing.T) {
+	// A counted loop must verify without exhausting the state budget.
+	env := testEnv()
+	prog := Figure7Program(0, 1, 2, 1<<20, 4, 4, 4) // huge trip count: static state is identical
+	if err := Verify(prog, env); err != nil {
+		t.Fatalf("loop did not converge: %v", err)
+	}
+}
+
+// --- Interpreter & JIT differential ---
+
+// setupMaps writes Z[i]=i+1 (in-bounds chains), Y[j]=j, X[k]=k+100.
+func setupMaps(env *Env, m *mem.Memory) {
+	for _, mp := range env.Maps {
+		for i := 0; i < mp.NElems; i++ {
+			var v uint64
+			switch mp.Name {
+			case "Z":
+				v = uint64(i+1) % uint64(mp.NElems)
+			case "Y":
+				v = uint64(i)
+			case "X":
+				v = uint64(i + 100)
+			}
+			m.Write(mp.Base+uint64(i*mp.ElemSize), mp.ElemSize, v)
+		}
+	}
+}
+
+func TestInterpRunsFigure7(t *testing.T) {
+	env := testEnv()
+	m := mem.New()
+	setupMaps(env, m)
+	ip := &Interp{Env: env, Mem: m}
+	r0, err := ip.Run(Figure7Program(0, 1, 2, 16, 4, 4, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 0 {
+		t.Errorf("r0 = %d, want 0", r0)
+	}
+}
+
+func TestInterpNullLookup(t *testing.T) {
+	env := testEnv()
+	m := mem.New()
+	prog := Program{
+		{Op: OpMovImm, Dst: 2, Imm: 9999}, // out of bounds key
+		{Op: OpCallLookup, Imm: 0},
+		{Op: OpMovReg, Dst: 3, Src: 0},
+		{Op: OpMovImm, Dst: 0, Imm: 0},
+		{Op: OpJEqReg, Dst: 3, Src: 0, Off: 6}, // NULL → exit with 0
+		{Op: OpMovImm, Dst: 0, Imm: 1},
+		{Op: OpExit},
+	}
+	ip := &Interp{Env: env, Mem: m}
+	r0, err := ip.Run(prog, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0 != 0 {
+		t.Errorf("out-of-bounds lookup must yield NULL (r0=%d)", r0)
+	}
+}
+
+// jitPrograms are verified programs used for JIT-vs-interpreter checks.
+func jitPrograms() map[string]Program {
+	return map[string]Program{
+		"figure7": Figure7Program(0, 1, 2, 16, 4, 4, 4),
+		"arith": {
+			{Op: OpMovImm, Dst: 3, Imm: 7},
+			{Op: OpMovImm, Dst: 4, Imm: 9},
+			{Op: OpAddReg, Dst: 3, Src: 4},
+			{Op: OpMulImm, Dst: 3, Imm: 3},
+			{Op: OpXorImm, Dst: 3, Imm: 0xff},
+			{Op: OpLshImm, Dst: 3, Imm: 4},
+			{Op: OpRshImm, Dst: 3, Imm: 2},
+			{Op: OpSubImm, Dst: 3, Imm: 5},
+			{Op: OpMovReg, Dst: 0, Src: 3},
+			{Op: OpExit},
+		},
+		"map-store-load": {
+			{Op: OpMovImm, Dst: 2, Imm: 5},
+			{Op: OpCallLookup, Imm: 1},
+			{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 8},
+			{Op: OpMovImm, Dst: 3, Imm: 1234},
+			{Op: OpStore, Dst: 0, Src: 3, Size: 4},
+			{Op: OpLoad, Dst: 4, Src: 0, Size: 4},
+			{Op: OpMovReg, Dst: 0, Src: 4},
+			{Op: OpExit},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+		},
+		"loop-sum": {
+			{Op: OpMovImm, Dst: 3, Imm: 0},  // sum
+			{Op: OpMovImm, Dst: 4, Imm: 10}, // i
+			{Op: OpAddReg, Dst: 3, Src: 4},  // 2: loop
+			{Op: OpSubImm, Dst: 4, Imm: 1},
+			{Op: OpJNeImm, Dst: 4, Imm: 0, Off: 2},
+			{Op: OpMovReg, Dst: 0, Src: 3},
+			{Op: OpExit},
+		},
+	}
+}
+
+func TestJITMatchesInterpreter(t *testing.T) {
+	for name, prog := range jitPrograms() {
+		t.Run(name, func(t *testing.T) {
+			env := testEnv()
+
+			im := mem.New()
+			setupMaps(env, im)
+			ip := &Interp{Env: env, Mem: im}
+			wantR0, err := ip.Run(prog, 0, 0)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+
+			isaProg, err := Compile(prog, env)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			jm := mem.New()
+			setupMaps(env, jm)
+			machine := emu.New(jm)
+			if err := machine.Run(isaProg, 1_000_000); err != nil {
+				t.Fatalf("emu: %v", err)
+			}
+			if got := machine.Regs[x(0)]; got != wantR0 {
+				t.Errorf("JIT r0 = %d, interp r0 = %d", got, wantR0)
+			}
+			// Map memory must agree byte for byte.
+			for _, mp := range env.Maps {
+				for i := 0; i < mp.NElems*mp.ElemSize; i++ {
+					a := mp.Base + uint64(i)
+					if im.LoadByte(a) != jm.LoadByte(a) {
+						t.Fatalf("map %s byte %d differs: interp %#x jit %#x",
+							mp.Name, i, im.LoadByte(a), jm.LoadByte(a))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompileRejectsUnverifiable(t *testing.T) {
+	env := testEnv()
+	if _, err := Compile(Figure7ProgramUnchecked(0, 1, 2, 8, 4, 4, 4), env); err == nil {
+		t.Fatal("Compile must run the verifier")
+	}
+}
+
+// TestJITLookupShape checks that the emitted lookup matches the paper's
+// Figure 7b: a bounds check (cmp/jae), a shift, a base add — and no
+// additional memory accesses between reading Z[i] and loading Y[Z[i]].
+func TestJITLookupShape(t *testing.T) {
+	env := testEnv()
+	prog := Program{
+		{Op: OpMovImm, Dst: 2, Imm: 3},
+		{Op: OpCallLookup, Imm: 0},
+		{Op: OpJEqImm, Dst: 0, Imm: 0, Off: 6},
+		{Op: OpLoad, Dst: 3, Src: 0, Size: 4},
+		{Op: OpMovImm, Dst: 0, Imm: 0},
+		{Op: OpExit},
+		{Op: OpMovImm, Dst: 0, Imm: 0},
+		{Op: OpExit},
+	}
+	isaProg, err := Compile(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for _, in := range isaProg {
+		if isa.IsLoad(in.Op) || isa.IsStore(in.Op) {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("JIT emitted %d memory ops, want exactly the program's single load (no hidden accesses)", loads)
+	}
+}
+
+func TestMapElemShift(t *testing.T) {
+	for size, want := range map[int]uint{1: 0, 2: 1, 4: 2, 8: 3} {
+		m := Map{ElemSize: size}
+		got, err := m.ElemShift()
+		if err != nil || got != want {
+			t.Errorf("ElemShift(%d) = %d, %v", size, got, err)
+		}
+	}
+	if _, err := (Map{ElemSize: 3}).ElemShift(); err == nil {
+		t.Error("non-power-of-two element size accepted")
+	}
+}
+
+func TestChaseProgramGeneralizesFigure7(t *testing.T) {
+	env := testEnv()
+	levels := []ChaseLevel{{Map: 0, LoadSize: 4}, {Map: 1, LoadSize: 4}, {Map: 2, LoadSize: 4}}
+	chase := ChaseProgram(levels, 16)
+	if err := Verify(chase, env); err != nil {
+		t.Fatalf("3-level chase rejected: %v", err)
+	}
+	// Same architectural behavior as the canonical Figure 7 program.
+	m1, m2 := mem.New(), mem.New()
+	setupMaps(env, m1)
+	setupMaps(env, m2)
+	r1, err := (&Interp{Env: env, Mem: m1}).Run(chase, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Interp{Env: env, Mem: m2}).Run(Figure7Program(0, 1, 2, 16, 4, 4, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("chase r0=%d, figure7 r0=%d", r1, r2)
+	}
+}
+
+func TestChaseProgramTwoAndFourLevels(t *testing.T) {
+	env := testEnv()
+	env.Maps = append(env.Maps, Map{Name: "W", ElemSize: 4, NElems: 64, Base: 0x4000})
+	for _, n := range []int{1, 2, 3, 4} {
+		levels := make([]ChaseLevel, n)
+		for i := range levels {
+			levels[i] = ChaseLevel{Map: int64(i), LoadSize: 4}
+		}
+		prog := ChaseProgram(levels, 8)
+		if err := Verify(prog, env); err != nil {
+			t.Errorf("%d-level chase rejected: %v", n, err)
+		}
+		m := mem.New()
+		setupMaps(env, m)
+		if _, err := (&Interp{Env: env, Mem: m}).Run(prog, 0, 0); err != nil {
+			t.Errorf("%d-level chase: %v", n, err)
+		}
+	}
+}
+
+func TestInstStringsAndHelpers(t *testing.T) {
+	env := testEnv()
+	cases := []Inst{
+		{Op: OpMovImm, Dst: 1, Imm: 5},
+		{Op: OpMovReg, Dst: 1, Src: 2},
+		{Op: OpLoad, Dst: 1, Src: 0, Size: 4, Off: 8},
+		{Op: OpStore, Dst: 0, Src: 1, Size: 4},
+		{Op: OpJmp, Imm: 3},
+		{Op: OpJEqImm, Dst: 1, Imm: 0, Off: 5},
+		{Op: OpJNeReg, Dst: 1, Src: 2, Off: 5},
+		{Op: OpCallLookup, Imm: 1},
+		{Op: OpExit},
+	}
+	for _, in := range cases {
+		if in.String() == "" {
+			t.Errorf("empty String for %+v", in)
+		}
+	}
+	if Reg(3).String() != "r3" {
+		t.Error("reg string")
+	}
+	m, i, ok := env.MapByName("Y")
+	if !ok || i != 1 || m.ElemSize != 4 {
+		t.Errorf("MapByName: %+v %d %v", m, i, ok)
+	}
+	if _, _, ok := env.MapByName("nope"); ok {
+		t.Error("found nonexistent map")
+	}
+}
+
+func TestJITRejectsBadSizes(t *testing.T) {
+	env := testEnv()
+	// Size 3 loads fail at verification already; exercise instLen's guard
+	// through a program the verifier would otherwise accept.
+	if _, err := instLen(Inst{Op: OpLoad, Size: 3}, env); err == nil {
+		t.Error("bad load size accepted by instLen")
+	}
+	if _, err := instLen(Inst{Op: OpCallLookup, Imm: 99}, env); err == nil {
+		t.Error("unknown map accepted by instLen")
+	}
+	if _, err := instLen(Inst{Op: OpInvalid}, env); err == nil {
+		t.Error("invalid op accepted by instLen")
+	}
+}

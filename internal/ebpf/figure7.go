@@ -1,0 +1,121 @@
+package ebpf
+
+// Figure7Program constructs the paper's Figure 7a attacker program as
+// bytecode: for j in [0, n-1): v=Z.lookup(j); if(!v) return 0;
+// v=Y.lookup(*v); if(!v) return 0; v=X.lookup(*v); if(!v) return 0;
+// if(!*v) return 0. The explicit NULL checks after every lookup are
+// "bounds checks in disguise" — they are exactly what makes the verifier
+// accept the program while the hardware prefetcher runs ahead of them.
+//
+// ChaseLevel names one indirection level of a chase program: the map to
+// look up and the width of the value load from its element.
+type ChaseLevel struct {
+	Map      int64
+	LoadSize int
+}
+
+// ChaseProgram generalizes Figure 7a to an arbitrary indirection depth:
+// for j in [0, n-1): v = L0.lookup(j); check; v = L1.lookup(*v); check;
+// ... — the access pattern of an N-level data memory-dependent
+// prefetcher (Yu et al. for 3 levels, Ainsworth & Jones for 4).
+func ChaseProgram(levels []ChaseLevel, n int64) Program {
+	const (
+		rJ   = Reg(6)
+		rTmp = Reg(7)
+	)
+	var p Program
+	emit := func(in Inst) { p = append(p, in) }
+
+	// Layout: [0] j=0, [1] key=j, [2..2+4L) levels (4 each), then j++ and
+	// the back-branch, then the shared exit path.
+	exitPath := int64(2 + 4*len(levels) + 2)
+
+	emit(Inst{Op: OpMovImm, Dst: rJ, Imm: 0})
+	loopStart := int64(len(p))
+	emit(Inst{Op: OpMovReg, Dst: 2, Src: rJ})
+	for i, lv := range levels {
+		emit(Inst{Op: OpCallLookup, Imm: lv.Map})
+		emit(Inst{Op: OpJEqImm, Dst: 0, Imm: 0, Off: exitPath})
+		emit(Inst{Op: OpLoad, Dst: rTmp, Src: 0, Size: lv.LoadSize})
+		if i+1 < len(levels) {
+			emit(Inst{Op: OpMovReg, Dst: 2, Src: rTmp})
+		} else {
+			// The final `if (!*v)` read needs no further key move; pad so
+			// every level is the same length (keeps exitPath static).
+			emit(Inst{Op: OpMovReg, Dst: rTmp, Src: rTmp})
+		}
+	}
+	emit(Inst{Op: OpAddImm, Dst: rJ, Imm: 1})
+	emit(Inst{Op: OpJLtImm, Dst: rJ, Imm: n - 1, Off: loopStart})
+	// exitPath:
+	emit(Inst{Op: OpMovImm, Dst: 0, Imm: 0})
+	emit(Inst{Op: OpExit})
+	return p
+}
+
+// z, y, x are map indices in the environment; n is the Z iteration bound;
+// zSize, ySize and xSize are the widths of the value loads from each map
+// (at most the corresponding element size).
+func Figure7Program(z, y, x int64, n int64, zSize, ySize, xSize int) Program {
+	const (
+		rJ   = Reg(6)
+		rTmp = Reg(7)
+	)
+	var p Program
+	emit := func(in Inst) { p = append(p, in) }
+
+	// Indices of labeled instructions, laid out up front: the program is
+	// a fixed shape so targets are known constants.
+	const (
+		loopStart = 1
+		exitPath  = 15
+	)
+
+	emit(Inst{Op: OpMovImm, Dst: rJ, Imm: 0}) // 0: j = 0
+	// loop (1):
+	emit(Inst{Op: OpMovReg, Dst: 2, Src: rJ})                     // 1: key = j
+	emit(Inst{Op: OpCallLookup, Imm: z})                          // 2: r0 = Z.lookup(j)
+	emit(Inst{Op: OpJEqImm, Dst: 0, Imm: 0, Off: exitPath})       // 3: if (!v) return
+	emit(Inst{Op: OpLoad, Dst: rTmp, Src: 0, Size: zSize})        // 4: t = *v  (Z[j])
+	emit(Inst{Op: OpMovReg, Dst: 2, Src: rTmp})                   // 5: key = Z[j]
+	emit(Inst{Op: OpCallLookup, Imm: y})                          // 6: r0 = Y.lookup(Z[j])
+	emit(Inst{Op: OpJEqImm, Dst: 0, Imm: 0, Off: exitPath})       // 7
+	emit(Inst{Op: OpLoad, Dst: rTmp, Src: 0, Size: ySize})        // 8: t = Y[Z[j]]
+	emit(Inst{Op: OpMovReg, Dst: 2, Src: rTmp})                   // 9
+	emit(Inst{Op: OpCallLookup, Imm: x})                          // 10: r0 = X.lookup(Y[Z[j]])
+	emit(Inst{Op: OpJEqImm, Dst: 0, Imm: 0, Off: exitPath})       // 11
+	emit(Inst{Op: OpLoad, Dst: rTmp, Src: 0, Size: xSize})        // 12: if (!*v) — the read
+	emit(Inst{Op: OpAddImm, Dst: rJ, Imm: 1})                     // 13: j++
+	emit(Inst{Op: OpJLtImm, Dst: rJ, Imm: n - 1, Off: loopStart}) // 14: j < N-1
+	emit(Inst{Op: OpMovImm, Dst: 0, Imm: 0})                      // 15 (exitPath): return 0
+	emit(Inst{Op: OpExit})                                        // 16
+	return p
+}
+
+// Figure7ProgramUnchecked is the same access pattern without the NULL
+// checks — the program a naive attacker would write. The verifier must
+// reject it; the test for that rejection is the reproduction of the
+// paper's observation that "eBPF complains unless one adds explicit NULL
+// dereference checks".
+func Figure7ProgramUnchecked(z, y, x int64, n int64, zSize, ySize, xSize int) Program {
+	const (
+		rJ   = Reg(6)
+		rTmp = Reg(7)
+	)
+	return Program{
+		{Op: OpMovImm, Dst: rJ, Imm: 0},
+		{Op: OpMovReg, Dst: 2, Src: rJ},
+		{Op: OpCallLookup, Imm: z},
+		{Op: OpLoad, Dst: rTmp, Src: 0, Size: zSize}, // deref without check
+		{Op: OpMovReg, Dst: 2, Src: rTmp},
+		{Op: OpCallLookup, Imm: y},
+		{Op: OpLoad, Dst: rTmp, Src: 0, Size: ySize},
+		{Op: OpMovReg, Dst: 2, Src: rTmp},
+		{Op: OpCallLookup, Imm: x},
+		{Op: OpLoad, Dst: rTmp, Src: 0, Size: xSize},
+		{Op: OpAddImm, Dst: rJ, Imm: 1},
+		{Op: OpJLtImm, Dst: rJ, Imm: n - 1, Off: 1},
+		{Op: OpMovImm, Dst: 0, Imm: 0},
+		{Op: OpExit},
+	}
+}

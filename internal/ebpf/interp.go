@@ -1,0 +1,123 @@
+package ebpf
+
+import (
+	"fmt"
+
+	"pandora/internal/mem"
+)
+
+// Interp is the reference interpreter, used to differential-test the JIT.
+// It enforces at runtime what the verifier proves statically, so it also
+// serves as a dynamic sandbox oracle in tests.
+type Interp struct {
+	Env *Env
+	Mem *mem.Memory
+	// MaxSteps bounds execution; zero means 1e6.
+	MaxSteps int
+}
+
+// Run executes prog with arguments r1, r2 and returns R0 at exit.
+func (ip *Interp) Run(prog Program, r1, r2 uint64) (uint64, error) {
+	max := ip.MaxSteps
+	if max == 0 {
+		max = 1_000_000
+	}
+	var regs [NumRegs]uint64
+	regs[1], regs[2] = r1, r2
+	pc := 0
+	for step := 0; step < max; step++ {
+		if pc < 0 || pc >= len(prog) {
+			return 0, fmt.Errorf("ebpf: interp: pc %d out of program", pc)
+		}
+		in := prog[pc]
+		next := pc + 1
+		switch in.Op {
+		case OpMovImm:
+			regs[in.Dst] = uint64(in.Imm)
+		case OpMovReg:
+			regs[in.Dst] = regs[in.Src]
+		case OpAddImm:
+			regs[in.Dst] += uint64(in.Imm)
+		case OpAddReg:
+			regs[in.Dst] += regs[in.Src]
+		case OpSubImm:
+			regs[in.Dst] -= uint64(in.Imm)
+		case OpSubReg:
+			regs[in.Dst] -= regs[in.Src]
+		case OpMulImm:
+			regs[in.Dst] *= uint64(in.Imm)
+		case OpMulReg:
+			regs[in.Dst] *= regs[in.Src]
+		case OpAndImm:
+			regs[in.Dst] &= uint64(in.Imm)
+		case OpAndReg:
+			regs[in.Dst] &= regs[in.Src]
+		case OpOrImm:
+			regs[in.Dst] |= uint64(in.Imm)
+		case OpOrReg:
+			regs[in.Dst] |= regs[in.Src]
+		case OpXorImm:
+			regs[in.Dst] ^= uint64(in.Imm)
+		case OpXorReg:
+			regs[in.Dst] ^= regs[in.Src]
+		case OpLshImm:
+			regs[in.Dst] <<= uint(in.Imm) & 63
+		case OpRshImm:
+			regs[in.Dst] >>= uint(in.Imm) & 63
+		case OpLoad:
+			if regs[in.Src] == 0 {
+				return 0, fmt.Errorf("ebpf: interp: pc %d: NULL dereference", pc)
+			}
+			regs[in.Dst] = ip.Mem.Read(regs[in.Src]+uint64(in.Off), in.Size)
+		case OpStore:
+			if regs[in.Dst] == 0 {
+				return 0, fmt.Errorf("ebpf: interp: pc %d: NULL dereference", pc)
+			}
+			ip.Mem.Write(regs[in.Dst]+uint64(in.Off), in.Size, regs[in.Src])
+		case OpJmp:
+			next = int(in.Imm)
+		case OpJEqImm:
+			if regs[in.Dst] == uint64(in.Imm) {
+				next = int(in.Off)
+			}
+		case OpJNeImm:
+			if regs[in.Dst] != uint64(in.Imm) {
+				next = int(in.Off)
+			}
+		case OpJLtImm:
+			if regs[in.Dst] < uint64(in.Imm) {
+				next = int(in.Off)
+			}
+		case OpJGeImm:
+			if regs[in.Dst] >= uint64(in.Imm) {
+				next = int(in.Off)
+			}
+		case OpJEqReg:
+			if regs[in.Dst] == regs[in.Src] {
+				next = int(in.Off)
+			}
+		case OpJNeReg:
+			if regs[in.Dst] != regs[in.Src] {
+				next = int(in.Off)
+			}
+		case OpCallLookup:
+			m := ip.Env.Maps[in.Imm]
+			key := regs[2]
+			if key >= uint64(m.NElems) {
+				regs[0] = 0
+			} else {
+				shift, err := m.ElemShift()
+				if err != nil {
+					return 0, err
+				}
+				regs[0] = m.Base + key<<shift
+			}
+		case OpExit:
+			return regs[0], nil
+		default:
+			return 0, fmt.Errorf("ebpf: interp: pc %d: bad op %v", pc, in.Op)
+		}
+		pc = next
+	}
+	return 0, fmt.Errorf("ebpf: interp: step budget exhausted")
+}

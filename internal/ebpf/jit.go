@@ -1,0 +1,168 @@
+package ebpf
+
+import (
+	"fmt"
+
+	"pandora/internal/isa"
+)
+
+// JIT lowers verified bytecode to the toy ISA. eBPF registers R0..R10 map
+// to x5..x15; x20/x21 are JIT temporaries. Map lookups are inlined as a
+// bounds check plus scaled base addition — the same shape as the kernel
+// JIT output shown in the paper's Figure 7b (cmp/jae/shl/add) — so the
+// dependent loads `Z[i]` → `Y[Z[i]]` reach the memory system back to
+// back, which is what trains the indirect-memory prefetcher.
+//
+// The contract mirrors the kernel's: only programs accepted by Verify may
+// be JITed (Compile re-runs the verifier to enforce it).
+
+// regBase is the ISA register backing eBPF R0.
+const regBase = 5
+
+func x(r Reg) isa.Reg { return isa.Reg(regBase + uint8(r)) }
+
+// JIT temporaries.
+const (
+	tmp0 = isa.Reg(20)
+	tmp1 = isa.Reg(21)
+)
+
+// Compile verifies prog against env and lowers it to an ISA program that
+// ends with HALT; the eBPF return value (R0) lands in register x5.
+func Compile(prog Program, env *Env) (isa.Program, error) {
+	if err := Verify(prog, env); err != nil {
+		return nil, err
+	}
+
+	// First pass: the ISA length of each bytecode instruction, to resolve
+	// absolute branch targets.
+	lens := make([]int, len(prog))
+	for i, in := range prog {
+		n, err := instLen(in, env)
+		if err != nil {
+			return nil, fmt.Errorf("ebpf: jit: insn %d: %w", i, err)
+		}
+		lens[i] = n
+	}
+	starts := make([]int64, len(prog)+1)
+	for i, n := range lens {
+		starts[i+1] = starts[i] + int64(n)
+	}
+
+	var out isa.Program
+	emit := func(in isa.Inst) { out = append(out, in) }
+	for i, in := range prog {
+		target := func(bpfIdx int64) int64 {
+			if bpfIdx < 0 || bpfIdx > int64(len(prog)) {
+				return -1 // unreachable: the verifier bounds targets
+			}
+			return starts[bpfIdx]
+		}
+		switch in.Op {
+		case OpMovImm:
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(in.Dst), Rs1: isa.X0, Imm: in.Imm})
+		case OpMovReg:
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(in.Dst), Rs1: x(in.Src), Imm: 0})
+		case OpAddImm:
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+		case OpAddReg:
+			emit(isa.Inst{Op: isa.ADD, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpSubImm:
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: -in.Imm})
+		case OpSubReg:
+			emit(isa.Inst{Op: isa.SUB, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpMulImm:
+			emit(isa.Inst{Op: isa.ADDI, Rd: tmp0, Rs1: isa.X0, Imm: in.Imm})
+			emit(isa.Inst{Op: isa.MUL, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: tmp0})
+		case OpMulReg:
+			emit(isa.Inst{Op: isa.MUL, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpAndImm:
+			emit(isa.Inst{Op: isa.ANDI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+		case OpAndReg:
+			emit(isa.Inst{Op: isa.AND, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpOrImm:
+			emit(isa.Inst{Op: isa.ORI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+		case OpOrReg:
+			emit(isa.Inst{Op: isa.OR, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpXorImm:
+			emit(isa.Inst{Op: isa.XORI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+		case OpXorReg:
+			emit(isa.Inst{Op: isa.XOR, Rd: x(in.Dst), Rs1: x(in.Dst), Rs2: x(in.Src)})
+		case OpLshImm:
+			emit(isa.Inst{Op: isa.SLLI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+		case OpRshImm:
+			emit(isa.Inst{Op: isa.SRLI, Rd: x(in.Dst), Rs1: x(in.Dst), Imm: in.Imm})
+
+		case OpLoad:
+			op := map[int]isa.Op{1: isa.LBU, 2: isa.LHU, 4: isa.LWU, 8: isa.LD}[in.Size]
+			emit(isa.Inst{Op: op, Rd: x(in.Dst), Rs1: x(in.Src), Imm: in.Off})
+		case OpStore:
+			op := map[int]isa.Op{1: isa.SB, 2: isa.SH, 4: isa.SW, 8: isa.SD}[in.Size]
+			emit(isa.Inst{Op: op, Rs1: x(in.Dst), Rs2: x(in.Src), Imm: in.Off})
+
+		case OpJmp:
+			emit(isa.Inst{Op: isa.JAL, Rd: isa.X0, Imm: target(in.Imm)})
+		case OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm:
+			emit(isa.Inst{Op: isa.ADDI, Rd: tmp0, Rs1: isa.X0, Imm: in.Imm})
+			bop := map[Op]isa.Op{
+				OpJEqImm: isa.BEQ, OpJNeImm: isa.BNE, OpJLtImm: isa.BLTU, OpJGeImm: isa.BGEU,
+			}[in.Op]
+			emit(isa.Inst{Op: bop, Rs1: x(in.Dst), Rs2: tmp0, Imm: target(in.Off)})
+		case OpJEqReg:
+			emit(isa.Inst{Op: isa.BEQ, Rs1: x(in.Dst), Rs2: x(in.Src), Imm: target(in.Off)})
+		case OpJNeReg:
+			emit(isa.Inst{Op: isa.BNE, Rs1: x(in.Dst), Rs2: x(in.Src), Imm: target(in.Off)})
+
+		case OpCallLookup:
+			m := env.Maps[in.Imm]
+			shift, err := m.ElemShift()
+			if err != nil {
+				return nil, err
+			}
+			// r0 = (r2 < nelems) ? base + (r2 << shift) : 0
+			// Shape of Figure 7b: cmp $nelems; jae null; shl; add base.
+			base := starts[i]
+			emit(isa.Inst{Op: isa.ADDI, Rd: tmp0, Rs1: isa.X0, Imm: int64(m.NElems)})
+			emit(isa.Inst{Op: isa.BGEU, Rs1: x(2), Rs2: tmp0, Imm: base + 5}) // → null
+			emit(isa.Inst{Op: isa.SLLI, Rd: x(0), Rs1: x(2), Imm: int64(shift)})
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(0), Rs1: x(0), Imm: int64(m.Base)})
+			emit(isa.Inst{Op: isa.JAL, Rd: isa.X0, Imm: base + 6}) // → done
+			emit(isa.Inst{Op: isa.ADDI, Rd: x(0), Rs1: isa.X0, Imm: 0})
+			// done:
+
+		case OpExit:
+			emit(isa.Inst{Op: isa.HALT})
+
+		default:
+			return nil, fmt.Errorf("ebpf: jit: insn %d: unsupported op %v", i, in.Op)
+		}
+		if got := int64(len(out)) - starts[i]; got != int64(lens[i]) {
+			return nil, fmt.Errorf("ebpf: jit: insn %d: emitted %d, planned %d", i, got, lens[i])
+		}
+	}
+	return out, nil
+}
+
+// instLen returns the number of ISA instructions instruction in lowers to.
+func instLen(in Inst, env *Env) (int, error) {
+	switch in.Op {
+	case OpMovImm, OpMovReg, OpAddImm, OpAddReg, OpSubImm, OpSubReg,
+		OpMulReg, OpAndImm, OpAndReg, OpOrImm, OpOrReg, OpXorImm, OpXorReg,
+		OpLshImm, OpRshImm, OpJmp, OpJEqReg, OpJNeReg, OpExit:
+		return 1, nil
+	case OpMulImm, OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm:
+		return 2, nil
+	case OpLoad, OpStore:
+		switch in.Size {
+		case 1, 2, 4, 8:
+			return 1, nil
+		}
+		return 0, fmt.Errorf("bad access size %d", in.Size)
+	case OpCallLookup:
+		if in.Imm < 0 || int(in.Imm) >= len(env.Maps) {
+			return 0, fmt.Errorf("unknown map %d", in.Imm)
+		}
+		return 6, nil
+	}
+	return 0, fmt.Errorf("unsupported op %v", in.Op)
+}

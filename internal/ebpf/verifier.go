@@ -1,0 +1,284 @@
+package ebpf
+
+import "fmt"
+
+// The verifier performs the kernel's static memory-safety analysis by
+// abstract interpretation over register types, exploring both sides of
+// every data-dependent branch. The discipline it enforces is the one the
+// paper's Figure 7 relies on:
+//
+//   - a map lookup yields a pointer-or-NULL; dereferencing it before a
+//     null check is rejected ("eBPF complains unless one adds explicit
+//     NULL dereference checks ... bounds checks in disguise");
+//   - memory accesses through a checked pointer must stay inside the map
+//     element;
+//   - pointer arithmetic is rejected;
+//   - every path must reach exit with R0 holding a scalar.
+//
+// Path exploration is bounded by a state budget with (pc, state) pruning,
+// so counted loops whose register types stabilize verify in a few
+// iterations — and runaway programs are rejected, as in the kernel.
+
+// VerifyError reports a rejected program.
+type VerifyError struct {
+	PC  int
+	Msg string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ebpf: verifier: insn %d: %s", e.PC, e.Msg)
+}
+
+type regKind uint8
+
+const (
+	kindUninit regKind = iota
+	kindScalar
+	kindMapPtrOrNull
+	kindMapPtr
+	kindNull // a checked-NULL lookup result
+)
+
+func (k regKind) String() string {
+	switch k {
+	case kindScalar:
+		return "scalar"
+	case kindMapPtrOrNull:
+		return "map_ptr_or_null"
+	case kindMapPtr:
+		return "map_ptr"
+	case kindNull:
+		return "null"
+	}
+	return "uninit"
+}
+
+type regState struct {
+	kind regKind
+	m    int // map index for pointer kinds
+}
+
+type vstate struct {
+	pc   int
+	regs [NumRegs]regState
+}
+
+func (s vstate) key() string {
+	b := make([]byte, 0, 2+2*NumRegs)
+	b = append(b, byte(s.pc), byte(s.pc>>8))
+	for _, r := range s.regs {
+		b = append(b, byte(r.kind), byte(r.m))
+	}
+	return string(b)
+}
+
+// maxVerifierStates bounds path exploration (the kernel's analogous
+// instruction-processing budget).
+const maxVerifierStates = 100_000
+
+// Verify checks prog against env. A nil return means the sandbox accepts
+// the program.
+func Verify(prog Program, env *Env) error {
+	if len(prog) == 0 {
+		return &VerifyError{0, "empty program"}
+	}
+	var init vstate
+	// R1 and R2 hold scalar arguments from the sandbox ABI.
+	init.regs[1] = regState{kind: kindScalar}
+	init.regs[2] = regState{kind: kindScalar}
+
+	work := []vstate{init}
+	seen := map[string]bool{}
+	states := 0
+
+	push := func(s vstate) error {
+		if s.pc < 0 || s.pc >= len(prog) {
+			return &VerifyError{s.pc, "jump target out of program"}
+		}
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			work = append(work, s)
+		}
+		return nil
+	}
+
+	for len(work) > 0 {
+		states++
+		if states > maxVerifierStates {
+			return &VerifyError{0, "state budget exhausted (program too complex)"}
+		}
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		if s.pc >= len(prog) {
+			return &VerifyError{s.pc, "fell off the end of the program"}
+		}
+		in := prog[s.pc]
+		next := s
+		next.pc = s.pc + 1
+
+		fail := func(format string, args ...any) error {
+			return &VerifyError{s.pc, fmt.Sprintf(format, args...)}
+		}
+		requireScalar := func(r Reg) error {
+			switch s.regs[r].kind {
+			case kindScalar, kindNull:
+				return nil
+			case kindUninit:
+				return fail("%v used before initialization", r)
+			default:
+				return fail("%v is a %v; pointer arithmetic/use as scalar is not allowed", r, s.regs[r].kind)
+			}
+		}
+
+		switch in.Op {
+		case OpMovImm:
+			next.regs[in.Dst] = regState{kind: kindScalar}
+		case OpMovReg:
+			if s.regs[in.Src].kind == kindUninit {
+				return fail("%v used before initialization", in.Src)
+			}
+			next.regs[in.Dst] = s.regs[in.Src]
+		case OpAddImm, OpSubImm, OpMulImm, OpAndImm, OpOrImm, OpXorImm, OpLshImm, OpRshImm:
+			if err := requireScalar(in.Dst); err != nil {
+				return err
+			}
+			next.regs[in.Dst] = regState{kind: kindScalar}
+		case OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg, OpXorReg:
+			if err := requireScalar(in.Dst); err != nil {
+				return err
+			}
+			if err := requireScalar(in.Src); err != nil {
+				return err
+			}
+			next.regs[in.Dst] = regState{kind: kindScalar}
+
+		case OpLoad:
+			if err := checkMemAccess(&s, in.Src, in, env); err != nil {
+				return err
+			}
+			next.regs[in.Dst] = regState{kind: kindScalar}
+		case OpStore:
+			if err := checkMemAccess(&s, in.Dst, in, env); err != nil {
+				return err
+			}
+			if s.regs[in.Src].kind == kindUninit {
+				return fail("store of uninitialized %v", in.Src)
+			}
+			if s.regs[in.Src].kind == kindMapPtr || s.regs[in.Src].kind == kindMapPtrOrNull {
+				return fail("storing a pointer to a map leaks sandbox layout")
+			}
+
+		case OpJmp:
+			next.pc = int(in.Imm)
+			if err := push(next); err != nil {
+				return err
+			}
+			continue
+
+		case OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm:
+			dk := s.regs[in.Dst].kind
+			// Null-check refinement: comparing a ptr-or-null against 0.
+			if dk == kindMapPtrOrNull && (in.Op == OpJEqImm || in.Op == OpJNeImm) && in.Imm == 0 {
+				taken, fall := next, next
+				taken.pc = int(in.Off)
+				if in.Op == OpJEqImm {
+					// taken: ptr == 0 → null; fallthrough: valid pointer.
+					taken.regs[in.Dst] = regState{kind: kindNull}
+					fall.regs[in.Dst] = regState{kind: kindMapPtr, m: s.regs[in.Dst].m}
+				} else {
+					taken.regs[in.Dst] = regState{kind: kindMapPtr, m: s.regs[in.Dst].m}
+					fall.regs[in.Dst] = regState{kind: kindNull}
+				}
+				if err := push(taken); err != nil {
+					return err
+				}
+				if err := push(fall); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := requireScalar(in.Dst); err != nil {
+				return err
+			}
+			taken := next
+			taken.pc = int(in.Off)
+			if err := push(taken); err != nil {
+				return err
+			}
+			if err := push(next); err != nil {
+				return err
+			}
+			continue
+
+		case OpJEqReg, OpJNeReg:
+			if err := requireScalar(in.Dst); err != nil {
+				return err
+			}
+			if err := requireScalar(in.Src); err != nil {
+				return err
+			}
+			taken := next
+			taken.pc = int(in.Off)
+			if err := push(taken); err != nil {
+				return err
+			}
+			if err := push(next); err != nil {
+				return err
+			}
+			continue
+
+		case OpCallLookup:
+			mi := int(in.Imm)
+			if mi < 0 || mi >= len(env.Maps) {
+				return fail("lookup of unknown map %d", mi)
+			}
+			if err := requireScalar(2); err != nil {
+				return err
+			}
+			next.regs[0] = regState{kind: kindMapPtrOrNull, m: mi}
+			// Caller-saved registers are clobbered by helper calls in the
+			// kernel ABI; keep R1-R5 scalars conservative (they already
+			// are scalars or the program re-initializes them).
+
+		case OpExit:
+			if s.regs[0].kind != kindScalar && s.regs[0].kind != kindNull {
+				return fail("exit with R0 of type %v", s.regs[0].kind)
+			}
+			continue // path done
+
+		default:
+			return fail("unknown opcode %v", in.Op)
+		}
+
+		if err := push(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkMemAccess(s *vstate, ptr Reg, in Inst, env *Env) error {
+	r := s.regs[ptr]
+	switch r.kind {
+	case kindMapPtrOrNull:
+		return &VerifyError{s.pc, fmt.Sprintf("%v may be NULL; add a null check before dereferencing (the bounds check in disguise)", ptr)}
+	case kindMapPtr:
+	case kindNull:
+		return &VerifyError{s.pc, fmt.Sprintf("%v is NULL on this path", ptr)}
+	default:
+		return &VerifyError{s.pc, fmt.Sprintf("memory access through non-pointer %v (%v)", ptr, r.kind)}
+	}
+	switch in.Size {
+	case 1, 2, 4, 8:
+	default:
+		return &VerifyError{s.pc, fmt.Sprintf("bad access size %d", in.Size)}
+	}
+	m := env.Maps[r.m]
+	if in.Off < 0 || in.Off+int64(in.Size) > int64(m.ElemSize) {
+		return &VerifyError{s.pc, fmt.Sprintf("access [%d,%d) outside map %q element of %d bytes",
+			in.Off, in.Off+int64(in.Size), m.Name, m.ElemSize)}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package emu is the functional (golden-model) interpreter for the toy
+// ISA. It executes one instruction at a time with no timing model and is
+// used (a) to cross-check the out-of-order pipeline's architectural
+// results in differential tests and (b) to run value-producing code whose
+// timing is irrelevant.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+)
+
+// ErrNoHalt is returned when execution exceeds the step budget without
+// reaching HALT.
+var ErrNoHalt = errors.New("emu: step budget exhausted before halt")
+
+// Machine is a functional CPU: 32 registers, a program counter, and a
+// reference to data memory.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	PC   int64
+	Mem  *mem.Memory
+
+	// Retired counts executed instructions; RDCYCLE reads it (the
+	// functional model has no cycles).
+	Retired uint64
+
+	// Trace, when non-nil, receives every executed instruction.
+	Trace func(pc int64, in isa.Inst)
+}
+
+// New returns a machine bound to m (a fresh memory if m is nil).
+func New(m *mem.Memory) *Machine {
+	if m == nil {
+		m = mem.New()
+	}
+	return &Machine{Mem: m}
+}
+
+// Reset clears registers, PC and the retired counter; memory is preserved.
+func (mc *Machine) Reset() {
+	mc.Regs = [isa.NumRegs]uint64{}
+	mc.PC = 0
+	mc.Retired = 0
+}
+
+// Step executes the instruction at PC. It returns (true, nil) when the
+// instruction was HALT.
+func (mc *Machine) Step(prog isa.Program) (halted bool, err error) {
+	if mc.PC < 0 || mc.PC >= int64(len(prog)) {
+		return false, fmt.Errorf("emu: pc %d out of program [0,%d)", mc.PC, len(prog))
+	}
+	in := prog[mc.PC]
+	if mc.Trace != nil {
+		mc.Trace(mc.PC, in)
+	}
+	next := mc.PC + 1
+
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		a := mc.Regs[in.Rs1]
+		var b uint64
+		if isa.HasImm(in.Op) {
+			b = uint64(in.Imm)
+		} else {
+			b = mc.Regs[in.Rs2]
+		}
+		mc.write(in.Rd, isa.EvalALU(in.Op, a, b))
+
+	case isa.ClassLoad:
+		addr := mc.Regs[in.Rs1] + uint64(in.Imm)
+		w := isa.MemWidth(in.Op)
+		v := mc.Mem.Read(addr, w)
+		switch in.Op {
+		case isa.LB, isa.LH, isa.LW:
+			v = mem.SignExtend(v, w)
+		}
+		mc.write(in.Rd, v)
+
+	case isa.ClassStore:
+		addr := mc.Regs[in.Rs1] + uint64(in.Imm)
+		mc.Mem.Write(addr, isa.MemWidth(in.Op), mc.Regs[in.Rs2])
+
+	case isa.ClassBranch:
+		if isa.Taken(in.Op, mc.Regs[in.Rs1], mc.Regs[in.Rs2]) {
+			next = in.Imm
+		}
+
+	case isa.ClassJump:
+		link := uint64(mc.PC + 1)
+		if in.Op == isa.JAL {
+			next = in.Imm
+		} else {
+			next = int64(mc.Regs[in.Rs1] + uint64(in.Imm))
+		}
+		mc.write(in.Rd, link)
+
+	case isa.ClassCSR:
+		mc.write(in.Rd, mc.Retired)
+
+	case isa.ClassFence:
+		// No-op functionally.
+
+	case isa.ClassHalt:
+		mc.Retired++
+		return true, nil
+
+	default:
+		return false, fmt.Errorf("emu: cannot execute %v", in)
+	}
+
+	mc.Retired++
+	mc.PC = next
+	return false, nil
+}
+
+func (mc *Machine) write(r isa.Reg, v uint64) {
+	if r != isa.X0 {
+		mc.Regs[r] = v
+	}
+}
+
+// Run executes prog from the current PC until HALT or until maxSteps
+// instructions have retired, returning ErrNoHalt in the latter case.
+func (mc *Machine) Run(prog isa.Program, maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		halted, err := mc.Step(prog)
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
+		}
+	}
+	return ErrNoHalt
+}

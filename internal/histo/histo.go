@@ -1,0 +1,151 @@
+// Package histo provides the small statistics toolkit the experiments
+// use: cycle histograms (rendered like the paper's Figure 6), and
+// distribution summaries for benchmark tables.
+package histo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram buckets integer samples (cycle counts) into fixed-width bins.
+type Histogram struct {
+	BinWidth int64
+	bins     map[int64]int // bin start → count
+	samples  []int64
+}
+
+// New returns a histogram with the given bin width (minimum 1).
+func New(binWidth int64) *Histogram {
+	if binWidth < 1 {
+		binWidth = 1
+	}
+	return &Histogram{BinWidth: binWidth, bins: make(map[int64]int)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	bin := v / h.BinWidth * h.BinWidth
+	if v < 0 && v%h.BinWidth != 0 {
+		bin -= h.BinWidth
+	}
+	h.bins[bin]++
+	h.samples = append(h.samples, v)
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Bins returns (start, count) pairs in ascending order.
+func (h *Histogram) Bins() (starts []int64, counts []int) {
+	for b := range h.bins {
+		starts = append(starts, b)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	counts = make([]int, len(starts))
+	for i, b := range starts {
+		counts[i] = h.bins[b]
+	}
+	return starts, counts
+}
+
+// Summary holds distribution statistics.
+type Summary struct {
+	N                int
+	Min, Max, Median int64
+	Mean, Stddev     float64
+}
+
+// Summarize computes distribution statistics.
+func (h *Histogram) Summarize() Summary {
+	return Summarize(h.samples)
+}
+
+// Summarize computes statistics over raw samples.
+func Summarize(samples []int64) Summary {
+	var s Summary
+	s.N = len(samples)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.Median = sorted[s.N/2]
+	var sum float64
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	s.Mean = sum / float64(s.N)
+	var sq float64
+	for _, v := range sorted {
+		d := float64(v) - s.Mean
+		sq += d * d
+	}
+	s.Stddev = math.Sqrt(sq / float64(s.N))
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d median=%d max=%d mean=%.1f stddev=%.1f",
+		s.N, s.Min, s.Median, s.Max, s.Mean, s.Stddev)
+}
+
+// Render draws labeled side-by-side histograms as ASCII, in the spirit of
+// the paper's Figure 6 (frequency of runtimes per guess type). Counts are
+// normalized to percentages per series.
+func Render(series map[string]*Histogram, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Union of bins across series.
+	binset := map[int64]bool{}
+	binWidth := int64(1)
+	maxPct := 0.0
+	for _, n := range names {
+		h := series[n]
+		binWidth = h.BinWidth
+		starts, counts := h.Bins()
+		for i, b := range starts {
+			binset[b] = true
+			if h.N() > 0 {
+				pct := 100 * float64(counts[i]) / float64(h.N())
+				if pct > maxPct {
+					maxPct = pct
+				}
+			}
+		}
+	}
+	bins := make([]int64, 0, len(binset))
+	for b := range binset {
+		bins = append(bins, b)
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
+	if maxPct == 0 {
+		maxPct = 1
+	}
+
+	var out strings.Builder
+	for _, n := range names {
+		h := series[n]
+		fmt.Fprintf(&out, "%s (%s)\n", n, h.Summarize())
+		for _, b := range bins {
+			c := h.bins[b]
+			if c == 0 {
+				continue
+			}
+			pct := 100 * float64(c) / float64(h.N())
+			bar := strings.Repeat("#", int(pct/maxPct*float64(width))+1)
+			fmt.Fprintf(&out, "  [%6d, %6d) %6.1f%% %s\n", b, b+binWidth, pct, bar)
+		}
+	}
+	return out.String()
+}

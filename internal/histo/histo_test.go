@@ -1,0 +1,82 @@
+package histo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBinning(t *testing.T) {
+	h := New(10)
+	for _, v := range []int64{0, 5, 9, 10, 19, 25} {
+		h.Add(v)
+	}
+	starts, counts := h.Bins()
+	want := map[int64]int{0: 3, 10: 2, 20: 1}
+	if len(starts) != 3 {
+		t.Fatalf("bins = %v %v", starts, counts)
+	}
+	for i, s := range starts {
+		if counts[i] != want[s] {
+			t.Errorf("bin %d count = %d, want %d", s, counts[i], want[s])
+		}
+	}
+}
+
+func TestNegativeBinning(t *testing.T) {
+	h := New(10)
+	h.Add(-1)
+	h.Add(-10)
+	h.Add(-11)
+	starts, counts := h.Bins()
+	if len(starts) != 2 || starts[0] != -20 || counts[0] != 1 || starts[1] != -10 || counts[1] != 2 {
+		t.Errorf("negative bins: %v %v", starts, counts)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Stddev <= 0 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary")
+	}
+}
+
+func TestMinBinWidth(t *testing.T) {
+	h := New(0)
+	if h.BinWidth != 1 {
+		t.Errorf("BinWidth = %d", h.BinWidth)
+	}
+}
+
+func TestRender(t *testing.T) {
+	correct, incorrect := New(50), New(50)
+	for i := 0; i < 20; i++ {
+		correct.Add(14000 + int64(i))
+		incorrect.Add(14200 + int64(i))
+	}
+	out := Render(map[string]*Histogram{"Correct": correct, "Incorrect": incorrect}, 30)
+	for _, frag := range []string{"Correct", "Incorrect", "#", "14000", "14200"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Alphabetical series order: Correct before Incorrect.
+	if strings.Index(out, "Correct") > strings.Index(out, "Incorrect") {
+		t.Error("series not sorted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(map[string]*Histogram{"empty": New(10)}, 0)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("render: %q", out)
+	}
+}

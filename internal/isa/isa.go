@@ -1,0 +1,421 @@
+// Package isa defines the toy 64-bit RISC instruction set executed by the
+// functional emulator (package emu) and the cycle-level out-of-order core
+// (package pipeline). The ISA is deliberately small — integer ALU ops,
+// multiply/divide, loads and stores of 1/2/4/8 bytes, conditional branches,
+// jumps, a cycle counter read, and HALT — but rich enough to express every
+// proof-of-concept in the paper: the silent-store amplification gadget, the
+// bitslice-AES store sequence, and the JIT output of the mini-eBPF sandbox.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 general-purpose registers. Register 0 (X0)
+// is hardwired to zero, as in RISC-V.
+type Reg uint8
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// X0 is the hardwired-zero register.
+const X0 Reg = 0
+
+func (r Reg) String() string { return fmt.Sprintf("x%d", uint8(r)) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// Invalid is the zero Op; executing it is an error.
+	Invalid Op = iota
+
+	// Register-register ALU operations: rd = rs1 <op> rs2.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL // shift left logical (by rs2 & 63)
+	SRL // shift right logical
+	SRA // shift right arithmetic
+	SLT // set if signed less-than
+	SLTU
+	MUL  // low 64 bits of product
+	MULH // high 64 bits of signed product
+	DIV  // signed division (div-by-zero yields all ones, as RISC-V)
+	REM  // signed remainder (rem-by-zero yields dividend)
+
+	// Register-immediate ALU operations: rd = rs1 <op> imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI // rd = imm << 12 (upper immediate; imm is the raw 20-bit value)
+
+	// Loads: rd = mem[rs1+imm], zero- or sign-extended per width.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	LWU
+	LD
+
+	// Stores: mem[rs1+imm] = rs2 (low width bytes).
+	SB
+	SH
+	SW
+	SD
+
+	// Control flow. Branch targets and jump targets are absolute
+	// instruction indices (not byte offsets): the assembler resolves
+	// labels to indices, which keeps the simulator simple.
+	BEQ // if rs1 == rs2 goto imm
+	BNE
+	BLT // signed
+	BGE // signed
+	BLTU
+	BGEU
+	JAL  // rd = pc+1; goto imm
+	JALR // rd = pc+1; goto (rs1+imm)
+
+	// RDCYCLE reads the current cycle counter into rd. In the functional
+	// emulator it reads the retired-instruction count instead (there is no
+	// cycle notion); programs measuring time must run on the pipeline.
+	RDCYCLE
+
+	// FENCE drains the store queue before younger memory operations issue.
+	FENCE
+
+	// HALT stops the machine.
+	HALT
+
+	numOps // sentinel
+)
+
+var opNames = [...]string{
+	Invalid: "invalid",
+	ADD:     "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", MULH: "mulh", DIV: "div", REM: "rem",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti", LUI: "lui",
+	LB: "lb", LBU: "lbu", LH: "lh", LHU: "lhu", LW: "lw", LWU: "lwu", LD: "ld",
+	SB: "sb", SH: "sh", SW: "sw", SD: "sd",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr",
+	RDCYCLE: "rdcycle", FENCE: "fence", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by their pipeline handling.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassCSR // RDCYCLE
+	ClassFence
+	ClassHalt
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassCSR:
+		return "csr"
+	case ClassFence:
+		return "fence"
+	case ClassHalt:
+		return "halt"
+	}
+	return "class?"
+}
+
+// ClassOf returns the pipeline class for op.
+func ClassOf(op Op) Class {
+	switch op {
+	case MUL, MULH:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LB, LBU, LH, LHU, LW, LWU, LD:
+		return ClassLoad
+	case SB, SH, SW, SD:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return ClassBranch
+	case JAL, JALR:
+		return ClassJump
+	case RDCYCLE:
+		return ClassCSR
+	case FENCE:
+		return ClassFence
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// MemWidth returns the access width in bytes for load/store opcodes and 0
+// for everything else.
+func MemWidth(op Op) int {
+	switch op {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, LWU, SW:
+		return 4
+	case LD, SD:
+		return 8
+	}
+	return 0
+}
+
+// IsLoad reports whether op reads data memory.
+func IsLoad(op Op) bool { return ClassOf(op) == ClassLoad }
+
+// IsStore reports whether op writes data memory.
+func IsStore(op Op) bool { return ClassOf(op) == ClassStore }
+
+// Inst is one decoded instruction. Fields are used per opcode: ALU ops use
+// Rd/Rs1/Rs2 (or Imm for the immediate forms); loads use Rd/Rs1/Imm; stores
+// use Rs1 (base) / Rs2 (data) / Imm; branches use Rs1/Rs2/Imm (target
+// index); JAL uses Rd/Imm; JALR uses Rd/Rs1/Imm.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// HasImm reports whether the opcode consumes the Imm field.
+func HasImm(op Op) bool {
+	switch op {
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI,
+		LB, LBU, LH, LHU, LW, LWU, LD, SB, SH, SW, SD,
+		BEQ, BNE, BLT, BGE, BLTU, BGEU, JAL, JALR:
+		return true
+	}
+	return false
+}
+
+// Uses returns the source registers read by the instruction. The second
+// register is X0 when unused (reading X0 is always free).
+func (in Inst) Uses() (Reg, Reg) {
+	switch ClassOf(in.Op) {
+	case ClassStore, ClassBranch:
+		return in.Rs1, in.Rs2
+	case ClassLoad:
+		return in.Rs1, X0
+	case ClassJump:
+		if in.Op == JALR {
+			return in.Rs1, X0
+		}
+		return X0, X0
+	case ClassCSR, ClassFence, ClassHalt:
+		return X0, X0
+	default:
+		if HasImm(in.Op) {
+			if in.Op == LUI {
+				return X0, X0
+			}
+			return in.Rs1, X0
+		}
+		return in.Rs1, in.Rs2
+	}
+}
+
+// Writes returns the destination register, or X0 if the instruction does
+// not write one (stores, branches, fence, halt).
+func (in Inst) Writes() Reg {
+	switch ClassOf(in.Op) {
+	case ClassStore, ClassBranch, ClassFence, ClassHalt:
+		return X0
+	default:
+		return in.Rd
+	}
+}
+
+func (in Inst) String() string {
+	op := in.Op
+	switch ClassOf(op) {
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %d", op, in.Rs1, in.Rs2, in.Imm)
+	case ClassJump:
+		if op == JALR {
+			return fmt.Sprintf("jalr %s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("jal %s, %d", in.Rd, in.Imm)
+	case ClassCSR:
+		return fmt.Sprintf("rdcycle %s", in.Rd)
+	case ClassFence:
+		return "fence"
+	case ClassHalt:
+		return "halt"
+	default:
+		if op == LUI {
+			return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+		}
+		if HasImm(op) {
+			return fmt.Sprintf("%s %s, %s, %d", op, in.Rd, in.Rs1, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Program is a sequence of instructions addressed by index.
+type Program []Inst
+
+// EvalALU computes the architectural result of a non-memory, non-control
+// instruction given its (already immediate-substituted) operand values.
+// It is shared by the emulator and the pipeline so the two cannot diverge.
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case ADD, ADDI:
+		return a + b
+	case SUB:
+		return a - b
+	case AND, ANDI:
+		return a & b
+	case OR, ORI:
+		return a | b
+	case XOR, XORI:
+		return a ^ b
+	case SLL, SLLI:
+		return a << (b & 63)
+	case SRL, SRLI:
+		return a >> (b & 63)
+	case SRA, SRAI:
+		return uint64(int64(a) >> (b & 63))
+	case SLT, SLTI:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case LUI:
+		return b << 12
+	case MUL:
+		return a * b
+	case MULH:
+		return mulh(int64(a), int64(b))
+	case DIV:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return a // overflow: result is dividend, as RISC-V
+		}
+		return uint64(int64(a) / int64(b))
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			return 0
+		}
+		return uint64(int64(a) % int64(b))
+	}
+	panic(fmt.Sprintf("isa: EvalALU on %v", op))
+}
+
+// mulh returns the high 64 bits of the 128-bit signed product a*b.
+func mulh(a, b int64) uint64 {
+	// Decompose into 32-bit halves and recombine, carrying into the high
+	// word. Signed variant of the standard schoolbook high-multiply.
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		ub = uint64(-b)
+	}
+	hi, lo := umul128(ua, ub)
+	if neg {
+		// two's complement of the 128-bit value
+		lo = ^lo + 1
+		hi = ^hi
+		if lo == 0 {
+			hi++
+		}
+	}
+	_ = lo
+	return hi
+}
+
+func umul128(a, b uint64) (hi, lo uint64) {
+	a0, a1 := a&0xffffffff, a>>32
+	b0, b1 := b&0xffffffff, b>>32
+	t := a0 * b0
+	lo = t & 0xffffffff
+	c := t >> 32
+	t = a1*b0 + c
+	c = t >> 32
+	m := t & 0xffffffff
+	t = a0*b1 + m
+	lo |= (t & 0xffffffff) << 32
+	hi = a1*b1 + c + t>>32
+	return hi, lo
+}
+
+// Taken evaluates a branch predicate.
+func Taken(op Op, a, b uint64) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int64(a) < int64(b)
+	case BGE:
+		return int64(a) >= int64(b)
+	case BLTU:
+		return a < b
+	case BGEU:
+		return a >= b
+	}
+	panic(fmt.Sprintf("isa: Taken on %v", op))
+}

@@ -1,0 +1,298 @@
+package leakage
+
+import (
+	"pandora/internal/mld"
+)
+
+// Analyzer derives the Table I landscape by probing descriptors.
+//
+// For each (item, column) pair the analyzer builds a sequence of
+// assignments that differ only in the item's data, evaluates the column's
+// descriptor for that item over the sequence, and classifies the cell:
+//
+//   - no descriptor, or a trivial partition → '-' (no change)
+//   - non-trivial partition, baseline trivial/absent → U (newly unsafe)
+//   - non-trivial partition equal to the baseline's → '-'
+//   - non-trivial partition different from the baseline's → U′
+//
+// The baseline column itself reports S/U by partition triviality.
+type Analyzer struct {
+	// probes[column][item] produces the outcome vector over the item's
+	// sample set, or nil when the column has no mechanism for the item.
+	probes [numColumns][numItems]func() []uint64
+}
+
+// Sample sets. The "magic" values 42 (integer) and fpOne (float) are the
+// values planted in microarchitectural/architectural state by the probes,
+// so equality-keyed descriptors partition the samples non-trivially.
+var (
+	intSamples = []uint64{0, 1, 2, 3, 42, 0x7f, 0x80, 0x1234, 0xffff, 0x10000, 1 << 32, ^uint64(0)}
+	fpOne      = uint64(0x3ff0000000000000)
+	fpSamples  = []uint64{0, 1 /* subnormal */, 2 /* subnormal */, fpOne,
+		0x4045000000000000 /* 42.0 */, 0x7fe0000000000000 /* large */, 0x0010000000000000 /* smallest normal */}
+	addrSamples = []uint64{0, 64, 128, 192, 256, 320, 2048, 2112}
+	memSamples  = intSamples
+)
+
+// NewAnalyzer wires every probe.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{}
+
+	inst1 := func(d *mld.Descriptor, mk func(v uint64) mld.Inst, samples []uint64) func() []uint64 {
+		return func() []uint64 {
+			outs := make([]uint64, len(samples))
+			for i, v := range samples {
+				outs[i] = d.MustEval(mld.Assignment{"i1": mk(v)})
+			}
+			return outs
+		}
+	}
+	varyArg0 := func(v uint64) mld.Inst { return mld.Inst{Args: [2]uint64{v, 5}} }
+	varyDst := func(v uint64) mld.Inst { return mld.Inst{PC: 7, Dst: v} }
+
+	// ---- Baseline ----
+	a.probes[Baseline][OpIntDiv] = inst1(mld.BaselineDivLatency(), func(v uint64) mld.Inst {
+		return mld.Inst{Args: [2]uint64{v, 3}}
+	}, intSamples)
+	// The fixed FP operand must be a normal number (small integers are
+	// subnormal bit patterns).
+	varyArg0FP := func(v uint64) mld.Inst { return mld.Inst{Args: [2]uint64{v, fpOne}} }
+	a.probes[Baseline][OpFP] = inst1(mld.FPSubnormal(), varyArg0FP, fpSamples)
+	cacheProbe := func() []uint64 {
+		d := mld.CacheRand()
+		c := mld.NewCacheState(32, 64)
+		outs := make([]uint64, len(addrSamples))
+		for i, addr := range addrSamples {
+			outs[i] = d.MustEval(mld.Assignment{"i1": mld.Inst{Addr: addr}, "cache": c})
+		}
+		return outs
+	}
+	a.probes[Baseline][AddrLoad] = cacheProbe
+	a.probes[Baseline][AddrStore] = cacheProbe
+	a.probes[Baseline][ControlFlow] = inst1(mld.BranchDirection(), func(v uint64) mld.Inst {
+		return mld.Inst{Args: [2]uint64{v, 0x8000}}
+	}, intSamples)
+
+	// ---- Computation simplification ----
+	a.probes[CS][OpIntSimple] = inst1(mld.TrivialALU(), varyArg0, intSamples)
+	a.probes[CS][OpIntMul] = inst1(mld.ZeroSkipMul(), varyArg0, intSamples)
+	a.probes[CS][OpIntDiv] = inst1(mld.EarlyExitDiv(), func(v uint64) mld.Inst {
+		return mld.Inst{Args: [2]uint64{v, 3}}
+	}, intSamples)
+	a.probes[CS][OpFP] = inst1(mld.FPTrivial(), varyArg0, fpSamples)
+
+	// ---- Pipeline compression ----
+	packProbe := func(samples []uint64) func() []uint64 {
+		d := mld.OperandPacking()
+		return func() []uint64 {
+			outs := make([]uint64, len(samples))
+			for i, v := range samples {
+				outs[i] = d.MustEval(mld.Assignment{
+					"i1": mld.Inst{Args: [2]uint64{v, 5}},
+					"i2": mld.Inst{Args: [2]uint64{3, 9}}, // attacker-controlled: narrow
+				})
+			}
+			return outs
+		}
+	}
+	a.probes[PC][OpIntSimple] = packProbe(intSamples)
+	a.probes[PC][OpIntMul] = packProbe(intSamples)
+	a.probes[PC][OpIntDiv] = inst1(mld.SignificanceOperands(), func(v uint64) mld.Inst {
+		return mld.Inst{Args: [2]uint64{v, 3}}
+	}, intSamples)
+	a.probes[PC][RestRegFile] = func() []uint64 {
+		d := mld.SignificanceRegFile()
+		outs := make([]uint64, len(memSamples))
+		for i, v := range memSamples {
+			outs[i] = d.MustEval(mld.Assignment{"register_file": mld.RegFile{7, v, 0x1000}})
+		}
+		return outs
+	}
+
+	// ---- Silent stores ----
+	a.probes[SS][DataStore] = func() []uint64 {
+		d := mld.SilentStores()
+		m := mld.MemoryState{0x800: 42} // attacker-preconditioned memory
+		outs := make([]uint64, len(intSamples))
+		for i, v := range intSamples {
+			outs[i] = d.MustEval(mld.Assignment{"i1": mld.Inst{Addr: 0x800, Data: v}, "data_memory": m})
+		}
+		return outs
+	}
+	a.probes[SS][RestDataMemory] = func() []uint64 {
+		d := mld.SilentStores()
+		outs := make([]uint64, len(memSamples))
+		for i, v := range memSamples {
+			outs[i] = d.MustEval(mld.Assignment{
+				"i1":          mld.Inst{Addr: 0x800, Data: 42}, // attacker-controlled store
+				"data_memory": mld.MemoryState{0x800: v},
+			})
+		}
+		return outs
+	}
+
+	// ---- Computation reuse (Sv) ----
+	reuseProbe := func(samples []uint64, memoized uint64) func() []uint64 {
+		d := mld.InstructionReuse()
+		tbl := mld.ReuseTable{0: {memoized, 5}}
+		return func() []uint64 {
+			outs := make([]uint64, len(samples))
+			for i, v := range samples {
+				outs[i] = d.MustEval(mld.Assignment{"i1": mld.Inst{PC: 0, Args: [2]uint64{v, 5}}, "reuse_buffer": tbl})
+			}
+			return outs
+		}
+	}
+	a.probes[CR][OpIntSimple] = reuseProbe(intSamples, 42)
+	a.probes[CR][OpIntMul] = reuseProbe(intSamples, 42)
+	a.probes[CR][OpIntDiv] = reuseProbe(intSamples, 42)
+	a.probes[CR][OpFP] = reuseProbe(fpSamples, fpOne)
+
+	// ---- Value prediction ----
+	vpProbe := func() []uint64 {
+		d := mld.VPrediction()
+		tbl := mld.PredTable{7: {Conf: mld.PredMaxConf, Prediction: 42}}
+		outs := make([]uint64, len(intSamples))
+		for i, v := range intSamples {
+			outs[i] = d.MustEval(mld.Assignment{"i1": varyDst(v), "prediction_table": tbl})
+		}
+		return outs
+	}
+	a.probes[VP][ResIntSimple] = vpProbe
+	a.probes[VP][ResIntMul] = vpProbe
+	a.probes[VP][ResIntDiv] = vpProbe
+	a.probes[VP][ResFP] = func() []uint64 {
+		d := mld.VPrediction()
+		tbl := mld.PredTable{7: {Conf: mld.PredMaxConf, Prediction: fpOne}}
+		outs := make([]uint64, len(fpSamples))
+		for i, v := range fpSamples {
+			outs[i] = d.MustEval(mld.Assignment{"i1": varyDst(v), "prediction_table": tbl})
+		}
+		return outs
+	}
+	a.probes[VP][DataLoad] = vpProbe // load value prediction
+
+	// ---- Register-file compression ----
+	rfcResultProbe := func(samples []uint64) func() []uint64 {
+		d := mld.RFCResult()
+		rf := mld.RegFile{0, 1, 42, fpOne, 0x1234}
+		return func() []uint64 {
+			outs := make([]uint64, len(samples))
+			for i, v := range samples {
+				outs[i] = d.MustEval(mld.Assignment{"i1": varyDst(v), "register_file": rf})
+			}
+			return outs
+		}
+	}
+	a.probes[RFC][ResIntSimple] = rfcResultProbe(intSamples)
+	a.probes[RFC][ResIntMul] = rfcResultProbe(intSamples)
+	a.probes[RFC][ResIntDiv] = rfcResultProbe(intSamples)
+	a.probes[RFC][ResFP] = rfcResultProbe(fpSamples)
+	a.probes[RFC][RestRegFile] = func() []uint64 {
+		d := mld.RFCompression()
+		outs := make([]uint64, len(memSamples))
+		for i, v := range memSamples {
+			outs[i] = d.MustEval(mld.Assignment{"register_file": mld.RegFile{7, v, 0x1000}})
+		}
+		return outs
+	}
+
+	// ---- Data memory-dependent prefetching ----
+	a.probes[DMP][RestDataMemory] = func() []uint64 {
+		d := mld.IM3LPrefetcher()
+		imp := mld.IMPState{Start: 4, BaseZ: 0x1000, BaseY: 0x40000, BaseX: 0x80000, ElemShift: 2}
+		outs := make([]uint64, len(memSamples))
+		for i, v := range memSamples {
+			// The varied item is a word of victim memory: the value the
+			// prefetcher dereferences at the second level.
+			m := mld.MemoryState{
+				0x1000 + 4<<2:   50, // Z[i+Δ], attacker-controlled target
+				0x40000 + 50<<2: v,  // secret = Y[target]
+			}
+			outs[i] = d.MustEval(mld.Assignment{"imp": imp, "cache": mld.NewCacheState(32, 64), "data_memory": m})
+		}
+		return outs
+	}
+
+	return a
+}
+
+// Cell classifies one Table I cell.
+func (a *Analyzer) Cell(item Item, col Column) Verdict {
+	probe := a.probes[col][item]
+	if col == Baseline {
+		if probe == nil {
+			return Safe
+		}
+		if mld.Trivial(mld.Partition(probe())) {
+			return Safe
+		}
+		return Unsafe
+	}
+	if probe == nil {
+		return Dash
+	}
+	optPart := mld.Partition(probe())
+	if mld.Trivial(optPart) {
+		return Dash
+	}
+	base := a.probes[Baseline][item]
+	if base == nil {
+		return Unsafe
+	}
+	basePart := mld.Partition(base())
+	if mld.Trivial(basePart) {
+		return Unsafe
+	}
+	if mld.EqualPartitions(optPart, basePart) {
+		return Dash
+	}
+	return UnsafePrime
+}
+
+// TableI derives the full landscape.
+func (a *Analyzer) TableI() map[Item]map[Column]Verdict {
+	out := make(map[Item]map[Column]Verdict, numItems)
+	for _, it := range Items() {
+		row := make(map[Column]Verdict, numColumns)
+		for _, c := range Columns() {
+			row[c] = a.Cell(it, c)
+		}
+		out[it] = row
+	}
+	return out
+}
+
+// ClassEntry is one Table II row: an optimization class and its MLD
+// signature category.
+type ClassEntry struct {
+	Column     Column
+	Descriptor string
+	Category   string
+}
+
+// TableII classifies each optimization class by its primary descriptor's
+// input-kind signature, reproducing the paper's Table II.
+func TableII() []ClassEntry {
+	primaries := []struct {
+		col Column
+		d   *mld.Descriptor
+	}{
+		{CS, mld.ZeroSkipMul()},
+		{PC, mld.OperandPacking()},
+		{SS, mld.SilentStores()},
+		{CR, mld.InstructionReuse()},
+		{VP, mld.VPrediction()},
+		{RFC, mld.RFCompression()},
+		{DMP, mld.IM3LPrefetcher()},
+	}
+	out := make([]ClassEntry, len(primaries))
+	for i, p := range primaries {
+		out[i] = ClassEntry{
+			Column:     p.col,
+			Descriptor: p.d.Name,
+			Category:   p.d.Signature().Category(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package leakage regenerates the paper's leakage landscape (Table I) and
+// optimization classification (Table II) from first principles: for every
+// (data item, optimization) pair it probes the optimization's
+// microarchitectural leakage descriptor with controlled input samples that
+// differ only in that data item, then classifies the cell by comparing the
+// induced outcome partitions against the baseline architecture's.
+//
+// Verdicts follow the paper's notation: S (Safe — the descriptor cannot
+// distinguish the samples), U (Unsafe — previously-safe data becomes
+// distinguishable), U′ (Unsafe-prime — data already unsafe in the
+// baseline leaks through a *different* function), and '-' (no change
+// relative to the baseline).
+package leakage
+
+// Item enumerates the rows of Table I: what program data is at risk.
+type Item int
+
+// Table I rows, in paper order.
+const (
+	OpIntSimple Item = iota // operands of simple integer ops
+	OpIntMul
+	OpIntDiv
+	OpFP
+	ResIntSimple // results
+	ResIntMul
+	ResIntDiv
+	ResFP
+	AddrLoad // address operands
+	AddrStore
+	DataLoad // data operands/results of memory ops
+	DataStore
+	ControlFlow
+	RestRegFile // data at rest
+	RestDataMemory
+	numItems
+)
+
+var itemNames = [...]string{
+	OpIntSimple:    "Operands: Int simple ops",
+	OpIntMul:       "Operands: Int mul",
+	OpIntDiv:       "Operands: Int div",
+	OpFP:           "Operands: FP ops",
+	ResIntSimple:   "Result: Int simple ops",
+	ResIntMul:      "Result: Int mul",
+	ResIntDiv:      "Result: Int div",
+	ResFP:          "Result: FP ops",
+	AddrLoad:       "Addr: Load",
+	AddrStore:      "Addr: Store",
+	DataLoad:       "Data: Load",
+	DataStore:      "Data: Store",
+	ControlFlow:    "Control flow",
+	RestRegFile:    "At rest: Register file",
+	RestDataMemory: "At rest: Data memory",
+}
+
+func (it Item) String() string {
+	if int(it) < len(itemNames) {
+		return itemNames[it]
+	}
+	return "item?"
+}
+
+// Items returns all Table I rows in order.
+func Items() []Item {
+	out := make([]Item, numItems)
+	for i := range out {
+		out[i] = Item(i)
+	}
+	return out
+}
+
+// Column enumerates the Table I columns: the baseline plus the seven
+// studied optimization classes.
+type Column int
+
+// Table I columns, in paper order.
+const (
+	Baseline Column = iota
+	CS              // computation simplification
+	PC              // pipeline compression
+	SS              // silent stores
+	CR              // computation reuse
+	VP              // value prediction
+	RFC             // register-file compression
+	DMP             // data memory-dependent prefetching
+	numColumns
+)
+
+var columnNames = [...]string{
+	Baseline: "Baseline", CS: "CS", PC: "PC", SS: "SS",
+	CR: "CR", VP: "VP", RFC: "RFC", DMP: "DMP",
+}
+
+func (c Column) String() string {
+	if int(c) < len(columnNames) {
+		return columnNames[c]
+	}
+	return "col?"
+}
+
+// Columns returns all Table I columns in order.
+func Columns() []Column {
+	out := make([]Column, numColumns)
+	for i := range out {
+		out[i] = Column(i)
+	}
+	return out
+}
+
+// Verdict is one Table I cell.
+type Verdict int
+
+// Verdict values; Dash means "no change relative to baseline".
+const (
+	Dash Verdict = iota
+	Safe
+	Unsafe
+	UnsafePrime
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "S"
+	case Unsafe:
+		return "U"
+	case UnsafePrime:
+		return "U'"
+	}
+	return "-"
+}
+
+// PaperTableI returns the landscape exactly as reported in the paper's
+// Table I, used by tests and EXPERIMENTS.md to check agreement with the
+// derived table.
+func PaperTableI() map[Item]map[Column]Verdict {
+	row := func(base Verdict, cs, pc, ss, cr, vp, rfc, dmp Verdict) map[Column]Verdict {
+		return map[Column]Verdict{
+			Baseline: base, CS: cs, PC: pc, SS: ss, CR: cr, VP: vp, RFC: rfc, DMP: dmp,
+		}
+	}
+	return map[Item]map[Column]Verdict{
+		OpIntSimple:    row(Safe, Unsafe, Unsafe, Dash, Unsafe, Dash, Dash, Dash),
+		OpIntMul:       row(Safe, Unsafe, Unsafe, Dash, Unsafe, Dash, Dash, Dash),
+		OpIntDiv:       row(Unsafe, UnsafePrime, UnsafePrime, Dash, UnsafePrime, Dash, Dash, Dash),
+		OpFP:           row(Unsafe, UnsafePrime, Dash, Dash, UnsafePrime, Dash, Dash, Dash),
+		ResIntSimple:   row(Safe, Dash, Dash, Dash, Dash, Unsafe, Unsafe, Dash),
+		ResIntMul:      row(Safe, Dash, Dash, Dash, Dash, Unsafe, Unsafe, Dash),
+		ResIntDiv:      row(Safe, Dash, Dash, Dash, Dash, Unsafe, Unsafe, Dash),
+		ResFP:          row(Safe, Dash, Dash, Dash, Dash, Unsafe, Unsafe, Dash),
+		AddrLoad:       row(Unsafe, Dash, Dash, Dash, Dash, Dash, Dash, Dash),
+		AddrStore:      row(Unsafe, Dash, Dash, Dash, Dash, Dash, Dash, Dash),
+		DataLoad:       row(Safe, Dash, Dash, Dash, Dash, Unsafe, Dash, Dash),
+		DataStore:      row(Safe, Dash, Dash, Unsafe, Dash, Dash, Dash, Dash),
+		ControlFlow:    row(Unsafe, Dash, Dash, Dash, Dash, Dash, Dash, Dash),
+		RestRegFile:    row(Safe, Dash, Unsafe, Dash, Dash, Dash, Unsafe, Dash),
+		RestDataMemory: row(Safe, Dash, Dash, Unsafe, Dash, Dash, Dash, Unsafe),
+	}
+}

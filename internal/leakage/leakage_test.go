@@ -1,0 +1,106 @@
+package leakage
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableIMatchesPaper is the headline check for experiment E-T1: the
+// landscape derived by probing the MLDs must reproduce the paper's
+// Table I cell for cell.
+func TestTableIMatchesPaper(t *testing.T) {
+	got := NewAnalyzer().TableI()
+	if diffs := DiffTableI(got, PaperTableI()); len(diffs) != 0 {
+		t.Errorf("derived Table I disagrees with the paper:\n%s", strings.Join(diffs, "\n"))
+		t.Logf("derived:\n%s", RenderTableI(got))
+	}
+}
+
+func TestBaselineColumn(t *testing.T) {
+	a := NewAnalyzer()
+	unsafe := map[Item]bool{
+		OpIntDiv: true, OpFP: true, AddrLoad: true, AddrStore: true, ControlFlow: true,
+	}
+	for _, it := range Items() {
+		want := Safe
+		if unsafe[it] {
+			want = Unsafe
+		}
+		if got := a.Cell(it, Baseline); got != want {
+			t.Errorf("baseline %v = %v, want %v", it, got, want)
+		}
+	}
+}
+
+// TestMetaTakeaway verifies the paper's meta takeaway: under the union of
+// all studied optimizations, no instruction operand/result (or data at
+// rest) remains safe.
+func TestMetaTakeaway(t *testing.T) {
+	tbl := NewAnalyzer().TableI()
+	for _, it := range Items() {
+		safeEverywhere := tbl[it][Baseline] == Safe
+		for _, c := range Columns()[1:] {
+			if tbl[it][c] == Unsafe || tbl[it][c] == UnsafePrime {
+				safeEverywhere = false
+			}
+		}
+		if safeEverywhere {
+			t.Errorf("%v stays safe under every optimization — contradicts the paper's takeaway", it)
+		}
+	}
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	want := map[Column]string{
+		CS:  "stateless instruction-centric",
+		PC:  "stateless instruction-centric",
+		SS:  "stateful instruction-centric (arch)",
+		CR:  "stateful instruction-centric (uarch)",
+		VP:  "stateful instruction-centric (uarch)",
+		RFC: "memory-centric",
+		DMP: "memory-centric",
+	}
+	entries := TableII()
+	if len(entries) != 7 {
+		t.Fatalf("TableII has %d entries, want 7", len(entries))
+	}
+	for _, e := range entries {
+		if e.Category != want[e.Column] {
+			t.Errorf("%v classified %q, want %q", e.Column, e.Category, want[e.Column])
+		}
+	}
+}
+
+func TestRenderSmoke(t *testing.T) {
+	tbl := NewAnalyzer().TableI()
+	s := RenderTableI(tbl)
+	for _, frag := range []string{"Baseline", "DMP", "Data memory", "U'"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered Table I missing %q:\n%s", frag, s)
+		}
+	}
+	s2 := RenderTableII(TableII())
+	if !strings.Contains(s2, "memory-centric") {
+		t.Errorf("rendered Table II missing category:\n%s", s2)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Dash.String() != "-" || Safe.String() != "S" || Unsafe.String() != "U" || UnsafePrime.String() != "U'" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestItemColumnEnums(t *testing.T) {
+	if len(Items()) != 15 {
+		t.Errorf("Items = %d, want 15 rows", len(Items()))
+	}
+	if len(Columns()) != 8 {
+		t.Errorf("Columns = %d, want 8", len(Columns()))
+	}
+	for _, it := range Items() {
+		if strings.Contains(it.String(), "?") {
+			t.Errorf("item %d has no name", it)
+		}
+	}
+}

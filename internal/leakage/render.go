@@ -1,0 +1,58 @@
+package leakage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTableI formats a landscape as aligned text resembling the paper's
+// Table I.
+func RenderTableI(tbl map[Item]map[Column]Verdict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", "Data item")
+	for _, c := range Columns() {
+		fmt.Fprintf(&b, "%-10s", c)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 28+10*int(numColumns)) + "\n")
+	section := ""
+	for _, it := range Items() {
+		name := it.String()
+		if parts := strings.SplitN(name, ": ", 2); len(parts) == 2 && parts[0] != section {
+			section = parts[0]
+			fmt.Fprintf(&b, "[%s]\n", section)
+		}
+		fmt.Fprintf(&b, "%-28s", "  "+strings.TrimPrefix(name, section+": "))
+		for _, c := range Columns() {
+			fmt.Fprintf(&b, "%-10s", tbl[it][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DiffTableI compares a derived landscape against the paper's, returning
+// a list of mismatched cells (empty when the reproduction agrees).
+func DiffTableI(got, want map[Item]map[Column]Verdict) []string {
+	var diffs []string
+	for _, it := range Items() {
+		for _, c := range Columns() {
+			if got[it][c] != want[it][c] {
+				diffs = append(diffs, fmt.Sprintf("%v x %v: derived %v, paper %v",
+					it, c, got[it][c], want[it][c]))
+			}
+		}
+	}
+	return diffs
+}
+
+// RenderTableII formats the classification as text resembling Table II.
+func RenderTableII(entries []ClassEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-22s %s\n", "Class", "Primary MLD", "Category")
+	b.WriteString(strings.Repeat("-", 72) + "\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%-8s %-22s %s\n", e.Column, e.Descriptor, e.Category)
+	}
+	return b.String()
+}

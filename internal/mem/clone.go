@@ -1,0 +1,27 @@
+package mem
+
+// Clone returns a copy-on-write snapshot of m. The clone and m share page
+// storage until either side writes a shared page, at which point that page
+// is copied. The out-of-order pipeline uses this to run its control-flow
+// oracle ahead of timing simulation: the oracle executes stores eagerly on
+// its clone while the timing model performs them on the original at
+// store-queue dequeue time.
+func (m *Memory) Clone() *Memory {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	if m.shared == nil {
+		m.shared = make(map[uint64]bool)
+	}
+	c := &Memory{
+		pages:   make(map[uint64]*[pageSize]byte, len(m.pages)),
+		shared:  make(map[uint64]bool, len(m.pages)),
+		regions: append([]Region(nil), m.regions...),
+	}
+	for pn, p := range m.pages {
+		c.pages[pn] = p
+		m.shared[pn] = true
+		c.shared[pn] = true
+	}
+	return c
+}

@@ -1,0 +1,146 @@
+package mld
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct unit tests for the auxiliary descriptors the Table I analyzer
+// probes (they are otherwise exercised only through package leakage).
+
+func evalInst(d *Descriptor, a, b uint64) uint64 {
+	return d.MustEval(Assignment{"i1": Inst{Args: [2]uint64{a, b}}})
+}
+
+func TestBranchDirection(t *testing.T) {
+	d := BranchDirection()
+	if evalInst(d, 1, 2) != 1 || evalInst(d, 3, 2) != 0 {
+		t.Error("branch direction must reflect the predicate")
+	}
+}
+
+func TestBaselineDivLatencyBuckets(t *testing.T) {
+	d := BaselineDivLatency()
+	// Outcome = bit length of the dividend.
+	if evalInst(d, 0, 3) != 0 || evalInst(d, 1, 3) != 1 || evalInst(d, 0xff, 3) != 8 {
+		t.Error("baseline div latency must bucket by dividend significance")
+	}
+	// Divisor does not matter in the baseline model.
+	if evalInst(d, 100, 3) != evalInst(d, 100, 99) {
+		t.Error("divisor should not change the baseline outcome")
+	}
+}
+
+func TestEarlyExitDivBuckets(t *testing.T) {
+	d := EarlyExitDiv()
+	// Quotient-width based: equal widths exit immediately.
+	if evalInst(d, 7, 7) != 0 {
+		t.Errorf("equal-width div outcome = %d", evalInst(d, 7, 7))
+	}
+	wide := evalInst(d, 1<<40, 3)
+	narrow := evalInst(d, 1<<8, 3)
+	if wide <= narrow {
+		t.Error("wider quotient must take more digit iterations")
+	}
+	// A different function than the baseline: divisor matters here.
+	if evalInst(d, 1<<20, 2) == evalInst(d, 1<<20, 1<<19) {
+		t.Error("divisor must change the early-exit outcome")
+	}
+}
+
+func TestTrivialALUDescriptor(t *testing.T) {
+	d := TrivialALU()
+	if evalInst(d, 0, 9) != 1 || evalInst(d, 9, 0) != 1 || evalInst(d, 3, 9) != 0 {
+		t.Error("trivial ALU keys on zero operands")
+	}
+}
+
+func TestFPTrivialDescriptor(t *testing.T) {
+	d := FPTrivial()
+	one := uint64(0x3ff0000000000000)
+	if evalInst(d, one, 0x4000000000000000) != 1 {
+		t.Error("multiply by 1.0 is trivial")
+	}
+	if evalInst(d, 0, 0x4000000000000000) != 1 {
+		t.Error("multiply by +0.0 is trivial")
+	}
+	if evalInst(d, 0x4000000000000000, 0x4008000000000000) != 0 {
+		t.Error("2.0*3.0 is not trivial")
+	}
+}
+
+func TestSignificanceOperandsDescriptor(t *testing.T) {
+	d := SignificanceOperands()
+	// Width classes in 16-bit granules, concatenated per operand.
+	narrow := evalInst(d, 0xff, 0xff)
+	wide := evalInst(d, 1<<60, 0xff)
+	if narrow == wide {
+		t.Error("operand significance must be observable")
+	}
+	// Values within the same granule are indistinguishable.
+	if evalInst(d, 0x11, 5) != evalInst(d, 0xfe, 5) {
+		t.Error("same-granule values must collide")
+	}
+}
+
+func TestSignificanceRegFileDescriptor(t *testing.T) {
+	d := SignificanceRegFile()
+	eval := func(rf RegFile) uint64 {
+		return d.MustEval(Assignment{"register_file": rf})
+	}
+	if eval(RegFile{1, 2}) == eval(RegFile{1, 1 << 40}) {
+		t.Error("register width change must be observable")
+	}
+	if eval(RegFile{0x12, 5}) != eval(RegFile{0xee, 5}) {
+		t.Error("same-granule register values must collide")
+	}
+}
+
+func TestRFCResultDescriptor(t *testing.T) {
+	d := RFCResult()
+	rf := RegFile{1, 42, 0x999}
+	eval := func(dst uint64) uint64 {
+		return d.MustEval(Assignment{"i1": Inst{Dst: dst}, "register_file": rf})
+	}
+	if eval(42) != 1 || eval(43) != 0 {
+		t.Error("RFC result sharing keys on value presence in the register file")
+	}
+}
+
+func TestDescriptorStrings(t *testing.T) {
+	s := SilentStores().String()
+	for _, frag := range []string{"silent_stores", "Inst i1", "Arch data_memory"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("descriptor string %q missing %q", s, frag)
+		}
+	}
+	if KindInst.String() != "Inst" || KindUarch.String() != "Uarch" || KindArch.String() != "Arch" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestEqualPartitionsShapes(t *testing.T) {
+	a := Partition([]uint64{0, 1, 2})
+	b := Partition([]uint64{0, 0, 1})
+	if EqualPartitions(a, b) {
+		t.Error("different block counts must differ")
+	}
+	c := Partition([]uint64{0, 0, 1})
+	d := Partition([]uint64{0, 1, 1})
+	if EqualPartitions(c, d) {
+		t.Error("different block sizes must differ")
+	}
+}
+
+func TestCacheStateClone(t *testing.T) {
+	c := NewCacheState(8, 64)
+	c.Insert(0x100)
+	cl := c.Clone()
+	cl.Insert(0x200)
+	if c.Cached(0x200) {
+		t.Error("clone mutation leaked to original")
+	}
+	if !cl.Cached(0x100) {
+		t.Error("clone lost contents")
+	}
+}

@@ -1,0 +1,42 @@
+package mld
+
+// Section IV-A2 of the paper: what a descriptor leaks depends on whether
+// its other inputs are public, attacker controlled or private (the
+// security lattice L ⊑ C ⊑ H). This file provides the machinery to make
+// that analysis executable: fix a "context" (the non-private inputs),
+// vary the private data over a sample set, and examine the induced
+// partition. An attacker-controlled input is modeled by letting the
+// attacker pick, among its possible settings, the context that refines
+// the partition the most (the best preconditioning).
+
+// PartitionOver evaluates d over the private samples under the assignment
+// builder mk and returns the induced canonical partition.
+func PartitionOver(d *Descriptor, mk func(priv uint64) Assignment, samples []uint64) [][]int {
+	outs := make([]uint64, len(samples))
+	for i, v := range samples {
+		outs[i] = d.MustEval(mk(v))
+	}
+	return Partition(outs)
+}
+
+// Blocks returns the number of blocks in a partition: how many classes of
+// private values the attacker can distinguish in one observation.
+func Blocks(p [][]int) int { return len(p) }
+
+// BestControlledPartition models an active attacker: for each setting of
+// the attacker-controlled input, compute the partition over the private
+// samples; return the finest (most blocks) along with the controlling
+// value that achieves it. This is the paper's preconditioning notion made
+// concrete: the attacker chooses its data to maximize what one experiment
+// reveals.
+func BestControlledPartition(d *Descriptor, mk func(priv, ctrl uint64) Assignment,
+	privSamples, ctrlSamples []uint64) (best [][]int, bestCtrl uint64) {
+	for _, c := range ctrlSamples {
+		c := c
+		p := PartitionOver(d, func(v uint64) Assignment { return mk(v, c) }, privSamples)
+		if best == nil || Blocks(p) > Blocks(best) {
+			best, bestCtrl = p, c
+		}
+	}
+	return best, bestCtrl
+}

@@ -1,0 +1,375 @@
+package mld
+
+import "math/bits"
+
+// This file defines the example descriptors of the paper's Figures 2 and 3
+// plus the auxiliary baseline descriptors (cache, branch direction,
+// early-exit division, floating-point subnormal handling) that the
+// leakage analyzer needs to reproduce Table I.
+
+// PredMaxConf bounds the value-predictor confidence counter, fixing the
+// domain size for the v_prediction concatenation.
+const PredMaxConf = 7
+
+// SingleCycleALU is Figure 2, Example 1: a single-cycle adder has exactly
+// one observable outcome — it is Safe.
+func SingleCycleALU() *Descriptor {
+	return &Descriptor{
+		Name:   "single_cycle_alu",
+		Class:  "baseline",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval:   func(Assignment) uint64 { return 0 },
+	}
+}
+
+// ZeroSkipMul is Figure 2, Example 2: a multiplier that skips when either
+// operand is zero has two observable outcomes.
+func ZeroSkipMul() *Descriptor {
+	return &Descriptor{
+		Name:   "zero_skip_mul",
+		Class:  "computation simplification",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			return Bit(i1.Args[0] == 0 || i1.Args[1] == 0)
+		},
+	}
+}
+
+// CacheRand is Figure 2, Example 3: a cache with no shared memory and
+// random replacement; outcomes are set(addr)+1 on a miss, 0 on a hit.
+func CacheRand() *Descriptor {
+	return &Descriptor{
+		Name:   "cache_rand",
+		Class:  "baseline",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "cache", Kind: KindUarch}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			c := a["cache"].(*CacheState)
+			return c.MLDOutcome(i1.Addr)
+		},
+	}
+}
+
+// OperandPacking is Figure 3, Example 4: arithmetic-unit operand packing;
+// the outcome is one bit — whether both instructions' operands are all
+// narrower than 16 bits.
+func OperandPacking() *Descriptor {
+	narrow := func(v uint64) bool { return bits.Len64(v) <= 16 }
+	return &Descriptor{
+		Name:   "operand_packing",
+		Class:  "pipeline compression",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "i2", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1, i2 := a["i1"].(Inst), a["i2"].(Inst)
+			return Bit(narrow(i1.Args[0]) && narrow(i1.Args[1]) &&
+				narrow(i2.Args[0]) && narrow(i2.Args[1]))
+		},
+	}
+}
+
+// SilentStores is Figure 3, Example 5: the outcome is whether the
+// in-flight store's data equals data memory at the store address.
+func SilentStores() *Descriptor {
+	return &Descriptor{
+		Name:   "silent_stores",
+		Class:  "silent stores",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "data_memory", Kind: KindArch}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			m := a["data_memory"].(MemoryState)
+			return Bit(i1.Data == m.Read(i1.Addr))
+		},
+	}
+}
+
+// SilentStoresLSQ is the load-store-queue variant of silent stores
+// (checking an in-flight store against an older in-flight store rather
+// than against memory): the same equality leak, but as a function of two
+// *in-flight* instructions — a different MLD signature (stateless
+// instruction-centric) and different attacker assumptions, i.e. the
+// paper's U′-style distinction between implementations of one class.
+func SilentStoresLSQ() *Descriptor {
+	return &Descriptor{
+		Name:   "silent_stores_lsq",
+		Class:  "silent stores",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "i2", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			older, younger := a["i1"].(Inst), a["i2"].(Inst)
+			return Bit(older.Addr == younger.Addr && older.Data == younger.Data)
+		},
+	}
+}
+
+// InstructionReuse is Figure 3, Example 6 (dynamic instruction reuse, Sv
+// variant): the outcome is whether all operand values match the
+// memoization-table entry for this PC.
+func InstructionReuse() *Descriptor {
+	return &Descriptor{
+		Name:   "instruction_reuse",
+		Class:  "computation reuse",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "reuse_buffer", Kind: KindUarch}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			tbl := a["reuse_buffer"].(ReuseTable)
+			e, ok := tbl[i1.PC]
+			return Bit(ok && e[0] == i1.Args[0] && e[1] == i1.Args[1])
+		},
+	}
+}
+
+// VPrediction is Figure 3, Example 7: the outcome concatenates the
+// predictor confidence with whether the prediction equals the
+// instruction's result.
+func VPrediction() *Descriptor {
+	return &Descriptor{
+		Name:   "v_prediction",
+		Class:  "value prediction",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "prediction_table", Kind: KindUarch}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			tbl := a["prediction_table"].(PredTable)
+			e := tbl[i1.PC]
+			conf := e.Conf
+			if conf > PredMaxConf {
+				conf = PredMaxConf
+			}
+			eq := Bit(e.Prediction == i1.Dst)
+			return Concat([]uint64{eq, conf}, []uint64{2, PredMaxConf + 1})
+		},
+	}
+}
+
+// RFCompression is Figure 3, Example 8 (register-file compression, 0/1
+// variant over an N-entry register file): the outcome concatenates, for
+// every register, whether its value is compressible (≤ 1).
+func RFCompression() *Descriptor {
+	return &Descriptor{
+		Name:   "rf_compression",
+		Class:  "register-file compression",
+		Params: []Param{{Name: "register_file", Kind: KindArch}},
+		Eval: func(a Assignment) uint64 {
+			rf := a["register_file"].(RegFile)
+			ids := make([]uint64, len(rf))
+			domains := make([]uint64, len(rf))
+			for i, v := range rf {
+				ids[i] = Bit(v <= 1)
+				domains[i] = 2
+			}
+			return Concat(ids, domains)
+		},
+	}
+}
+
+// IM3LPrefetcher is Figure 3, Example 9: the 3-level indirect-memory
+// prefetcher for X[Y[Z[i]]]; the outcome concatenates the cache MLD
+// outcomes of the three chained prefetch accesses, whose addresses are
+// functions of data memory.
+func IM3LPrefetcher() *Descriptor {
+	return &Descriptor{
+		Name:  "im3l_prefetcher",
+		Class: "data memory-dependent prefetching",
+		Params: []Param{
+			{Name: "imp", Kind: KindUarch},
+			{Name: "cache", Kind: KindUarch},
+			{Name: "data_memory", Kind: KindArch},
+		},
+		Eval: func(a Assignment) uint64 {
+			imp := a["imp"].(IMPState)
+			c := a["cache"].(*CacheState)
+			m := a["data_memory"].(MemoryState)
+
+			s := imp.Start // s = i + Δ, in elements
+			zAddr := imp.BaseZ + s<<imp.ElemShift
+			z := m.Read(zAddr) // z = Z[i+Δ]
+			yAddr := imp.BaseY + z<<imp.ElemShift
+			y := m.Read(yAddr) // y = Y[Z[i+Δ]]
+			xAddr := imp.BaseX + y<<imp.ElemShift
+
+			d := c.Domain()
+			return Concat(
+				[]uint64{c.MLDOutcome(xAddr), c.MLDOutcome(yAddr), c.MLDOutcome(zAddr)},
+				[]uint64{d, d, d},
+			)
+		},
+	}
+}
+
+// --- Auxiliary descriptors used by the Table I analysis ---
+
+// BranchDirection models the baseline control-flow channel: the observable
+// outcome is the branch direction (through the predictor and the shape of
+// execution), a function of the predicate operands.
+func BranchDirection() *Descriptor {
+	return &Descriptor{
+		Name:   "branch_direction",
+		Class:  "baseline",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			return Bit(i1.Args[0] < i1.Args[1])
+		},
+	}
+}
+
+// BaselineDivLatency models commercial early-terminating integer division
+// (the reason Table I marks Int div operands Unsafe in the Baseline,
+// citing Coppens et al.): latency buckets by dividend significance.
+func BaselineDivLatency() *Descriptor {
+	return &Descriptor{
+		Name:   "baseline_div",
+		Class:  "baseline",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			return uint64(bits.Len64(i1.Args[0]))
+		},
+	}
+}
+
+// EarlyExitDiv is the computation-simplification divider: latency buckets
+// by the quotient width (the significance gap), a different function of
+// the operands than BaselineDivLatency — hence U′ in Table I.
+func EarlyExitDiv() *Descriptor {
+	return &Descriptor{
+		Name:   "early_exit_div",
+		Class:  "computation simplification",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			q := bits.Len64(i1.Args[0]) - bits.Len64(i1.Args[1])
+			if q < 0 {
+				q = 0
+			}
+			return uint64(q+1) / 2 // radix-4 digit iterations
+		},
+	}
+}
+
+// TrivialALU is computation simplification for simple integer ops: a
+// trivial-operand bypass keyed on either operand being zero.
+func TrivialALU() *Descriptor {
+	return &Descriptor{
+		Name:   "trivial_alu",
+		Class:  "computation simplification",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			return Bit(i1.Args[0] == 0 || i1.Args[1] == 0)
+		},
+	}
+}
+
+// fp unpacks IEEE-754 double fields.
+func fpSubnormal(v uint64) bool {
+	exp := (v >> 52) & 0x7ff
+	mant := v & ((1 << 52) - 1)
+	return exp == 0 && mant != 0
+}
+
+// FPSubnormal is the baseline floating-point channel (subnormal operands
+// take slow microcoded paths — Andrysco et al., the Table I citation for
+// FP ops Unsafe in the Baseline).
+func FPSubnormal() *Descriptor {
+	return &Descriptor{
+		Name:   "fp_subnormal",
+		Class:  "baseline",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			return Bit(fpSubnormal(i1.Args[0]) || fpSubnormal(i1.Args[1]))
+		},
+	}
+}
+
+// FPTrivial is computation simplification for FP: skip on exact-zero or
+// exact-one operands — a different partition of the operand space than
+// the subnormal channel, so FP operands become U′ under CS.
+func FPTrivial() *Descriptor {
+	const one = 0x3ff0000000000000 // 1.0
+	return &Descriptor{
+		Name:   "fp_trivial",
+		Class:  "computation simplification",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			triv := func(v uint64) bool { return v == 0 || v == one }
+			return Bit(triv(i1.Args[0]) || triv(i1.Args[1]))
+		},
+	}
+}
+
+// SignificanceOperands is pipeline (significance) compression applied to
+// one instruction's operands: the outcome concatenates each operand's
+// width class (16-bit granules), leaking operand significance.
+func SignificanceOperands() *Descriptor {
+	return &Descriptor{
+		Name:   "significance_operands",
+		Class:  "pipeline compression",
+		Params: []Param{{Name: "i1", Kind: KindInst}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			w := func(v uint64) uint64 { return uint64(bits.Len64(v)+15) / 16 }
+			return Concat([]uint64{w(i1.Args[0]), w(i1.Args[1])}, []uint64{5, 5})
+		},
+	}
+}
+
+// SignificanceRegFile is significance compression applied to the register
+// file at rest: each register's width class is observable through
+// read/write bandwidth, so register-file contents become Unsafe under
+// pipeline compression (Table I, data-at-rest row).
+func SignificanceRegFile() *Descriptor {
+	return &Descriptor{
+		Name:   "significance_regfile",
+		Class:  "pipeline compression",
+		Params: []Param{{Name: "register_file", Kind: KindArch}},
+		Eval: func(a Assignment) uint64 {
+			rf := a["register_file"].(RegFile)
+			ids := make([]uint64, len(rf))
+			domains := make([]uint64, len(rf))
+			for i, v := range rf {
+				ids[i] = uint64(bits.Len64(v)+15) / 16
+				domains[i] = 5
+			}
+			return Concat(ids, domains)
+		},
+	}
+}
+
+// RFCResult is register-file compression observed at writeback: whether
+// the produced result value can share an already-live register (any-value
+// variant) — the mechanism that makes instruction results Unsafe under
+// RFC in Table I.
+func RFCResult() *Descriptor {
+	return &Descriptor{
+		Name:   "rfc_result",
+		Class:  "register-file compression",
+		Params: []Param{{Name: "i1", Kind: KindInst}, {Name: "register_file", Kind: KindArch}},
+		Eval: func(a Assignment) uint64 {
+			i1 := a["i1"].(Inst)
+			rf := a["register_file"].(RegFile)
+			for _, v := range rf {
+				if v == i1.Dst {
+					return 1
+				}
+			}
+			return 0
+		},
+	}
+}
+
+// Examples returns the nine descriptors of Figures 2 and 3 in paper order.
+func Examples() []*Descriptor {
+	return []*Descriptor{
+		SingleCycleALU(),
+		ZeroSkipMul(),
+		CacheRand(),
+		OperandPacking(),
+		SilentStores(),
+		InstructionReuse(),
+		VPrediction(),
+		RFCompression(),
+		IM3LPrefetcher(),
+	}
+}

@@ -1,0 +1,102 @@
+package mld
+
+// Concrete input value types used by the example descriptors. They are
+// deliberately abstract (independent of the simulator packages): an MLD
+// describes an optimization's observable behavior, not one implementation.
+
+// Inst models one dynamic instruction's descriptor-relevant fields.
+type Inst struct {
+	PC   int64
+	Op   string
+	Args [2]uint64 // operand values (i1.arg.v0, i1.arg.v1)
+	Dst  uint64    // result value (i1.dst.v)
+	Addr uint64    // memory address (i1.addr.v)
+	Data uint64    // store data (i1.data.v)
+}
+
+// CacheState abstracts a cache for descriptor evaluation: which lines are
+// present and the set-index function.
+type CacheState struct {
+	Sets     int
+	LineSize int
+	Lines    map[uint64]bool // line-aligned addresses present
+}
+
+// NewCacheState returns an empty cache state.
+func NewCacheState(sets, lineSize int) *CacheState {
+	return &CacheState{Sets: sets, LineSize: lineSize, Lines: map[uint64]bool{}}
+}
+
+// LineAddr aligns addr down to its line.
+func (c *CacheState) LineAddr(addr uint64) uint64 {
+	return addr / uint64(c.LineSize) * uint64(c.LineSize)
+}
+
+// Set returns the cache set addr maps to.
+func (c *CacheState) Set(addr uint64) uint64 {
+	return (addr / uint64(c.LineSize)) % uint64(c.Sets)
+}
+
+// Cached reports whether addr's line is present.
+func (c *CacheState) Cached(addr uint64) bool { return c.Lines[c.LineAddr(addr)] }
+
+// Insert adds addr's line.
+func (c *CacheState) Insert(addr uint64) { c.Lines[c.LineAddr(addr)] = true }
+
+// Clone deep-copies the state.
+func (c *CacheState) Clone() *CacheState {
+	n := NewCacheState(c.Sets, c.LineSize)
+	for l := range c.Lines {
+		n.Lines[l] = true
+	}
+	return n
+}
+
+// MLDOutcome evaluates the cache MLD of Figure 2, Example 3 for a demand
+// access at addr: set(addr)+1 on a miss (one outcome per set), 0 on a hit.
+// This is the cache_h(.) helper referenced by Figure 3, Example 9.
+func (c *CacheState) MLDOutcome(addr uint64) uint64 {
+	if c.Cached(addr) {
+		return 0
+	}
+	return c.Set(addr) + 1
+}
+
+// Domain returns the number of distinct outcomes the cache MLD can
+// produce: one per set plus the hit outcome.
+func (c *CacheState) Domain() uint64 { return uint64(c.Sets) + 1 }
+
+// RegFile is the architectural register file (Arch input).
+type RegFile []uint64
+
+// MemoryState is data memory as a sparse word map (Arch input). Reads of
+// absent addresses return zero, matching the simulator's memory.
+type MemoryState map[uint64]uint64
+
+// Read returns the word at addr.
+func (m MemoryState) Read(addr uint64) uint64 { return m[addr] }
+
+// ReuseTable is the PC-indexed memoization table of dynamic instruction
+// reuse (Figure 3, Example 6): recorded operand values per memoized PC.
+type ReuseTable map[int64][2]uint64
+
+// PredEntry is one value-predictor table entry (Figure 3, Example 7).
+type PredEntry struct {
+	Conf       uint64
+	Prediction uint64
+}
+
+// PredTable is the PC-indexed value-prediction table.
+type PredTable map[int64]PredEntry
+
+// IMPState is the indirect-memory prefetcher's locked state (Figure 3,
+// Example 9): array bases and the stream offset for the prefetch i+Δ.
+type IMPState struct {
+	Start uint64 // s = i+Δ element offset, in elements
+	BaseZ uint64
+	BaseY uint64
+	BaseX uint64
+	// ElemShift is log2 of the element size used for indexing (the
+	// figure's pseudo-code indexes word arrays; the shift generalizes it).
+	ElemShift uint
+}

@@ -1,0 +1,213 @@
+// Package mld implements the paper's microarchitectural leakage
+// descriptors (Section IV-A): stateless functions that map interactions
+// between in-flight instructions (Inst), persistent microarchitectural
+// state (Uarch) and architectural state (Arch) to distinct observable
+// outcomes. A descriptor partitions its input-assignment space; the
+// partition determines what an attacker can learn and bounds the channel
+// capacity (log2 of the partition size).
+//
+// The package provides the descriptor representation, the nine example
+// MLDs of Figures 2 and 3, the concatenation operator "||" from the
+// Figure 3 footnote, and capacity estimation. Package leakage uses these
+// to regenerate Tables I and II.
+package mld
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind is the type of one descriptor input.
+type Kind uint8
+
+const (
+	// KindInst is a dynamic instruction.
+	KindInst Kind = iota
+	// KindUarch is ISA-invisible persistent microarchitectural state.
+	KindUarch
+	// KindArch is ISA-visible architectural state.
+	KindArch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInst:
+		return "Inst"
+	case KindUarch:
+		return "Uarch"
+	case KindArch:
+		return "Arch"
+	}
+	return "Kind?"
+}
+
+// Param declares one named, typed descriptor input.
+type Param struct {
+	Name string
+	Kind Kind
+}
+
+// Assignment binds parameter names to concrete values. The dynamic types
+// used by the example descriptors are Inst, CacheState, RegFile,
+// MemoryState, ReuseTable, PredTable and IMPState.
+type Assignment map[string]any
+
+// Descriptor is one microarchitectural leakage descriptor.
+type Descriptor struct {
+	// Name is the mld identifier, e.g. "silent_stores".
+	Name string
+	// Class is the optimization class it describes (Table II row).
+	Class string
+	// Params declares the inputs in order.
+	Params []Param
+	// Eval maps an assignment to a distinct-observable-outcome id.
+	Eval func(Assignment) uint64
+}
+
+// Signature summarizes which input kinds the descriptor consumes — the
+// basis of the paper's Table II classification.
+type Signature struct {
+	Inst  bool
+	Uarch bool
+	Arch  bool
+}
+
+// Signature computes the descriptor's input-kind signature.
+func (d *Descriptor) Signature() Signature {
+	var s Signature
+	for _, p := range d.Params {
+		switch p.Kind {
+		case KindInst:
+			s.Inst = true
+		case KindUarch:
+			s.Uarch = true
+		case KindArch:
+			s.Arch = true
+		}
+	}
+	return s
+}
+
+// Category returns the paper's Table II column for this signature:
+// "stateless instruction-centric", "stateful instruction-centric
+// (uarch)", "stateful instruction-centric (arch)", or "memory-centric".
+func (s Signature) Category() string {
+	switch {
+	case s.Inst && !s.Uarch && !s.Arch:
+		return "stateless instruction-centric"
+	case s.Inst && s.Uarch:
+		return "stateful instruction-centric (uarch)"
+	case s.Inst && s.Arch:
+		return "stateful instruction-centric (arch)"
+	case !s.Inst:
+		return "memory-centric"
+	}
+	return "unclassified"
+}
+
+func (d *Descriptor) String() string {
+	sig := ""
+	for i, p := range d.Params {
+		if i > 0 {
+			sig += ", "
+		}
+		sig += fmt.Sprintf("%v %s", p.Kind, p.Name)
+	}
+	return fmt.Sprintf("mld %s(%s)", d.Name, sig)
+}
+
+// MustEval evaluates the descriptor, panicking with a descriptive message
+// if the assignment is missing a parameter (programming error in an
+// experiment, not a runtime condition).
+func (d *Descriptor) MustEval(a Assignment) uint64 {
+	for _, p := range d.Params {
+		if _, ok := a[p.Name]; !ok {
+			panic(fmt.Sprintf("mld %s: assignment missing %q", d.Name, p.Name))
+		}
+	}
+	return d.Eval(a)
+}
+
+// Concat implements the Figure 3 footnote's "||" operator: projection of
+// component outcomes d_{N-1}..d_0 with domain sizes D_{N-1}..D_0 onto the
+// naturals, so that each component leaks independently. ids and domains
+// are ordered d0 first (least significant).
+func Concat(ids, domains []uint64) uint64 {
+	if len(ids) != len(domains) {
+		panic("mld: Concat length mismatch")
+	}
+	var out, scale uint64 = 0, 1
+	for i := range ids {
+		if domains[i] == 0 {
+			panic("mld: Concat zero domain")
+		}
+		if ids[i] >= domains[i] {
+			panic(fmt.Sprintf("mld: Concat id %d out of domain %d", ids[i], domains[i]))
+		}
+		out += ids[i] * scale
+		scale *= domains[i]
+	}
+	return out
+}
+
+// Bit converts a boolean observable to its outcome id.
+func Bit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Capacity returns the upper bound, in bits, on information encodable in
+// one observation given the outcome ids seen across the enumerated input
+// space: log2 of the number of distinct outcomes (Section IV-A3).
+func Capacity(outcomes []uint64) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	distinct := map[uint64]struct{}{}
+	for _, o := range outcomes {
+		distinct[o] = struct{}{}
+	}
+	return math.Log2(float64(len(distinct)))
+}
+
+// Partition groups sample indices by outcome id: the partition the
+// descriptor induces on the sampled input space. The result is a
+// canonical form (groups sorted by first index) so two partitions can be
+// compared with EqualPartitions.
+func Partition(outcomes []uint64) [][]int {
+	groups := map[uint64][]int{}
+	for i, o := range outcomes {
+		groups[o] = append(groups[o], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// EqualPartitions reports whether two canonical partitions are identical.
+func EqualPartitions(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Trivial reports whether a partition has a single block (the descriptor
+// reveals nothing about the varied input on this sample).
+func Trivial(p [][]int) bool { return len(p) <= 1 }

@@ -1,0 +1,202 @@
+package pipeline
+
+import (
+	"pandora/internal/isa"
+)
+
+// fetchAndDispatch brings up to FetchWidth µops into the backend per
+// cycle: replayed µops first (after a value-misprediction squash), then
+// fresh instructions from the control-flow oracle. Direction prediction is
+// static BTFN; a mispredicted branch or an indirect jump blocks fetch
+// until it resolves, plus the redirect penalty.
+func (m *Machine) fetchAndDispatch() {
+	if m.fetchBlocked != nil {
+		u := m.fetchBlocked
+		if u.stage == stDone || u.stage == stRetired {
+			if resume := u.doneC + int64(m.cfg.BranchPenalty); resume > m.fetchResumeC {
+				m.fetchResumeC = resume
+			}
+			m.fetchBlocked = nil
+		} else {
+			return
+		}
+	}
+	if m.cycle < m.fetchResumeC {
+		return
+	}
+
+	for n := 0; n < m.cfg.FetchWidth; n++ {
+		var u *uop
+		fromReplay := false
+		if len(m.replay) > 0 {
+			u = m.replay[0]
+			fromReplay = true
+		} else {
+			if m.oracleHalted || m.haltFetched {
+				return
+			}
+			pc := m.oracle.PC
+			if pc < 0 || pc >= int64(len(m.prog)) {
+				m.fail("fetch pc %d out of program [0,%d)", pc, len(m.prog))
+				return
+			}
+			// Peek the class for resource checks before committing to the
+			// oracle step.
+			if !m.resourcesFor(m.prog[pc]) {
+				return
+			}
+			u = m.newUopFromOracle()
+			if u == nil {
+				return
+			}
+		}
+		if fromReplay {
+			if !m.resourcesFor(u.inst) {
+				return
+			}
+			m.replay = m.replay[1:]
+		}
+
+		m.dispatch(u)
+		if u.mispredicted {
+			m.fetchBlocked = u
+			return
+		}
+		if u.class == isa.ClassHalt {
+			m.haltFetched = true
+			return
+		}
+	}
+}
+
+// resourcesFor reports whether the backend can accept an instruction of
+// this shape right now, counting stall causes.
+func (m *Machine) resourcesFor(in isa.Inst) bool {
+	if len(m.rob) >= m.cfg.ROBSize {
+		m.Stats.RenameStallROB++
+		return false
+	}
+	cl := isa.ClassOf(in.Op)
+	if cl != isa.ClassHalt && m.iqCount >= m.cfg.IQSize {
+		m.Stats.RenameStallIQ++
+		return false
+	}
+	if cl == isa.ClassLoad && m.lqCount >= m.cfg.LQSize {
+		m.Stats.RenameStallLQ++
+		return false
+	}
+	if cl == isa.ClassStore && len(m.sq) >= m.cfg.SQSize {
+		m.Stats.RenameStallSQ++
+		return false
+	}
+	if in.Writes() != isa.X0 && m.prfFree <= 0 {
+		m.Stats.RenameStallPRF++
+		return false
+	}
+	return true
+}
+
+// newUopFromOracle steps the functional oracle one instruction and wraps
+// the outcome in a µop carrying the correct-path facts.
+func (m *Machine) newUopFromOracle() *uop {
+	pc := m.oracle.PC
+	in := m.prog[pc]
+	cl := isa.ClassOf(in.Op)
+
+	u := &uop{
+		pc:    pc,
+		inst:  in,
+		class: cl,
+	}
+
+	if cl == isa.ClassBranch {
+		u.oracleTaken = isa.Taken(in.Op, m.oracle.Regs[in.Rs1], m.oracle.Regs[in.Rs2])
+	}
+
+	halted, err := m.oracle.Step(m.prog)
+	if err != nil {
+		m.fail("oracle: %v", err)
+		return nil
+	}
+	if halted {
+		m.oracleHalted = true
+	}
+	u.nextPC = m.oracle.PC
+	if w := in.Writes(); w != isa.X0 {
+		u.oracleResult = m.oracle.Regs[w]
+	}
+
+	switch cl {
+	case isa.ClassBranch:
+		// Static BTFN: backward targets predicted taken.
+		u.predictedTaken = in.Imm <= pc
+		u.mispredicted = u.predictedTaken != u.oracleTaken
+	case isa.ClassJump:
+		// Direct jumps (JAL) are predicted perfectly; indirect jumps
+		// (JALR) always redirect — the toy frontend has no BTB.
+		u.mispredicted = in.Op == isa.JALR
+	}
+	return u
+}
+
+// dispatch renames u and inserts it into the ROB (and LQ/SQ bookkeeping).
+// Resources were checked by the caller.
+func (m *Machine) dispatch(u *uop) {
+	m.seq++
+	u.seq = m.seq
+	u.fetchC = m.cycle
+	u.stage = stDispatched
+	m.Stats.Fetched++
+	if u.mispredicted && u.class == isa.ClassBranch {
+		m.Stats.BranchMispredicts++
+	}
+
+	// Capture producers for the source registers before installing this
+	// µop as a producer itself (self-dependencies read the older writer).
+	r1, r2 := u.inst.Uses()
+	if r1 != isa.X0 {
+		u.prod[0] = m.producer[r1]
+	}
+	if r2 != isa.X0 {
+		u.prod[1] = m.producer[r2]
+	}
+
+	if u.writesReg() {
+		m.prfFree--
+		u.renamed = true
+		m.producer[u.inst.Writes()] = u
+	}
+
+	m.rob = append(m.rob, u)
+	switch u.class {
+	case isa.ClassHalt:
+		// HALT needs no execution resources; it is complete on arrival
+		// and retires when oldest.
+		u.stage = stExecuting
+		u.doneC = m.cycle
+	case isa.ClassLoad:
+		m.iqCount++
+		m.lqCount++
+		// µ-op fusion: an ADDI dispatched immediately before this load,
+		// producing its base register, issues fused with it.
+		if m.cfg.FuseAddiLoad && u.prod[0] != nil {
+			p := u.prod[0]
+			if p.inst.Op == isa.ADDI && p.seq == u.seq-1 && p.stage == stDispatched {
+				u.fusedProd = p
+			}
+		}
+		if m.cfg.Predictor != nil {
+			if v, ok := m.cfg.Predictor.Predict(u.pc); ok {
+				u.predicted = true
+				u.wasPredicted = true
+				u.predictedVal = v
+			}
+		}
+	case isa.ClassStore:
+		m.iqCount++
+		m.sq = append(m.sq, &sqEntry{u: u})
+	default:
+		m.iqCount++
+	}
+	m.event(EvDispatch, u, u.inst.String())
+}

@@ -1,0 +1,270 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"pandora/internal/cache"
+	"pandora/internal/emu"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+	"pandora/internal/uopt"
+)
+
+// Machine is one out-of-order core attached to a cache hierarchy and data
+// memory. Create with New, run one program with Run. A Machine is
+// single-use per Run call but may Run multiple programs sequentially;
+// microarchitectural state (caches, predictors, reuse buffers) persists
+// across runs, which is exactly what cross-program attacks rely on.
+type Machine struct {
+	cfg  Config
+	mem  *mem.Memory
+	hier *cache.Hierarchy
+
+	prog         isa.Program
+	oracle       *emu.Machine
+	oracleHalted bool
+
+	cycle int64
+	seq   uint64
+
+	rob     []*uop
+	sq      []*sqEntry
+	lqCount int
+	iqCount int
+
+	producer       [isa.NumRegs]*uop
+	committed      [isa.NumRegs]uint64
+	committedTaint [isa.NumRegs]bool
+
+	prfFree int
+	vf      *uopt.ValueFile
+
+	fetchBlocked *uop  // unresolved mispredicted branch / indirect jump
+	fetchResumeC int64 // earliest cycle fetch may proceed
+	replay       []*uop
+
+	haltFetched bool
+	haltRetired bool
+
+	taintedMem map[uint64]bool // byte-granular RDCYCLE-derived memory
+
+	Stats  Stats
+	Events []Event
+
+	err error
+}
+
+// Event is one entry of the µop event log (Figure 4 timelines).
+type Event struct {
+	Cycle  int64
+	Seq    uint64
+	PC     int64
+	Kind   EventKind
+	Detail string
+}
+
+// EventKind labels pipeline events.
+type EventKind string
+
+// Event kinds recorded when Config.RecordEvents is set.
+const (
+	EvDispatch      EventKind = "dispatch"
+	EvIssue         EventKind = "issue"
+	EvAddrResolved  EventKind = "addr-resolved"
+	EvSSLoadIssue   EventKind = "ssload-issue"
+	EvSSLoadNoPort  EventKind = "ssload-no-port"
+	EvSSLoadReturn  EventKind = "ssload-return"
+	EvSSLoadLate    EventKind = "ssload-late"
+	EvSQHead        EventKind = "reaches-sq-head"
+	EvFillRequest   EventKind = "fill-request"
+	EvStoreToCache  EventKind = "store-sent-to-cache"
+	EvMemResponse   EventKind = "response-from-mem"
+	EvDequeue       EventKind = "sq-dequeue"
+	EvDequeueSilent EventKind = "sq-dequeue-silent"
+	EvRetire        EventKind = "retire"
+	EvSquash        EventKind = "squash"
+)
+
+func (e Event) String() string {
+	s := fmt.Sprintf("cycle %5d  #%-4d pc=%-4d %-20s", e.Cycle, e.Seq, e.PC, e.Kind)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// New builds a machine. mem and hier must be non-nil; the caller owns both
+// and may pre-populate memory and cache state (preconditioning).
+func New(cfg Config, memory *mem.Memory, hier *cache.Hierarchy) (*Machine, error) {
+	if memory == nil {
+		return nil, fmt.Errorf("pipeline: nil memory")
+	}
+	if err := cfg.validate(hier); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:        cfg,
+		mem:        memory,
+		hier:       hier,
+		taintedMem: make(map[uint64]bool),
+	}
+	m.vf = uopt.NewValueFile(cfg.RFC)
+	// Seed the physical register file: the 32 architectural registers hold
+	// value 0 at reset. Under RFC they collapse onto a shared zero
+	// register, freeing the rest — a real effect of value-sharing renames.
+	m.prfFree = cfg.PhysRegs
+	for i := 0; i < isa.NumRegs; i++ {
+		m.prfFree--
+		if m.vf.Produce(0) {
+			m.prfFree++
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, memory *mem.Memory, hier *cache.Hierarchy) *Machine {
+	m, err := New(cfg, memory, hier)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Hierarchy returns the attached cache hierarchy.
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Memory returns the attached data memory.
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Reg returns the committed architectural value of r after a Run.
+func (m *Machine) Reg(r isa.Reg) uint64 { return m.committed[r] }
+
+// Result summarizes one Run.
+type Result struct {
+	Cycles  int64
+	Retired uint64
+	Stats   Stats
+}
+
+// Run executes prog to completion (HALT retired and store queue drained)
+// and returns the cycle count. Architectural registers start at zero and
+// the entry point is instruction 0. Timing state accumulated by earlier
+// runs (cache contents, predictor state) is preserved.
+func (m *Machine) Run(prog isa.Program) (Result, error) {
+	if len(prog) == 0 {
+		return Result{}, fmt.Errorf("pipeline: empty program")
+	}
+	m.prog = prog
+	m.oracle = emu.New(m.mem.Clone())
+	m.oracleHalted = false
+	m.haltFetched = false
+	m.haltRetired = false
+	m.rob = m.rob[:0]
+	m.sq = m.sq[:0]
+	m.replay = m.replay[:0]
+	m.lqCount, m.iqCount = 0, 0
+	m.fetchBlocked = nil
+	m.fetchResumeC = 0
+	m.producer = [isa.NumRegs]*uop{}
+	// Architectural registers reset to zero between runs, with PRF
+	// accounting for the overwritten values.
+	for r := 1; r < isa.NumRegs; r++ {
+		if m.committed[r] != 0 {
+			if m.vf.Release(m.committed[r]) {
+				m.prfFree++
+			}
+			m.prfFree--
+			if m.vf.Produce(0) {
+				m.prfFree++
+			}
+			m.committed[r] = 0
+		}
+		m.committedTaint[r] = false
+	}
+	m.err = nil
+
+	startCycle := m.cycle
+	startRetired := m.Stats.Retired
+	for {
+		m.cycle++
+		m.retire()
+		m.complete()
+		m.sqTick()
+		m.issue()
+		m.fetchAndDispatch()
+		if m.err != nil {
+			return Result{}, m.err
+		}
+		if m.haltRetired && len(m.sq) == 0 {
+			break
+		}
+		if m.cycle-startCycle > m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("pipeline: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
+		}
+	}
+	elapsed := m.cycle - startCycle
+	m.Stats.Cycles += elapsed
+	return Result{Cycles: elapsed, Retired: m.Stats.Retired - startRetired, Stats: m.Stats}, nil
+}
+
+func (m *Machine) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("pipeline: cycle %d: %s", m.cycle, fmt.Sprintf(format, args...))
+	}
+}
+
+func (m *Machine) event(kind EventKind, u *uop, detail string) {
+	if !m.cfg.RecordEvents {
+		return
+	}
+	m.Events = append(m.Events, Event{Cycle: m.cycle, Seq: u.seq, PC: u.pc, Kind: kind, Detail: detail})
+}
+
+// readWithForward reads width bytes at addr, patching in store data from
+// in-flight stores older than seq (store-to-load forwarding). It reports
+// whether the whole access was covered by forwarding, whether any byte
+// was, and whether any byte carries RDCYCLE taint.
+func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint64, full, any, tainted bool) {
+	var b [8]byte
+	var covered [8]bool
+	for i := 0; i < width; i++ {
+		a := addr + uint64(i)
+		b[i] = m.mem.LoadByte(a)
+		if len(m.taintedMem) > 0 && m.taintedMem[a] {
+			tainted = true
+		}
+	}
+	for _, e := range m.sq {
+		if e.u.seq >= seq {
+			break
+		}
+		if !e.addrReady {
+			m.fail("load forwarded past unresolved store #%d", e.u.seq)
+			break
+		}
+		sa, sw := e.u.addr, e.u.memWidth
+		for i := 0; i < width; i++ {
+			a := addr + uint64(i)
+			if a >= sa && a < sa+uint64(sw) {
+				b[i] = byte(e.u.storeVal >> (8 * (a - sa)))
+				covered[i] = true
+				if e.u.tainted {
+					tainted = true
+				}
+			}
+		}
+	}
+	full, any = true, false
+	for i := 0; i < width; i++ {
+		if covered[i] {
+			any = true
+		} else {
+			full = false
+		}
+	}
+	for i := width - 1; i >= 0; i-- {
+		val = val<<8 | uint64(b[i])
+	}
+	return val, full && any, any, tainted
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderPipeview draws the event log as a per-µop pipeline diagram in the
+// style of gem5's O3 pipeview: one row per dynamic instruction, columns
+// are cycles, with markers for dispatch (D), issue (I), store-queue
+// events (s/q), squash (x) and retire (R). Intended for `pandora run
+// -pipeview` and debugging timing experiments.
+func RenderPipeview(events []Event, maxCols int) string {
+	if len(events) == 0 {
+		return "(no events — enable Config.RecordEvents)\n"
+	}
+	if maxCols <= 0 {
+		maxCols = 96
+	}
+
+	type row struct {
+		seq   uint64
+		pc    int64
+		label string
+		marks map[int64]byte
+		first int64
+		last  int64
+	}
+	rows := map[uint64]*row{}
+	var order []uint64
+	var minC, maxC int64 = 1<<62 - 1, 0
+
+	mark := func(e Event, m byte) {
+		r := rows[e.Seq]
+		if r == nil {
+			r = &row{seq: e.Seq, pc: e.PC, marks: map[int64]byte{}, first: e.Cycle}
+			rows[e.Seq] = r
+			order = append(order, e.Seq)
+		}
+		// First marker wins within a cycle, except retire/squash which
+		// always show.
+		if _, busy := r.marks[e.Cycle]; !busy || m == 'R' || m == 'x' {
+			r.marks[e.Cycle] = m
+		}
+		if e.Cycle < r.first {
+			r.first = e.Cycle
+		}
+		if e.Cycle > r.last {
+			r.last = e.Cycle
+		}
+		if e.Cycle < minC {
+			minC = e.Cycle
+		}
+		if e.Cycle > maxC {
+			maxC = e.Cycle
+		}
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case EvDispatch:
+			mark(e, 'D')
+			rows[e.Seq].label = e.Detail
+		case EvIssue:
+			mark(e, 'I')
+		case EvSSLoadIssue:
+			mark(e, 's')
+		case EvSSLoadReturn:
+			mark(e, 'r')
+		case EvSQHead, EvDequeue, EvDequeueSilent:
+			mark(e, 'q')
+		case EvSquash:
+			mark(e, 'x')
+		case EvRetire:
+			mark(e, 'R')
+		}
+	}
+
+	span := maxC - minC + 1
+	scale := int64(1)
+	if span > int64(maxCols) {
+		scale = (span + int64(maxCols) - 1) / int64(maxCols)
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeview: cycles %d..%d (1 column = %d cycle(s))\n", minC, maxC, scale)
+	b.WriteString("D dispatch  I issue  s ss-load  r ss-return  q sq-dequeue  x squash  R retire\n\n")
+	for _, seq := range order {
+		r := rows[seq]
+		width := int((maxC-minC)/scale) + 1
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for c := r.first; c <= r.last; c++ {
+			i := int((c - minC) / scale)
+			if line[i] == ' ' {
+				line[i] = '.'
+			}
+		}
+		for c, m := range r.marks {
+			line[int((c-minC)/scale)] = m
+		}
+		fmt.Fprintf(&b, "#%-4d pc=%-4d |%s| %s\n", r.seq, r.pc, string(line), r.label)
+	}
+	return b.String()
+}

@@ -1,0 +1,697 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"pandora/internal/isa"
+	"pandora/internal/uopt"
+)
+
+// retire commits up to RetireWidth completed µops in program order,
+// verifying each register result against the control-flow oracle.
+func (m *Machine) retire() {
+	for n := 0; n < m.cfg.RetireWidth && len(m.rob) > 0; n++ {
+		u := m.rob[0]
+		if u.stage != stDone {
+			return
+		}
+		u.stage = stRetired
+		u.retireC = m.cycle
+		m.rob = m.rob[1:]
+		m.Stats.Retired++
+		m.event(EvRetire, u, "")
+
+		if u.writesReg() {
+			r := u.inst.Writes()
+			if !u.tainted && u.result != u.oracleResult {
+				m.fail("retire verification failed at pc=%d %v: pipeline=%#x oracle=%#x",
+					u.pc, u.inst, u.result, u.oracleResult)
+				return
+			}
+			// The previous committed value of r dies; its physical
+			// register returns to the pool when its last reference does.
+			if m.vf.Release(m.committed[r]) {
+				m.prfFree++
+			}
+			m.committed[r] = u.result
+			m.committedTaint[r] = u.tainted
+			if m.producer[r] == u {
+				m.producer[r] = nil
+			}
+		}
+		switch u.class {
+		case isa.ClassLoad:
+			m.lqCount--
+			// Predictors train at commit: exactly once per dynamic
+			// instance, in program order, replay-immune.
+			if m.cfg.Predictor != nil {
+				m.cfg.Predictor.Resolve(u.pc, u.result, u.wasPredicted, u.predictedVal)
+			}
+		case isa.ClassHalt:
+			m.haltRetired = true
+		}
+	}
+}
+
+// complete applies writeback effects for µops whose execution finishes at
+// or before this cycle: result availability, RFC early register release,
+// reuse-buffer update, value-prediction verification (and squash), and
+// store-queue address resolution.
+func (m *Machine) complete() {
+	var squashAfter *uop
+	for _, u := range m.rob {
+		if u.stage != stExecuting || u.doneC > m.cycle {
+			continue
+		}
+		u.stage = stDone
+
+		if u.writesReg() {
+			u.wroteback = true
+			if m.vf.Produce(u.result) {
+				u.sharedReg = true
+				m.prfFree++
+			}
+			if m.cfg.Reuse != nil {
+				m.cfg.Reuse.InvalidateReg(uint8(u.inst.Writes()))
+			}
+		}
+
+		switch u.class {
+		case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+			if m.cfg.Reuse != nil && !u.reused && u.inst.Op != isa.LUI {
+				r1, r2 := u.inst.Uses()
+				m.cfg.Reuse.Update(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2), u.result)
+			}
+		case isa.ClassLoad:
+			if u.predicted {
+				if u.predictedVal != u.result {
+					// Value misprediction: squash everything younger.
+					if squashAfter == nil || u.seq < squashAfter.seq {
+						squashAfter = u
+					}
+				}
+				u.predicted = false // consumers must now read the real result
+			}
+		case isa.ClassStore:
+			for _, e := range m.sq {
+				if e.u == u {
+					e.addrReady = true
+					m.event(EvAddrResolved, u, fmt.Sprintf("addr=%#x", u.addr))
+					if ss := m.cfg.SilentStores; ss != nil && ss.Scheme == SSLSQCompare {
+						m.lsqCompare(e)
+					}
+					break
+				}
+			}
+		case isa.ClassBranch:
+			taken := isa.Taken(u.inst.Op, u.srcVals[0], u.srcVals[1])
+			if taken != u.oracleTaken {
+				m.fail("branch divergence at pc=%d %v (pipeline taken=%v oracle=%v)",
+					u.pc, u.inst, taken, u.oracleTaken)
+			}
+		case isa.ClassJump:
+			if u.inst.Op == isa.JALR {
+				target := int64(u.srcVals[0] + uint64(u.inst.Imm))
+				if target != u.nextPC {
+					m.fail("indirect jump divergence at pc=%d (pipeline target=%d oracle=%d)",
+						u.pc, target, u.nextPC)
+				}
+			}
+		}
+	}
+	if squashAfter != nil {
+		m.squashYounger(squashAfter)
+	}
+}
+
+// squashYounger removes every µop younger than u from the pipeline and
+// queues it for replay — the value-misprediction recovery path.
+func (m *Machine) squashYounger(u *uop) {
+	m.Stats.ValueSquashes++
+	if m.cfg.Predictor != nil {
+		m.cfg.Predictor.Squash()
+	}
+	keep := m.rob[:0]
+	var squashed []*uop
+	for _, v := range m.rob {
+		if v.seq <= u.seq {
+			keep = append(keep, v)
+			continue
+		}
+		squashed = append(squashed, v)
+	}
+	m.rob = keep
+
+	for _, v := range squashed {
+		m.Stats.SquashedUops++
+		m.event(EvSquash, v, "")
+		if v.writesReg() {
+			if v.wroteback {
+				if m.vf.Release(v.result) {
+					m.prfFree++
+				}
+			} else if v.renamed {
+				m.prfFree++
+			}
+		}
+		if v.stage == stDispatched {
+			m.iqCount--
+		}
+		if v.class == isa.ClassLoad {
+			m.lqCount--
+		}
+	}
+
+	// Remove squashed stores from the SQ (none can be dequeuing: dequeue
+	// requires retirement, and retirement is in-order behind u).
+	sq := m.sq[:0]
+	for _, e := range m.sq {
+		if e.u.seq <= u.seq {
+			sq = append(sq, e)
+			continue
+		}
+		if e.dequeuing || e.u.stage == stRetired {
+			m.fail("squashed a retired/dequeuing store #%d", e.u.seq)
+		}
+	}
+	m.sq = sq
+
+	// Rebuild the rename map from surviving in-flight µops.
+	m.producer = [isa.NumRegs]*uop{}
+	for _, v := range m.rob {
+		if v.writesReg() && v.stage != stRetired {
+			m.producer[v.inst.Writes()] = v
+		}
+	}
+
+	// Queue for replay in program order and redirect fetch.
+	sort.Slice(squashed, func(i, j int) bool { return squashed[i].seq < squashed[j].seq })
+	for _, v := range squashed {
+		m.resetForReplay(v)
+	}
+	m.replay = append(squashed, m.replay...)
+	if resume := m.cycle + int64(m.cfg.SquashPenalty); resume > m.fetchResumeC {
+		m.fetchResumeC = resume
+	}
+	if m.fetchBlocked != nil && m.fetchBlocked.seq > u.seq {
+		m.fetchBlocked = nil
+	}
+}
+
+func (m *Machine) resetForReplay(v *uop) {
+	v.stage = stDispatched
+	v.prod = [2]*uop{}
+	v.srcVals = [2]uint64{}
+	v.result = 0
+	v.addr = 0
+	v.storeVal = 0
+	v.tainted = false
+	v.predicted = false
+	v.wasPredicted = false
+	v.predictedVal = 0
+	v.reused = false
+	v.fusedProd = nil
+	v.packed = false
+	v.sharedReg = false
+	v.renamed = false
+	v.wroteback = false
+	v.replayed++
+	if v.replayed > 64 {
+		m.fail("µop #%d replayed %d times (livelock)", v.seq, v.replayed)
+	}
+}
+
+// sqTick advances the store queue: SS-Load returns, silent dequeues, and
+// in-order store performs (Figure 4 of the paper).
+func (m *Machine) sqTick() {
+	// SS-Load returns.
+	for _, e := range m.sq {
+		if e.ss == ssPending && m.cycle >= e.ssReturnC {
+			e.ss = ssReturned
+			e.ssMatch = e.ssValue == e.u.storeVal
+			if e.ssMatch {
+				m.event(EvSSLoadReturn, e.u, "match (silent candidate)")
+			} else {
+				m.Stats.NonSilentChecks++
+				m.event(EvSSLoadReturn, e.u, fmt.Sprintf("mismatch (read %#x, storing %#x)", e.ssValue, e.u.storeVal))
+			}
+		}
+	}
+	// Head processing. Multiple consecutive silent stores may dequeue in
+	// one cycle; a performing store occupies the head until its line is
+	// in the cache.
+	for len(m.sq) > 0 {
+		e := m.sq[0]
+		if e.dequeuing {
+			if m.cycle < e.dequeueDoneC {
+				if m.cfg.SQOutOfOrderDequeue {
+					m.dequeuePastBlockedHead()
+				}
+				return
+			}
+			m.performStore(e)
+			m.event(EvMemResponse, e.u, "")
+			m.event(EvStoreToCache, e.u, "")
+			m.event(EvDequeue, e.u, "")
+			m.sq = m.sq[1:]
+			return // next store begins dequeue next cycle
+		}
+		if e.u.stage != stRetired {
+			return
+		}
+		if !e.headSeen {
+			e.headSeen = true
+			m.event(EvSQHead, e.u, "")
+		}
+		if m.cfg.SilentStores != nil {
+			switch e.ss {
+			case ssReturned:
+				if e.ssMatch {
+					// Case A: silent store — dequeue without touching
+					// memory or the cache; consecutive silent stores
+					// dequeue in the same cycle.
+					m.Stats.SilentStores++
+					m.event(EvDequeueSilent, e.u, "")
+					m.sq = m.sq[1:]
+					continue
+				}
+				// Case B: value mismatch — perform normally.
+			case ssPending:
+				// Case D: SS-Load has not returned by perform time.
+				m.Stats.SSLoadLate++
+				m.event(EvSSLoadLate, e.u, "")
+				e.ss = ssFailed
+			}
+		}
+		// Perform: the store needs its line in the (first-level) cache;
+		// the access returns the fill latency.
+		res := m.hier.Access(e.u.addr, e.u.storeVal, true)
+		lat := int64(res.Latency)
+		if res.L1Hit {
+			lat = 1
+		}
+		e.dequeuing = true
+		e.dequeueDoneC = m.cycle + lat
+		if !res.L1Hit {
+			m.event(EvFillRequest, e.u, fmt.Sprintf("latency=%d", lat))
+		}
+		return
+	}
+}
+
+// lsqCompare implements the SSLSQCompare scheme: when a store's address
+// and data resolve, compare it against the youngest older in-flight store
+// to the same location. No memory read happens; stores with no in-flight
+// predecessor are simply not candidates.
+func (m *Machine) lsqCompare(e *sqEntry) {
+	var prev *sqEntry
+	for _, o := range m.sq {
+		if o.u.seq >= e.u.seq {
+			break
+		}
+		if o.addrReady && o.u.addr == e.u.addr && o.u.memWidth == e.u.memWidth {
+			prev = o
+		}
+	}
+	if prev == nil {
+		e.ss = ssFailed
+		return
+	}
+	e.ss = ssReturned
+	e.ssValue = prev.u.storeVal
+	e.ssMatch = prev.u.storeVal == e.u.storeVal
+	if e.ssMatch {
+		m.event(EvSSLoadReturn, e.u, "lsq match (silent candidate)")
+	} else {
+		m.Stats.NonSilentChecks++
+		m.event(EvSSLoadReturn, e.u, "lsq mismatch")
+	}
+}
+
+// dequeuePastBlockedHead is the ablation of the in-order-dequeue design
+// choice: while the head store waits for its fill, younger retired stores
+// whose addresses do not overlap any older in-flight store may dequeue
+// around it (same-address ordering is always preserved; one cache-
+// touching perform per cycle).
+func (m *Machine) dequeuePastBlockedHead() {
+	performed := false
+	keep := m.sq[:1] // the blocked head stays
+	for i := 1; i < len(m.sq); i++ {
+		e := m.sq[i]
+		removed := false
+		if e.u.stage == stRetired && !e.dequeuing {
+			overlaps := false
+			for _, o := range keep {
+				if e.u.addr < o.u.addr+uint64(o.u.memWidth) && o.u.addr < e.u.addr+uint64(e.u.memWidth) {
+					overlaps = true
+					break
+				}
+			}
+			if !overlaps {
+				switch {
+				case e.ss == ssReturned && e.ssMatch:
+					m.Stats.SilentStores++
+					m.event(EvDequeueSilent, e.u, "out-of-order")
+					removed = true
+				case !performed && m.hier.L1.Contains(e.u.addr):
+					m.hier.Access(e.u.addr, e.u.storeVal, true)
+					m.performStore(e)
+					m.event(EvDequeue, e.u, "out-of-order")
+					performed = true
+					removed = true
+				}
+			}
+		}
+		if !removed {
+			keep = append(keep, e)
+		}
+	}
+	m.sq = keep
+}
+
+// performStore writes the store's bytes to memory and updates taint.
+func (m *Machine) performStore(e *sqEntry) {
+	u := e.u
+	m.mem.Write(u.addr, u.memWidth, u.storeVal)
+	for i := 0; i < u.memWidth; i++ {
+		a := u.addr + uint64(i)
+		if u.tainted {
+			m.taintedMem[a] = true
+		} else if len(m.taintedMem) > 0 {
+			delete(m.taintedMem, a)
+		}
+	}
+}
+
+// issue selects ready µops oldest-first subject to port availability and
+// runs the optimization hooks: computation reuse, computation
+// simplification, operand packing, and silent-store read-port stealing.
+func (m *Machine) issue() {
+	alu := m.cfg.ALUPorts
+	md := m.cfg.MulDivUnits
+	ld := m.cfg.LoadPorts
+	st := m.cfg.StorePorts
+
+	// The SMT sibling's ready ops claim ALU ports first; a sibling op can
+	// later release its claim by packing with a victim op (the paper's
+	// active packing attack).
+	coOps := 0
+	if ct := m.cfg.CoTenant; ct != nil {
+		coOps = ct.OpsPerCycle
+		if coOps <= 0 {
+			coOps = 1
+		}
+		// The issue arbiter never lets one thread claim every port
+		// (round-robin fairness), so the sibling takes at most all but
+		// one.
+		if coOps > m.cfg.ALUPorts-1 {
+			coOps = m.cfg.ALUPorts - 1
+		}
+		alu -= coOps
+	}
+
+	// ALU µops issued this cycle, for operand packing: each entry may
+	// host one packed partner.
+	type aluSlot struct {
+		u      *uop
+		packed bool
+	}
+	var aluIssued []aluSlot
+
+	// Memory operations may not issue past a FENCE that has not completed.
+	fencePending := false
+	noteFence := func(u *uop) {
+		if u.class == isa.ClassFence && u.stage != stDone && u.stage != stRetired {
+			fencePending = true
+		}
+	}
+
+	for _, u := range m.rob {
+		if u.stage != stDispatched {
+			noteFence(u)
+			continue
+		}
+		if fencePending && (u.class == isa.ClassLoad || u.class == isa.ClassStore) {
+			continue
+		}
+		if !u.srcReady(0, m.cycle) || !u.srcReady(1, m.cycle) {
+			noteFence(u)
+			continue
+		}
+
+		switch u.class {
+		case isa.ClassFence:
+			if len(m.rob) > 0 && m.rob[0] == u && len(m.sq) == 0 {
+				m.startExec(u, 1)
+			}
+
+		case isa.ClassCSR:
+			if alu > 0 {
+				alu--
+				m.startExec(u, 1)
+				u.result = uint64(m.cycle)
+				u.tainted = true
+			}
+
+		case isa.ClassALU:
+			m.readSources(u)
+			if m.tryReuse(u) {
+				m.startExec(u, 1)
+				u.result = m.aluResult(u)
+				break
+			}
+			lat := m.cfg.ALULat
+			if m.cfg.Simplifier != nil {
+				lat, _ = m.cfg.Simplifier.SimplifiedLatency(uopt.KindSimple, u.srcVals[0], u.srcVals[1], lat)
+			}
+			if alu > 0 {
+				alu--
+				m.startExec(u, lat)
+				u.result = m.aluResult(u)
+				aluIssued = append(aluIssued, aluSlot{u: u})
+				break
+			}
+			// Operand packing: share a port with an already-issued
+			// narrow-operand ALU µop (pipeline compression), or with one
+			// of the SMT sibling's ops — whose operands the attacker set
+			// to be narrow precisely so that packing keys on the victim's.
+			if m.cfg.Packer != nil {
+				packed := false
+				for i := range aluIssued {
+					s := &aluIssued[i]
+					if s.packed || s.u.class != isa.ClassALU {
+						continue
+					}
+					if m.cfg.Packer.CanPack(s.u.srcVals[0], s.u.srcVals[1], u.srcVals[0], u.srcVals[1]) {
+						s.packed = true
+						packed = true
+						break
+					}
+				}
+				if !packed && coOps > 0 {
+					ct := m.cfg.CoTenant
+					if m.cfg.Packer.CanPack(ct.OperandA, ct.OperandB, u.srcVals[0], u.srcVals[1]) {
+						coOps--
+						packed = true
+					}
+				}
+				if packed {
+					u.packed = true
+					m.cfg.Packer.NotePacked()
+					m.Stats.Packed++
+					m.startExec(u, lat)
+					u.result = m.aluResult(u)
+				}
+			}
+
+		case isa.ClassMul, isa.ClassDiv:
+			m.readSources(u)
+			if m.tryReuse(u) {
+				m.startExec(u, 1)
+				u.result = m.aluResult(u)
+				break
+			}
+			if md > 0 {
+				lat := m.cfg.MulLat
+				kind := uopt.KindMul
+				if u.class == isa.ClassDiv {
+					lat = m.cfg.DivLat
+					kind = uopt.KindDiv
+				}
+				if m.cfg.Simplifier != nil {
+					lat, _ = m.cfg.Simplifier.SimplifiedLatency(kind, u.srcVals[0], u.srcVals[1], lat)
+				}
+				md--
+				m.startExec(u, lat)
+				u.result = m.aluResult(u)
+			}
+
+		case isa.ClassJump:
+			if alu > 0 {
+				alu--
+				m.readSources(u)
+				if u.inst.Op == isa.JALR && u.tainted {
+					m.fail("indirect jump target derives from RDCYCLE at pc=%d", u.pc)
+				}
+				m.startExec(u, 1)
+				u.result = uint64(u.pc + 1)
+				u.tainted = false // the link value is architectural
+			}
+
+		case isa.ClassBranch:
+			if alu > 0 {
+				alu--
+				m.readSources(u)
+				if u.tainted {
+					m.fail("branch predicate derives from RDCYCLE at pc=%d", u.pc)
+				}
+				m.startExec(u, 1)
+			}
+
+		case isa.ClassLoad:
+			if ld == 0 {
+				continue
+			}
+			if !m.olderStoresResolved(u.seq) {
+				continue
+			}
+			if m.lqReadyLoad(u) {
+				ld--
+			}
+
+		case isa.ClassStore:
+			if st > 0 {
+				st--
+				m.readSources(u)
+				u.addr = u.srcVals[0] + uint64(u.inst.Imm)
+				u.storeVal = u.srcVals[1]
+				u.memWidth = isa.MemWidth(u.inst.Op)
+				m.startExec(u, 1) // AGU
+			}
+		}
+		noteFence(u)
+	}
+
+	// Silent stores: SS-Loads steal leftover load ports (read-port
+	// stealing). Demand loads had priority above. An SS-Load that finds
+	// no free port the cycle its store's address resolves gives up
+	// (Figure 4 Case C) unless Retry is configured.
+	if m.cfg.SilentStores != nil && m.cfg.SilentStores.Scheme == SSReadPortStealing {
+		for _, e := range m.sq {
+			if !e.addrReady || e.ss != ssNone || e.dequeuing {
+				continue
+			}
+			// The SS-Load reads memory, so it must not run ahead of older
+			// stores with unresolved addresses.
+			if !m.olderStoresResolved(e.u.seq) {
+				continue
+			}
+			if ld == 0 {
+				if !m.cfg.SilentStores.Retry {
+					e.ss = ssFailed
+					m.Stats.SSLoadNoPort++
+					m.event(EvSSLoadNoPort, e.u, "")
+				}
+				continue
+			}
+			ld--
+			lat := m.hier.AccessSilent(e.u.addr).Latency
+			val, _, _, _ := m.readWithForward(e.u.addr, e.u.memWidth, e.u.seq)
+			e.ss = ssPending
+			e.ssReturnC = m.cycle + int64(lat)
+			e.ssValue = val
+			m.Stats.SSLoadsIssued++
+			m.event(EvSSLoadIssue, e.u, fmt.Sprintf("returns at %d", e.ssReturnC))
+		}
+	}
+}
+
+// lqReadyLoad executes a load: forwarding check, cache access, value
+// prediction bookkeeping. Returns true if a port was consumed.
+func (m *Machine) lqReadyLoad(u *uop) bool {
+	m.readSources(u)
+	u.addr = u.srcVals[0] + uint64(u.inst.Imm)
+	u.memWidth = isa.MemWidth(u.inst.Op)
+	val, full, _, memTaint := m.readWithForward(u.addr, u.memWidth, u.seq)
+	switch u.inst.Op {
+	case isa.LB, isa.LH, isa.LW:
+		val = signExtend(val, u.memWidth)
+	}
+	var lat int
+	if full {
+		lat = m.cfg.ForwardLat
+		m.Stats.LoadsForwarded++
+	} else {
+		res := m.hier.Access(u.addr, val, false)
+		lat = res.Latency
+		m.Stats.LoadsFromCache++
+	}
+	m.startExec(u, lat)
+	u.result = val
+	if memTaint {
+		u.tainted = true
+	}
+	return true
+}
+
+func signExtend(v uint64, width int) uint64 {
+	shift := 64 - 8*width
+	return uint64(int64(v<<shift) >> shift)
+}
+
+// readSources latches operand values and taint at issue time.
+func (m *Machine) readSources(u *uop) {
+	u.srcVals[0] = u.srcValue(0, &m.committed)
+	u.srcVals[1] = u.srcValue(1, &m.committed)
+	if isa.HasImm(u.inst.Op) && u.class != isa.ClassLoad && u.class != isa.ClassStore &&
+		u.class != isa.ClassBranch && u.class != isa.ClassJump {
+		u.srcVals[1] = uint64(u.inst.Imm)
+	}
+	u.tainted = u.srcTainted(0, &m.committedTaint) || u.srcTainted(1, &m.committedTaint)
+}
+
+// aluResult computes the result of an ALU-family µop from latched sources.
+func (m *Machine) aluResult(u *uop) uint64 {
+	return isa.EvalALU(u.inst.Op, u.srcVals[0], u.srcVals[1])
+}
+
+// tryReuse consults the computation-reuse buffer; a hit skips the
+// functional unit (no port, single-cycle latency).
+func (m *Machine) tryReuse(u *uop) bool {
+	if m.cfg.Reuse == nil {
+		return false
+	}
+	r1, r2 := u.inst.Uses()
+	if _, ok := m.cfg.Reuse.Lookup(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2)); ok {
+		u.reused = true
+		m.Stats.ReuseHits++
+		return true
+	}
+	return false
+}
+
+func (m *Machine) startExec(u *uop, latency int) {
+	if latency < 1 {
+		latency = 1
+	}
+	u.stage = stExecuting
+	u.issueC = m.cycle
+	u.doneC = m.cycle + int64(latency)
+	m.iqCount--
+	m.event(EvIssue, u, fmt.Sprintf("latency=%d", latency))
+}
+
+// olderStoresResolved reports whether every store older than seq has a
+// known address (conservative memory disambiguation).
+func (m *Machine) olderStoresResolved(seq uint64) bool {
+	for _, e := range m.sq {
+		if e.u.seq >= seq {
+			return true
+		}
+		if !e.addrReady {
+			return false
+		}
+	}
+	return true
+}

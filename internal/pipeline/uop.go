@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"pandora/internal/isa"
+)
+
+// uopStage is a µop's position in its lifecycle.
+type uopStage uint8
+
+const (
+	stDispatched uopStage = iota // in ROB/IQ, waiting to issue
+	stExecuting                  // issued, completing at doneC
+	stDone                       // result available
+	stRetired
+)
+
+// uop is one dynamic instruction in flight, carrying both the oracle's
+// architectural facts (for verification and fetch steering) and the
+// timing model's own computed values.
+type uop struct {
+	seq   uint64 // dynamic sequence number (program order)
+	pc    int64
+	inst  isa.Inst
+	class isa.Class
+
+	// Oracle facts, captured when the control-flow oracle executed this
+	// instruction: the correct-path next PC, branch outcome, and (for
+	// dest-writing ops) the correct result for retire-time verification.
+	oracleResult uint64
+	oracleTaken  bool
+	nextPC       int64
+
+	// Fetch-time prediction bookkeeping.
+	predictedTaken bool
+	mispredicted   bool // static direction prediction was wrong (or JALR)
+
+	// Pipeline-computed values.
+	srcVals  [2]uint64 // operand values read at issue
+	result   uint64    // destination value (valid once done)
+	addr     uint64    // memory address (loads/stores, valid once executed)
+	memWidth int
+	storeVal uint64 // store data (valid once executed)
+
+	// Dataflow: producers of this µop's source registers still in flight
+	// at rename time (nil entries mean the committed register file value
+	// is current).
+	prod [2]*uop
+
+	// tainted marks values derived from RDCYCLE: correct in the pipeline,
+	// unverifiable against the oracle.
+	tainted bool
+
+	stage   uopStage
+	fetchC  int64
+	issueC  int64
+	doneC   int64
+	retireC int64
+
+	// Value prediction state (loads). predicted is live while consumers
+	// may use the prediction; wasPredicted survives until retire for
+	// predictor training/accounting.
+	predicted    bool
+	wasPredicted bool
+	predictedVal uint64
+
+	// reused marks a computation-reuse hit (skipped the functional unit).
+	reused bool
+	// fusedProd, when non-nil, is the ADDI this load is µ-op-fused with:
+	// the pair issues as one, so the load may read the ADDI's result the
+	// cycle it executes instead of waiting for completion.
+	fusedProd *uop
+	// packed marks an operand-packing co-issue (pipeline compression).
+	packed bool
+	// sharedReg marks that RFC returned this µop's physical register to
+	// the free pool at writeback.
+	sharedReg bool
+	// renamed/wroteback track PRF accounting for squash undo.
+	renamed   bool
+	wroteback bool
+
+	// replayed counts how many times this µop was squashed and replayed.
+	replayed int
+}
+
+// writesReg reports whether the µop produces a register result.
+func (u *uop) writesReg() bool {
+	return u.inst.Writes() != isa.X0
+}
+
+// srcReady reports whether source i is available at cycle c, honoring
+// value-predicted producers and µ-op fusion.
+func (u *uop) srcReady(i int, c int64) bool {
+	p := u.prod[i]
+	if p == nil {
+		return true
+	}
+	if p.stage == stDone || p.stage == stRetired {
+		return p.doneC <= c
+	}
+	// A fused pair issues as one µop: the load may proceed the same
+	// cycle its ADDI half issues (the result is internally forwarded;
+	// the issue scan visits the older half first).
+	if p == u.fusedProd && p.stage == stExecuting && p.issueC <= c {
+		return true
+	}
+	// A value-predicted load's consumers may proceed with the predicted
+	// value one cycle after the load dispatched.
+	if p.predicted {
+		return p.fetchC < c
+	}
+	return false
+}
+
+// srcValue returns the value of source i at issue time. pre: srcReady.
+func (u *uop) srcValue(i int, committed *[isa.NumRegs]uint64) uint64 {
+	p := u.prod[i]
+	if p == nil {
+		var r isa.Reg
+		r1, r2 := u.inst.Uses()
+		if i == 0 {
+			r = r1
+		} else {
+			r = r2
+		}
+		return committed[r]
+	}
+	if p.stage == stDone || p.stage == stRetired {
+		return p.result
+	}
+	if p == u.fusedProd && p.stage == stExecuting {
+		return p.result // ALU results are computed at issue
+	}
+	return p.predictedVal
+}
+
+// srcTainted reports whether source i carries a RDCYCLE-derived value.
+func (u *uop) srcTainted(i int, committedTaint *[isa.NumRegs]bool) bool {
+	p := u.prod[i]
+	if p == nil {
+		var r isa.Reg
+		r1, r2 := u.inst.Uses()
+		if i == 0 {
+			r = r1
+		} else {
+			r = r2
+		}
+		return committedTaint[r]
+	}
+	return p.tainted
+}
+
+// ssState tracks the silent-store check for one store-queue entry
+// (Figure 4 of the paper).
+type ssState uint8
+
+const (
+	ssNone     ssState = iota // no SS-Load issued yet
+	ssPending                 // SS-Load in flight
+	ssReturned                // SS-Load returned; ssMatch says if values matched
+	ssFailed                  // no free load port (Case C) — store is not a candidate
+)
+
+// sqEntry is one store-queue slot. Entries are allocated at rename (so a
+// full SQ stalls rename — the amplification gadget's lever) and released
+// at dequeue.
+type sqEntry struct {
+	u         *uop
+	addrReady bool
+
+	ss        ssState
+	ssReturnC int64
+	ssValue   uint64 // value the SS-Load read
+	ssMatch   bool
+
+	// Dequeue-in-progress state: the store was sent to the cache and
+	// completes (writes memory, releases the slot) at dequeueDoneC.
+	dequeuing    bool
+	dequeueDoneC int64
+
+	// headSeen records the reach-SQ-head event exactly once.
+	headSeen bool
+}
