@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race ci bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci:
+	./ci.sh
+
+# Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
+bench: build
+	$(GO) run ./cmd/pandora bench -parallel 4 -json BENCH_parallel.json
+
+clean:
+	$(GO) clean ./...

@@ -8,7 +8,9 @@ package pandora_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"pandora/internal/asm"
 	"pandora/internal/attack"
@@ -100,6 +102,63 @@ func BenchmarkPrefetchBuffer(b *testing.B) {
 
 func BenchmarkWitnesses(b *testing.B) {
 	benchExperiment(b, "witness", "witnesses", core.Options{})
+}
+
+// --- Parallel-engine benchmarks ---
+
+// timeExperiment runs an experiment once and returns the wall-clock
+// seconds, for computing speedup metrics inside a benchmark.
+func timeExperiment(b *testing.B, name string, opts core.Options) float64 {
+	b.Helper()
+	e, ok := core.Get(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	start := time.Now()
+	if res, err := e.Run(opts); err != nil {
+		b.Fatal(err)
+	} else if !res.Pass {
+		b.Fatalf("%s did not reproduce:\n%s", name, res.Text)
+	}
+	return time.Since(start).Seconds()
+}
+
+// BenchmarkRecoverKeyParallel times the full bitslice-AES key recovery
+// through the parallel engine at GOMAXPROCS workers and reports the
+// speedup over a Parallel=1 run of the same sweep. On a single-core
+// host the speedup hovers around 1.0; it grows with available cores
+// because the 32 slot sweeps are independent.
+func BenchmarkRecoverKeyParallel(b *testing.B) {
+	serial := timeExperiment(b, "keyrec", core.Options{Parallel: 1})
+	b.ResetTimer()
+	var par float64
+	for i := 0; i < b.N; i++ {
+		par = timeExperiment(b, "keyrec", core.Options{Parallel: runtime.GOMAXPROCS(0)})
+	}
+	b.ReportMetric(serial/par, "speedup")
+}
+
+// BenchmarkAllExperiments times one pass over every registered
+// experiment with the parallel engine and reports the speedup over the
+// serial pass. Guarded against -short because it runs the whole suite.
+func BenchmarkAllExperiments(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full suite skipped in -short mode")
+	}
+	runAll := func(workers int) float64 {
+		var total float64
+		for _, e := range core.Experiments() {
+			total += timeExperiment(b, e.Name, core.Options{Parallel: workers})
+		}
+		return total
+	}
+	serial := runAll(1)
+	b.ResetTimer()
+	var par float64
+	for i := 0; i < b.N; i++ {
+		par = runAll(runtime.GOMAXPROCS(0))
+	}
+	b.ReportMetric(serial/par, "speedup")
 }
 
 // --- Attack-rate benchmarks (how fast the attacker's online loop runs) ---

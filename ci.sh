@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet, build, and run the full test suite under the race
+# detector. -short keeps the paper-scale sweeps (keyrec -full, large
+# fig6 sample counts) out of CI; they are exercised manually via
+# `pandora <experiment> -full` or the single-shot benchmarks.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race -short ./...

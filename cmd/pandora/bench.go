@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pandora/internal/core"
+)
+
+// benchReport is the JSON artifact written by `pandora bench`. Speedups
+// are wall-clock serial/parallel ratios on the machine that ran the
+// benchmark; on a single-core host they hover around 1.0 (the engine adds
+// only scheduling overhead) and grow with GOMAXPROCS.
+type benchReport struct {
+	Date              string  `json:"date"`
+	GoVersion         string  `json:"go_version"`
+	NumCPU            int     `json:"num_cpu"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Workers           int     `json:"workers"`
+	KeyrecSerialSec   float64 `json:"keyrec_serial_sec"`
+	KeyrecParallelSec float64 `json:"keyrec_parallel_sec"`
+	KeyrecSpeedup     float64 `json:"keyrec_speedup"`
+	AllSerialSec      float64 `json:"all_serial_sec"`
+	AllParallelSec    float64 `json:"all_parallel_sec"`
+	AllSpeedup        float64 `json:"all_speedup"`
+}
+
+// runBench implements `pandora bench`: time the key-recovery sweep and
+// the full experiment suite serially and with the parallel engine, and
+// write the comparison to a JSON file.
+func runBench(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	jsonPath := fs.String("json", "BENCH_parallel.json", "output path for the JSON report")
+	workers := fs.Int("parallel", 4, "worker count for the parallel runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	timeExp := func(name string, opts core.Options) (float64, error) {
+		e, ok := core.Get(name)
+		if !ok {
+			return 0, fmt.Errorf("experiment %q not registered", name)
+		}
+		start := time.Now()
+		if _, err := e.Run(opts); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	timeAll := func(opts core.Options) (float64, error) {
+		start := time.Now()
+		for _, e := range core.Experiments() {
+			if _, err := e.Run(opts); err != nil {
+				return 0, fmt.Errorf("%s: %w", e.Name, err)
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	rep := benchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+	}
+	var err error
+	fmt.Fprintf(os.Stderr, "bench: keyrec serial...\n")
+	if rep.KeyrecSerialSec, err = timeExp("keyrec", core.Options{Parallel: 1}); err == nil {
+		fmt.Fprintf(os.Stderr, "bench: keyrec parallel=%d...\n", *workers)
+		rep.KeyrecParallelSec, err = timeExp("keyrec", core.Options{Parallel: *workers})
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "bench: all experiments serial...\n")
+		rep.AllSerialSec, err = timeAll(core.Options{Parallel: 1})
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "bench: all experiments parallel=%d...\n", *workers)
+		rep.AllParallelSec, err = timeAll(core.Options{Parallel: *workers})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora bench: %v\n", err)
+		return 1
+	}
+	if rep.KeyrecParallelSec > 0 {
+		rep.KeyrecSpeedup = rep.KeyrecSerialSec / rep.KeyrecParallelSec
+	}
+	if rep.AllParallelSec > 0 {
+		rep.AllSpeedup = rep.AllSerialSec / rep.AllParallelSec
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora bench: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pandora bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("keyrec: %.2fs serial, %.2fs at %d workers (%.2fx)\n",
+		rep.KeyrecSerialSec, rep.KeyrecParallelSec, *workers, rep.KeyrecSpeedup)
+	fmt.Printf("all:    %.2fs serial, %.2fs at %d workers (%.2fx)\n",
+		rep.AllSerialSec, rep.AllParallelSec, *workers, rep.AllSpeedup)
+	fmt.Printf("wrote %s\n", *jsonPath)
+	return 0
+}

@@ -6,16 +6,20 @@
 //	pandora list                 # enumerate experiments
 //	pandora <experiment> [flags] # run one (e.g. pandora table1)
 //	pandora all [flags]          # run every experiment
+//	pandora bench [flags]        # time serial vs parallel, write JSON
 //
 // Flags:
 //
 //	-samples N    distribution sample count (fig6)
 //	-secretlen N  bytes to leak in the URG experiments
 //	-full         full-scale sweeps (keyrec: 65536 values per slot)
+//	-parallel N   worker count (0 = GOMAXPROCS); results are identical
+//	              at every worker count
 //	-v            narrative progress tracing
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +29,7 @@ import (
 	"pandora/internal/core"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
 )
 
@@ -37,16 +42,20 @@ func main() {
 	if cmd == "run" {
 		os.Exit(runAssembly(os.Args[2:]))
 	}
+	if cmd == "bench" {
+		os.Exit(runBench(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
 	secretLen := fs.Int("secretlen", 0, "bytes to leak in URG experiments")
 	full := fs.Bool("full", false, "full-scale sweeps")
+	workers := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "narrative progress tracing")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	opts := core.Options{Samples: *samples, SecretLen: *secretLen, Full: *full}
+	opts := core.Options{Samples: *samples, SecretLen: *secretLen, Full: *full, Parallel: *workers}
 	if *verbose {
 		opts.Trace = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -57,13 +66,7 @@ func main() {
 	case "list", "help", "-h", "--help":
 		usage()
 	case "all":
-		failed := 0
-		for _, e := range core.Experiments() {
-			if !runOne(e, opts) {
-				failed++
-			}
-		}
-		if failed > 0 {
+		if failed := runAll(opts); failed > 0 {
 			fmt.Fprintf(os.Stderr, "\n%d experiment(s) did not reproduce\n", failed)
 			os.Exit(1)
 		}
@@ -94,6 +97,53 @@ func runOne(e *core.Experiment, opts core.Options) bool {
 	}
 	fmt.Printf("[%s]\n\n", status)
 	return res.Pass
+}
+
+// runAll executes every registered experiment. With more than one worker
+// the experiments themselves are the parallel units: each runs serially
+// inside (Parallel=1, avoiding worker oversubscription), output is
+// buffered per experiment, and the buffers print in registration order —
+// byte-identical to a serial `pandora all`. Returns the failure count.
+func runAll(opts core.Options) int {
+	type allResult struct {
+		text string
+		pass bool
+	}
+	exps := core.Experiments()
+	inner := opts
+	if parallel.Workers(opts.Parallel) > 1 {
+		inner.Parallel = 1
+		inner.Trace = nil // interleaved traces from concurrent experiments are useless
+	}
+	results, err := parallel.Map(context.Background(), opts.Parallel, exps,
+		func(_ context.Context, _ int, e *core.Experiment) (allResult, error) {
+			res, err := e.Run(inner)
+			if err != nil {
+				return allResult{
+					text: fmt.Sprintf("== %s (%s) ==\n\npandora: %s: %v\n", e.Name, e.Artifact, e.Name, err),
+				}, nil
+			}
+			status := "REPRODUCED"
+			if !res.Pass {
+				status = "NOT REPRODUCED"
+			}
+			return allResult{
+				text: fmt.Sprintf("== %s (%s) ==\n\n%s\n[%s]\n\n", e.Name, e.Artifact, res.Text, status),
+				pass: res.Pass,
+			}, nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
+		return len(exps)
+	}
+	failed := 0
+	for _, r := range results {
+		fmt.Print(r.text)
+		if !r.pass {
+			failed++
+		}
+	}
+	return failed
 }
 
 // runAssembly implements `pandora run <file.s>`: execute an assembly file
@@ -164,6 +214,7 @@ func usage() {
 	for _, e := range core.Experiments() {
 		fmt.Printf("  %-16s %-24s %s\n", e.Name, e.Artifact, e.Title)
 	}
-	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-v]")
+	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-parallel N] [-v]")
+	fmt.Println("       pandora bench [-parallel N] [-json path]")
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
 }

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"testing"
+)
+
+// TestBSAESCloneIndependence: a clone must reproduce the parent's
+// calibration and sweep behavior without sharing any mutable state.
+func TestBSAESCloneIndependence(t *testing.T) {
+	a := newBSAES(t)
+	sa, na, err := a.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.threshold != a.threshold {
+		t.Errorf("clone dropped the calibrated threshold: %d vs %d", c.threshold, a.threshold)
+	}
+	// A fresh clone of an *uncalibrated* parent calibrates to the same
+	// gap as the parent did from its own canonical state.
+	b := newBSAES(t)
+	c2, err := b.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, nc, err := c2.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != sa || nc != na {
+		t.Errorf("clone calibration (%d, %d) differs from parent's (%d, %d)", sc, nc, sa, na)
+	}
+	// Mutating the clone's memory must not leak into the parent.
+	c2.Mem.Write(bsStackBase, 8, 0xDEAD)
+	if got := b.Mem.Read(bsStackBase, 8); got == 0xDEAD {
+		t.Error("clone memory write visible in parent")
+	}
+}
+
+// TestBSAESResetRestoresCanonicalState: after arbitrary runs, Reset must
+// return the scenario to a state where a fixed run sequence reproduces
+// the same cycle counts as on a fresh scenario.
+func TestBSAESResetRestoresCanonicalState(t *testing.T) {
+	fresh := newBSAES(t)
+	s0, n0, err := fresh.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	used := newBSAES(t)
+	if _, _, err := used.Calibrate(); err != nil {
+		t.Fatal(err)
+	}
+	truth := used.VictimSlices()
+	if _, _, err := used.RecoverSliceDirect(3, []uint16{truth[3] ^ 1, truth[3]}); err != nil {
+		t.Fatal(err)
+	}
+	used.Reset()
+	used.SetThreshold(0)
+	s1, n1, err := used.Calibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s0 || n1 != n0 {
+		t.Errorf("post-Reset calibration (%d, %d) differs from fresh (%d, %d)", s1, n1, s0, n0)
+	}
+}
+
+// TestRecoverKeyParallelWorkerCounts: the recovered key must equal the
+// victim key at every worker count, including the serial path.
+func TestRecoverKeyParallelWorkerCounts(t *testing.T) {
+	a := newBSAES(t)
+	truth := a.VictimSlices()
+	candidates := func(slot int) []uint16 {
+		// A 16-value window around the true value, as the experiment
+		// harness narrows the paper's 65536-value sweep.
+		base := truth[slot] &^ 15
+		out := make([]uint16, 16)
+		for i := range out {
+			out[i] = base + uint16(i)
+		}
+		return out
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := a.RecoverKeyParallel(workers, candidates)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != a.victimKey {
+			t.Errorf("workers=%d: recovered %x, want %x", workers, got, a.victimKey)
+		}
+	}
+}
+
+// TestFigure6ParallelDeterministic: histograms must be identical at any
+// worker count and across repeated runs.
+func TestFigure6ParallelDeterministic(t *testing.T) {
+	a := newBSAES(t)
+	type summary struct {
+		cMin, cMax, iMin, iMax int64
+		cN, iN                 int
+	}
+	run := func(workers int) summary {
+		c, i, err := a.Figure6Parallel(12, workers, 0xABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, si := c.Summarize(), i.Summarize()
+		return summary{sc.Min, sc.Max, si.Min, si.Max, sc.N, si.N}
+	}
+	want := run(1)
+	if want.cN != 12 || want.iN != 12 {
+		t.Fatalf("sample counts %d/%d, want 12/12", want.cN, want.iN)
+	}
+	if want.iMin-want.cMax < 80 {
+		t.Errorf("modes not separated: correct max %d, incorrect min %d", want.cMax, want.iMin)
+	}
+	for _, workers := range []int{2, 5, 12} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: summary %+v differs from serial %+v", workers, got, want)
+		}
+	}
+}
+
+// TestURGLeakRangeParallelWorkerCounts: leaked bytes and merged
+// prefetcher statistics must match at every worker count.
+func TestURGLeakRangeParallelWorkerCounts(t *testing.T) {
+	secret := []byte{0xC0, 0xFF}
+	type outcome struct {
+		got            string
+		correct        int
+		protectedReads uint64
+	}
+	run := func(workers int) outcome {
+		u, err := NewURG(DefaultURGConfig(), secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, correct, err := u.LeakRangeParallel(workers, len(secret))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{string(got), correct, u.IMP.Stats.ProtectedReads}
+	}
+	want := run(1)
+	if want.correct != len(secret) {
+		t.Fatalf("serial leak failed: %+v", want)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: %+v differs from serial %+v", workers, got, want)
+		}
+	}
+}

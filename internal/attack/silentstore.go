@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"pandora/internal/histo"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
 )
 
@@ -71,11 +73,27 @@ type BSAESAttack struct {
 
 	attackerKey [16]byte // the attacker's own session key (known to it)
 
+	// snap is the canonical post-construction memory image; Reset
+	// restores it so pooled scenarios start every sweep shard from
+	// identical state regardless of which shard ran on them before.
+	snap *mem.Memory
+
 	threshold int64 // cycles separating silent from non-silent attempts
 }
 
 // NewBSAESAttack builds the scenario.
 func NewBSAESAttack(cfg BSAESConfig, victimKey, victimPlain, attackerKey [16]byte) (*BSAESAttack, error) {
+	tr, err := bsaes.EncryptTrace(victimPlain[:], victimKey[:])
+	if err != nil {
+		return nil, err
+	}
+	return newBSAESScenario(cfg, victimKey, victimPlain, attackerKey, tr)
+}
+
+// newBSAESScenario wires memory, caches and the machine around an
+// already-computed victim trace (Clone reuses the parent's trace instead
+// of re-running the bitslice encryption).
+func newBSAESScenario(cfg BSAESConfig, victimKey, victimPlain, attackerKey [16]byte, tr bsaes.Trace) (*BSAESAttack, error) {
 	if cfg.SQSize <= 0 {
 		cfg.SQSize = 5
 	}
@@ -93,10 +111,6 @@ func NewBSAESAttack(cfg BSAESConfig, victimKey, victimPlain, attackerKey [16]byt
 	if err != nil {
 		return nil, err
 	}
-	tr, err := bsaes.EncryptTrace(victimPlain[:], victimKey[:])
-	if err != nil {
-		return nil, err
-	}
 	// The delay gadget's load yields the first flush-line address.
 	m.Write(bsDelayAddr, 8, bsStackBase+bsFlushStep)
 
@@ -109,8 +123,32 @@ func NewBSAESAttack(cfg BSAESConfig, victimKey, victimPlain, attackerKey [16]byt
 		victimPlain: victimPlain,
 		victimTrace: tr,
 		attackerKey: attackerKey,
+		snap:        m.Snapshot(),
 	}
 	return a, nil
+}
+
+// Clone builds an independent scenario with the same configuration,
+// keys and victim trace (and any calibrated threshold), for sharding a
+// sweep across workers. The clone shares no mutable state with a.
+func (a *BSAESAttack) Clone() (*BSAESAttack, error) {
+	c, err := newBSAESScenario(a.cfg, a.victimKey, a.victimPlain, a.attackerKey, a.victimTrace)
+	if err != nil {
+		return nil, err
+	}
+	c.threshold = a.threshold
+	return c, nil
+}
+
+// Reset rewinds the scenario's machine-visible state — data memory and
+// both cache levels — to the canonical post-construction image. The
+// calibrated threshold survives (it is the attacker's knowledge, not
+// machine state). After Reset every run sequence is a pure function of
+// the programs executed since, which is what makes pooled scenario
+// reuse deterministic.
+func (a *BSAESAttack) Reset() {
+	a.Mem.Restore(a.snap)
+	a.Hier.FlushAll()
 }
 
 // VictimCiphertext is the encryption result the server returns for the
@@ -329,6 +367,61 @@ func (a *BSAESAttack) RecoverKey(candidatesFor func(slot int) []uint16) ([16]byt
 	return bsaes.InvertKeySchedule(k10), nil
 }
 
+// RecoverKeyParallel is RecoverKey sharded by slot over a worker pool:
+// each of the eight spilled slices is recovered on its own cloned
+// scenario reset to canonical state, so the recovered key is
+// bit-identical at every worker count (workers <= 0 selects
+// GOMAXPROCS). candidatesFor must be safe for concurrent calls.
+func (a *BSAESAttack) RecoverKeyParallel(workers int, candidatesFor func(slot int) []uint16) ([16]byte, error) {
+	// Fix the classification threshold once, from canonical state, so
+	// every shard classifies identically. (A shard-local calibration
+	// would also be deterministic, but would redo three runs per slot.)
+	if a.threshold == 0 {
+		cal, err := a.Clone()
+		if err != nil {
+			return [16]byte{}, err
+		}
+		if _, _, err := cal.Calibrate(); err != nil {
+			return [16]byte{}, err
+		}
+		a.threshold = cal.threshold
+	}
+
+	pool := parallel.NewPool(parallel.Workers(workers), a.Clone)
+	type slotResult struct {
+		v   uint16
+		ok  bool
+		err error
+	}
+	res, err := parallel.Sweep(context.Background(), workers, len(a.victimTrace.FinalSlices),
+		func(_ context.Context, k int) (slotResult, error) {
+			c, err := pool.Get()
+			if err != nil {
+				return slotResult{err: err}, nil
+			}
+			defer pool.Put(c)
+			c.Reset()
+			c.threshold = a.threshold
+			v, ok, err := c.RecoverSliceDirect(k, candidatesFor(k))
+			return slotResult{v: v, ok: ok, err: err}, nil
+		})
+	if err != nil {
+		return [16]byte{}, err
+	}
+	var recovered bsaes.State
+	for k, r := range res {
+		if r.err != nil {
+			return [16]byte{}, r.err
+		}
+		if !r.ok {
+			return [16]byte{}, fmt.Errorf("attack: slot %d not recovered", k)
+		}
+		recovered[k] = r.v
+	}
+	k10 := bsaes.RecoverRound10Key(recovered, a.VictimCiphertext())
+	return bsaes.InvertKeySchedule(k10), nil
+}
+
 // VictimSlices exposes the ground-truth spilled values for experiment
 // scoring only.
 func (a *BSAESAttack) VictimSlices() bsaes.State { return a.victimTrace.FinalSlices }
@@ -372,6 +465,63 @@ func (a *BSAESAttack) Figure6(samples int, rng *rand.Rand) (correct, incorrect *
 			return nil, nil, rerr
 		}
 		incorrect.Add(cyc)
+	}
+	return correct, incorrect, nil
+}
+
+// fig6Sample is one Figure6Parallel observation pair.
+type fig6Sample struct {
+	correct, incorrect int64
+}
+
+// Figure6Parallel collects the Figure 6 distributions with samples
+// sharded over a worker pool. Each sample runs on a pooled scenario
+// reset to canonical state with an RNG seeded from (seed, sample index),
+// so both histograms are bit-identical at every worker count — the
+// per-sample randomness no longer depends on how earlier samples drew
+// from a shared stream.
+func (a *BSAESAttack) Figure6Parallel(samples, workers int, seed int64) (correct, incorrect *histo.Histogram, err error) {
+	const target = 0
+	truth := a.victimTrace.FinalSlices[target]
+	pool := parallel.NewPool(parallel.Workers(workers), a.Clone)
+	res, err := parallel.Sweep(context.Background(), workers, samples,
+		func(_ context.Context, i int) (fig6Sample, error) {
+			c, err := pool.Get()
+			if err != nil {
+				return fig6Sample{}, err
+			}
+			defer pool.Put(c)
+			c.Reset()
+			rng := rand.New(rand.NewSource(parallel.Seed(seed, i)))
+			var s bsaes.State
+			for j := range s {
+				s[j] = uint16(rng.Intn(1 << 16))
+			}
+			s[target] = truth
+			if err := c.runVictim(); err != nil {
+				return fig6Sample{}, err
+			}
+			cycC, err := c.runAttempt(s, target)
+			if err != nil {
+				return fig6Sample{}, err
+			}
+			s[target] = truth ^ uint16(1+rng.Intn(1<<16-1))
+			if err := c.runVictim(); err != nil {
+				return fig6Sample{}, err
+			}
+			cycI, err := c.runAttempt(s, target)
+			if err != nil {
+				return fig6Sample{}, err
+			}
+			return fig6Sample{correct: cycC, incorrect: cycI}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	correct, incorrect = histo.New(25), histo.New(25)
+	for _, r := range res {
+		correct.Add(r.correct)
+		incorrect.Add(r.incorrect)
 	}
 	return correct, incorrect, nil
 }

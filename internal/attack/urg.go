@@ -8,6 +8,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,7 @@ import (
 	"pandora/internal/ebpf"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
 )
 
@@ -306,6 +308,67 @@ func (u *URG) LeakByte(off int) (byte, error) {
 			off, bestN, secondN, informative)
 	}
 	return best, nil
+}
+
+// Clone builds an independent scenario with the same configuration and
+// planted secret. Construction is deterministic (the sandbox program,
+// maps and regions depend only on the config), so a clone's LeakByte
+// results match a fresh scenario's exactly.
+func (u *URG) Clone() (*URG, error) { return NewURG(u.cfg, u.secret) }
+
+// urgByteResult carries one offset's outcome through the worker pool.
+type urgByteResult struct {
+	b     byte
+	stats dmp.Stats
+	err   error
+}
+
+// LeakRangeParallel is LeakRange sharded by byte offset over a worker
+// pool (workers <= 0 selects GOMAXPROCS). Every offset leaks on its own
+// freshly built scenario, so the recovered bytes are bit-identical at
+// every worker count; per-replay preconditioning RNG is already keyed
+// by replay index, not by a shared stream. The clones' prefetcher
+// statistics are merged into u.IMP.Stats in offset order, mirroring
+// what a serial run over one scenario would have accumulated.
+func (u *URG) LeakRangeParallel(workers, n int) (got []byte, correct int, err error) {
+	if n > len(u.secret) {
+		n = len(u.secret)
+	}
+	res, perr := parallel.Sweep(context.Background(), workers, n,
+		func(_ context.Context, i int) (urgByteResult, error) {
+			c, err := u.Clone()
+			if err != nil {
+				return urgByteResult{err: err}, nil
+			}
+			b, lerr := c.LeakByte(i)
+			return urgByteResult{b: b, stats: c.IMP.Stats, err: lerr}, nil
+		})
+	if perr != nil {
+		return nil, 0, perr
+	}
+	got = make([]byte, n)
+	merge := func(s dmp.Stats) {
+		t := &u.IMP.Stats
+		t.StreamsDetected += s.StreamsDetected
+		t.IndirectConfirmed += s.IndirectConfirmed
+		t.Level2Confirmed += s.Level2Confirmed
+		t.Prefetches += s.Prefetches
+		t.LinesFetched += s.LinesFetched
+		t.OutOfBoundsReads += s.OutOfBoundsReads
+		t.ProtectedReads += s.ProtectedReads
+	}
+	for i, r := range res {
+		merge(r.stats)
+		if r.err != nil {
+			// Mirror the serial contract: stop at the first failed offset.
+			return got[:i], correct, r.err
+		}
+		got[i] = r.b
+		if r.b == u.secret[i] {
+			correct++
+		}
+	}
+	return got, correct, nil
 }
 
 // LeakRange leaks n bytes starting at the beginning of the protected

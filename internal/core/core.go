@@ -8,6 +8,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"pandora/internal/parallel"
 )
 
 // Options tune experiment effort.
@@ -22,9 +25,19 @@ type Options struct {
 	// the key-recovery experiment). Off by default: full sweeps take
 	// minutes.
 	Full bool
+	// Parallel is the worker count for experiments with independent
+	// trial structure (key-recovery slots, Figure 6 samples, URG byte
+	// offsets, covert-channel trials, Table I rows, timing witnesses).
+	// Zero selects runtime.GOMAXPROCS(0). Results are bit-identical at
+	// every worker count: work is sharded by item index with per-item
+	// RNG seeds and merged in item order.
+	Parallel int
 	// Trace receives narrative progress lines when non-nil.
 	Trace func(format string, args ...any)
 }
+
+// Workers returns the effective worker count for the options.
+func (o Options) Workers() int { return parallel.Workers(o.Parallel) }
 
 func (o Options) trace(format string, args ...any) {
 	if o.Trace != nil {
@@ -71,10 +84,23 @@ type Experiment struct {
 	Run func(Options) (Result, error)
 }
 
-var registry = map[string]*Experiment{}
-var order []string
+// The registry is populated by package init functions and read
+// concurrently afterwards (the parallel `pandora all` mode and the
+// benchmark harness call Get/Experiments from worker goroutines), so all
+// access is serialized by regMu. Registration after init is permitted
+// and takes the same lock; the returned *Experiment values themselves
+// are immutable by convention — Run closures must be safe for
+// concurrent calls, which every built-in experiment satisfies by
+// constructing its machines locally.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Experiment{}
+	order    []string
+)
 
 func register(e *Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[e.Name]; dup {
 		panic(fmt.Sprintf("core: duplicate experiment %q", e.Name))
 	}
@@ -82,14 +108,19 @@ func register(e *Experiment) {
 	order = append(order, e.Name)
 }
 
-// Get returns the named experiment.
+// Get returns the named experiment. Safe for concurrent use.
 func Get(name string) (*Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	e, ok := registry[name]
 	return e, ok
 }
 
 // Experiments returns all registered experiments in registration order.
+// Safe for concurrent use; the slice is the caller's to keep.
 func Experiments() []*Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := make([]*Experiment, 0, len(order))
 	for _, n := range order {
 		out = append(out, registry[n])
@@ -97,8 +128,10 @@ func Experiments() []*Experiment {
 	return out
 }
 
-// Names returns the sorted experiment names.
+// Names returns the sorted experiment names. Safe for concurrent use.
 func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	out := append([]string(nil), order...)
 	sort.Strings(out)
 	return out

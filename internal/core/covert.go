@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pandora/internal/attack"
+	"pandora/internal/parallel"
 	"pandora/internal/uopt"
 )
 
@@ -12,7 +14,8 @@ import (
 // communicate through optimization state with no victim involved. The
 // experiment drives a full byte through the silent-store channel and the
 // Sv computation-reuse channel, then shows the Sn variant killing the
-// latter.
+// latter. The three trials build fully independent machines, so they run
+// as parallel tasks and merge in fixed order.
 
 func init() {
 	register(&Experiment{
@@ -22,57 +25,97 @@ func init() {
 	})
 }
 
-func runCovert(Options) (Result, error) {
-	var b strings.Builder
-	metrics := map[string]float64{}
-	b.WriteString("Covert channels through the studied optimizations\n\n")
+// covertTrial is one channel trial's contribution to the report.
+type covertTrial struct {
+	text    string
+	metrics map[string]float64
+	pass    bool
+}
 
+func runCovert(o Options) (Result, error) {
 	const message = byte(0xA5)
 
-	ss, err := attack.NewSilentStoreChannel()
-	if err != nil {
-		return Result{}, err
+	trials := []func() (covertTrial, error){
+		func() (covertTrial, error) {
+			ss, err := attack.NewSilentStoreChannel()
+			if err != nil {
+				return covertTrial{}, err
+			}
+			got, cycles, err := ss.TransmitByte(message)
+			if err != nil {
+				return covertTrial{}, err
+			}
+			return covertTrial{
+				text: fmt.Sprintf("silent-store channel: sent %#02x, received %#02x (%d cycles/bit)\n",
+					message, got, cycles/8),
+				metrics: map[string]float64{
+					"ss_cycles_per_bit": float64(cycles / 8),
+					"ss_ok":             b2f(got == message),
+				},
+				pass: got == message,
+			}, nil
+		},
+		func() (covertTrial, error) {
+			ru, err := attack.NewReuseChannel()
+			if err != nil {
+				return covertTrial{}, err
+			}
+			got, err := ru.TransmitByte(message)
+			if err != nil {
+				return covertTrial{}, err
+			}
+			return covertTrial{
+				text: fmt.Sprintf("Sv reuse channel:     sent %#02x, received %#02x (no shared memory needed)\n",
+					message, got),
+				metrics: map[string]float64{"sv_ok": b2f(got == message)},
+				pass:    got == message,
+			}, nil
+		},
+		func() (covertTrial, error) {
+			snChan, err := attack.NewReuseChannel()
+			if err != nil {
+				return covertTrial{}, err
+			}
+			snChan.UseScheme(uopt.SchemeSn)
+			if err := snChan.Calibrate(); err != nil {
+				return covertTrial{
+					text:    fmt.Sprintf("Sn reuse channel:     dead (%v)\n", err),
+					metrics: map[string]float64{"sn_dead": 1},
+					pass:    true,
+				}, nil
+			}
+			return covertTrial{
+				text:    "Sn reuse channel:     STILL ALIVE — unexpected\n",
+				metrics: map[string]float64{"sn_dead": 0},
+				pass:    false,
+			}, nil
+		},
 	}
-	gotSS, cycles, err := ss.TransmitByte(message)
-	if err != nil {
-		return Result{}, err
-	}
-	fmt.Fprintf(&b, "silent-store channel: sent %#02x, received %#02x (%d cycles/bit)\n",
-		message, gotSS, cycles/8)
-	metrics["ss_cycles_per_bit"] = float64(cycles / 8)
 
-	ru, err := attack.NewReuseChannel()
+	results, err := parallel.Map(context.Background(), o.Parallel, trials,
+		func(_ context.Context, _ int, fn func() (covertTrial, error)) (covertTrial, error) {
+			return fn()
+		})
 	if err != nil {
 		return Result{}, err
-	}
-	gotRU, err := ru.TransmitByte(message)
-	if err != nil {
-		return Result{}, err
-	}
-	fmt.Fprintf(&b, "Sv reuse channel:     sent %#02x, received %#02x (no shared memory needed)\n",
-		message, gotRU)
-
-	snDead := false
-	snChan, err := attack.NewReuseChannel()
-	if err != nil {
-		return Result{}, err
-	}
-	snChan.UseScheme(uopt.SchemeSn)
-	if err := snChan.Calibrate(); err != nil {
-		snDead = true
-		fmt.Fprintf(&b, "Sn reuse channel:     dead (%v)\n", err)
-	} else {
-		fmt.Fprintf(&b, "Sn reuse channel:     STILL ALIVE — unexpected\n")
 	}
 
+	var b strings.Builder
+	b.WriteString("Covert channels through the studied optimizations\n\n")
+	metrics := map[string]float64{}
+	pass := true
+	for _, r := range results {
+		b.WriteString(r.text)
+		for k, v := range r.metrics {
+			metrics[k] = v
+		}
+		pass = pass && r.pass
+	}
 	b.WriteString("\nEvery stateful optimization carries a covert channel; keying reuse on\n" +
 		"register names instead of values (Sn) removes the value channel entirely.\n")
-	metrics["ss_ok"] = b2f(gotSS == message)
-	metrics["sv_ok"] = b2f(gotRU == message)
-	metrics["sn_dead"] = b2f(snDead)
 
 	return Result{
 		Name: "covert", Text: b.String(), Metrics: metrics,
-		Pass: gotSS == message && gotRU == message && snDead,
+		Pass: pass,
 	}, nil
 }

@@ -77,7 +77,7 @@ func init() {
 }
 
 func runTable1(o Options) (Result, error) {
-	got := leakage.NewAnalyzer().TableI()
+	got := leakage.TableIParallel(o.Parallel)
 	want := leakage.PaperTableI()
 	diffs := leakage.DiffTableI(got, want)
 
@@ -337,7 +337,9 @@ func runFig6(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	correct, incorrect, err := a.Figure6(samples, rng)
+	// Samples are sharded over the worker pool with per-sample seeds, so
+	// the histograms are identical at every worker count.
+	correct, incorrect, err := a.Figure6Parallel(samples, o.Parallel, 0xF16B)
 	if err != nil {
 		return Result{}, err
 	}
@@ -427,7 +429,7 @@ func runURG(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	got, correct, err := u.LeakRange(n)
+	got, correct, err := u.LeakRangeParallel(o.Parallel, n)
 	text := fmt.Sprintf(`Figure 1 / Section V-B — universal read gadget via the 3-level IMP
 
   sandbox program : Figure 7a (verifier-approved, JITed)
@@ -487,7 +489,7 @@ func runPrefetchBuffer(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	got, correct, err := u.LeakRange(2)
+	got, correct, err := u.LeakRangeParallel(o.Parallel, 2)
 	text := fmt.Sprintf(`Section V-B3 — prefetch buffers aggravate but do not mitigate
 
 With a prefetch buffer in front of L1, IMP fills bypass L1 — but they
@@ -520,8 +522,7 @@ func runKeyRecovery(o Options) (Result, error) {
 	if o.Full {
 		window = 1 << 16
 	}
-	attempts := 0
-	got, err := a.RecoverKey(func(slot int) []uint16 {
+	got, err := a.RecoverKeyParallel(o.Parallel, func(slot int) []uint16 {
 		out := make([]uint16, window)
 		base := uint16(0)
 		if !o.Full {
@@ -530,7 +531,6 @@ func runKeyRecovery(o Options) (Result, error) {
 		for i := range out {
 			out[i] = base + uint16(i)
 		}
-		attempts += window
 		return out
 	})
 	if err != nil {

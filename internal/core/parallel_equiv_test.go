@@ -1,0 +1,72 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSerialParallelEquivalence is the parallel engine's contract: every
+// registered experiment must produce a bit-identical Result — report
+// text, every metric, and the pass verdict — at any worker count. Work
+// is sharded by item index with per-item RNG seeds and merged in item
+// order, so Parallel=1 (the serial path) and Parallel=N may differ only
+// in wall-clock time.
+func TestSerialParallelEquivalence(t *testing.T) {
+	opts := Options{Samples: 8, SecretLen: 2}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			serialOpts := opts
+			serialOpts.Parallel = 1
+			want, err := e.Run(serialOpts)
+			if err != nil {
+				t.Fatalf("%s serial: %v", e.Name, err)
+			}
+			for _, workers := range []int{2, 8} {
+				parOpts := opts
+				parOpts.Parallel = workers
+				got, err := e.Run(parOpts)
+				if err != nil {
+					t.Fatalf("%s parallel=%d: %v", e.Name, workers, err)
+				}
+				if got.Text != want.Text {
+					t.Errorf("%s: report text diverges at Parallel=%d\n--- serial ---\n%s\n--- parallel ---\n%s",
+						e.Name, workers, want.Text, got.Text)
+				}
+				if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+					t.Errorf("%s: metrics diverge at Parallel=%d\nserial:   %v\nparallel: %v",
+						e.Name, workers, want.Metrics, got.Metrics)
+				}
+				if got.Pass != want.Pass {
+					t.Errorf("%s: pass verdict diverges at Parallel=%d (serial %v, parallel %v)",
+						e.Name, workers, want.Pass, got.Pass)
+				}
+			}
+		})
+	}
+}
+
+// TestKeyRecoveryParallelWorkerCounts pins the headline artifact: the
+// recovered AES key must be byte-identical at every worker count.
+func TestKeyRecoveryParallelWorkerCounts(t *testing.T) {
+	e, ok := Get("keyrec")
+	if !ok {
+		t.Fatal("keyrec not registered")
+	}
+	var texts []string
+	for _, workers := range []int{1, 2, 8} {
+		res, err := e.Run(Options{Parallel: workers})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		if !res.Pass {
+			t.Fatalf("parallel=%d: key not recovered:\n%s", workers, res.Text)
+		}
+		texts = append(texts, res.Text)
+	}
+	for i := 1; i < len(texts); i++ {
+		if texts[i] != texts[0] {
+			t.Errorf("recovered-key report differs between worker counts:\n%s\nvs\n%s", texts[0], texts[i])
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pandora/internal/cache"
 	"pandora/internal/mem"
+	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
 	"pandora/internal/uopt"
 )
@@ -319,25 +321,32 @@ type WitnessReport struct {
 	LeakDelta, BaseDelta int64
 }
 
-// RunWitnesses executes every timing witness.
+// RunWitnesses executes every timing witness serially.
 func RunWitnesses() ([]WitnessReport, error) {
-	var out []WitnessReport
-	for _, w := range witnesses() {
-		oa, ob, err := runWitness(w, w.config)
-		if err != nil {
-			return nil, fmt.Errorf("witness %s: %w", w.name, err)
-		}
-		ba, bb, err := runWitness(w, w.baseline)
-		if err != nil {
-			return nil, fmt.Errorf("witness %s baseline: %w", w.name, err)
-		}
-		out = append(out, WitnessReport{
-			Name: w.name, Item: w.item,
-			OptA: oa, OptB: ob, BaseA: ba, BaseB: bb,
-			LeakDelta: abs64(oa - ob), BaseDelta: abs64(ba - bb),
+	return RunWitnessesParallel(1)
+}
+
+// RunWitnessesParallel executes the timing witnesses sharded over a
+// worker pool (workers <= 0 selects GOMAXPROCS). Every witness builds
+// its own machines, so reports are identical at every worker count and
+// are returned in the canonical witness order.
+func RunWitnessesParallel(workers int) ([]WitnessReport, error) {
+	return parallel.Map(context.Background(), workers, witnesses(),
+		func(_ context.Context, _ int, w witness) (WitnessReport, error) {
+			oa, ob, err := runWitness(w, w.config)
+			if err != nil {
+				return WitnessReport{}, fmt.Errorf("witness %s: %w", w.name, err)
+			}
+			ba, bb, err := runWitness(w, w.baseline)
+			if err != nil {
+				return WitnessReport{}, fmt.Errorf("witness %s baseline: %w", w.name, err)
+			}
+			return WitnessReport{
+				Name: w.name, Item: w.item,
+				OptA: oa, OptB: ob, BaseA: ba, BaseB: bb,
+				LeakDelta: abs64(oa - ob), BaseDelta: abs64(ba - bb),
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 func abs64(v int64) int64 {
@@ -360,8 +369,8 @@ func init() {
 	})
 }
 
-func runWitnessExperiment(Options) (Result, error) {
-	reports, err := RunWitnesses()
+func runWitnessExperiment(o Options) (Result, error) {
+	reports, err := RunWitnessesParallel(o.Parallel)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,7 +1,10 @@
 package leakage
 
 import (
+	"context"
+
 	"pandora/internal/mld"
+	"pandora/internal/parallel"
 )
 
 // Analyzer derives the Table I landscape by probing descriptors.
@@ -250,15 +253,51 @@ func (a *Analyzer) Cell(item Item, col Column) Verdict {
 	return UnsafePrime
 }
 
+// Row classifies every column for one Table I item.
+func (a *Analyzer) Row(it Item) map[Column]Verdict {
+	row := make(map[Column]Verdict, numColumns)
+	for _, c := range Columns() {
+		row[c] = a.Cell(it, c)
+	}
+	return row
+}
+
 // TableI derives the full landscape.
 func (a *Analyzer) TableI() map[Item]map[Column]Verdict {
 	out := make(map[Item]map[Column]Verdict, numItems)
 	for _, it := range Items() {
-		row := make(map[Column]Verdict, numColumns)
-		for _, c := range Columns() {
-			row[c] = a.Cell(it, c)
-		}
-		out[it] = row
+		out[it] = a.Row(it)
+	}
+	return out
+}
+
+// TableIParallel derives the landscape with rows sharded over a worker
+// pool (workers <= 0 selects GOMAXPROCS). Each worker probes through
+// its own pooled Analyzer, so no descriptor state is shared across
+// goroutines; verdicts are pure functions of the (item, column) pair,
+// so the result is identical to TableI at every worker count.
+func TableIParallel(workers int) map[Item]map[Column]Verdict {
+	items := Items()
+	pool := parallel.NewPool(parallel.Workers(workers), func() (*Analyzer, error) {
+		return NewAnalyzer(), nil
+	})
+	rows, err := parallel.Map(context.Background(), workers, items,
+		func(_ context.Context, _ int, it Item) (map[Column]Verdict, error) {
+			a, err := pool.Get()
+			if err != nil {
+				return nil, err
+			}
+			defer pool.Put(a)
+			return a.Row(it), nil
+		})
+	if err != nil {
+		// Analyzer construction cannot fail and Row does not error; a
+		// panic inside a probe is re-raised rather than silently dropped.
+		panic(err)
+	}
+	out := make(map[Item]map[Column]Verdict, len(items))
+	for i, it := range items {
+		out[it] = rows[i]
 	}
 	return out
 }

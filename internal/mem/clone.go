@@ -7,17 +7,33 @@ package mem
 // its clone while the timing model performs them on the original at
 // store-queue dequeue time.
 func (m *Memory) Clone() *Memory {
+	return m.CloneInto(&Memory{})
+}
+
+// CloneInto makes c a copy-on-write snapshot of m, reusing c's existing
+// map and slice storage. It is the allocation-free path for callers that
+// re-clone the same memory once per simulated run (the pipeline oracle)
+// or restore a canonical image between sweep attempts (attack scenario
+// pools): only the first clone allocates; steady-state re-clones just
+// rewrite the page table. Returns c.
+func (m *Memory) CloneInto(c *Memory) *Memory {
 	if m.pages == nil {
 		m.pages = make(map[uint64]*[pageSize]byte)
 	}
 	if m.shared == nil {
 		m.shared = make(map[uint64]bool)
 	}
-	c := &Memory{
-		pages:   make(map[uint64]*[pageSize]byte, len(m.pages)),
-		shared:  make(map[uint64]bool, len(m.pages)),
-		regions: append([]Region(nil), m.regions...),
+	if c.pages == nil {
+		c.pages = make(map[uint64]*[pageSize]byte, len(m.pages))
+	} else {
+		clear(c.pages)
 	}
+	if c.shared == nil {
+		c.shared = make(map[uint64]bool, len(m.pages))
+	} else {
+		clear(c.shared)
+	}
+	c.regions = append(c.regions[:0], m.regions...)
 	for pn, p := range m.pages {
 		c.pages[pn] = p
 		m.shared[pn] = true
@@ -25,3 +41,14 @@ func (m *Memory) Clone() *Memory {
 	}
 	return c
 }
+
+// Snapshot returns a copy-on-write image of m's current contents, for
+// later Restore. The snapshot must not be written through.
+func (m *Memory) Snapshot() *Memory { return m.Clone() }
+
+// Restore rewinds m to the contents captured by snap (a Snapshot of m or
+// of an equivalent memory), in place: existing pointers to m stay valid,
+// which is what lets a pooled attack scenario reset its machine-visible
+// memory to a canonical image between sweep attempts without rebuilding
+// the machine or cache wiring around it.
+func (m *Memory) Restore(snap *Memory) { snap.CloneInto(m) }

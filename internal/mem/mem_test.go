@@ -183,3 +183,66 @@ func TestZeroValueMemoryUsable(t *testing.T) {
 		t.Errorf("zero-value memory read = %d", got)
 	}
 }
+
+func TestCloneIntoReuse(t *testing.T) {
+	m := New()
+	m.Write(0x100, 8, 7)
+	m.Write(0x2000, 8, 9)
+
+	c := &Memory{}
+	m.CloneInto(c)
+	if c.Read(0x100, 8) != 7 || c.Read(0x2000, 8) != 9 {
+		t.Fatal("clone missing original contents")
+	}
+
+	// Diverge, then re-clone into the same image: divergence must vanish.
+	c.Write(0x100, 8, 99)
+	c.Write(0x9000, 8, 1) // page the original never had
+	m.CloneInto(c)
+	if got := c.Read(0x100, 8); got != 7 {
+		t.Errorf("re-clone kept stale write: %d", got)
+	}
+	if got := c.Read(0x9000, 8); got != 0 {
+		t.Errorf("re-clone kept stale page: %d", got)
+	}
+
+	// COW still holds after reuse.
+	c.Write(0x100, 8, 123)
+	if got := m.Read(0x100, 8); got != 7 {
+		t.Errorf("reused clone write leaked to original: %d", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	if err := m.AddRegion(Region{Name: "r", Base: 0x1000, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(0x1000, 8, 42)
+	snap := m.Snapshot()
+
+	m.Write(0x1000, 8, 77) // mutate a snapshotted page
+	m.Write(0x40000, 8, 5) // grow a new page
+	m.Restore(snap)
+
+	if got := m.Read(0x1000, 8); got != 42 {
+		t.Errorf("restore: read %d, want 42", got)
+	}
+	if got := m.Read(0x40000, 8); got != 0 {
+		t.Errorf("restore kept post-snapshot page: %d", got)
+	}
+	if _, ok := m.RegionByName("r"); !ok {
+		t.Error("restore dropped region")
+	}
+
+	// The cycle must be repeatable: mutate and restore again.
+	m.Write(0x1000, 8, 1)
+	m.Restore(snap)
+	if got := m.Read(0x1000, 8); got != 42 {
+		t.Errorf("second restore: read %d, want 42", got)
+	}
+	// And the snapshot itself must have stayed pristine throughout.
+	if got := snap.Read(0x1000, 8); got != 42 {
+		t.Errorf("snapshot mutated: %d", got)
+	}
+}

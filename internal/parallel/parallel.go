@@ -1,0 +1,186 @@
+// Package parallel is the repository's parallel execution engine: a
+// bounded worker pool that fans independent simulator runs out over
+// goroutines while keeping results bit-identical to a serial run.
+//
+// Determinism is the design center, not an afterthought. Every helper
+// assigns work by item index, returns results in item order, and leaves
+// randomness to per-item seeds (Seed) rather than per-worker streams, so
+// the outcome of a sweep is a pure function of its inputs — independent
+// of the worker count, the scheduler, and the completion order. The
+// serial path is simply Workers==1; the equivalence tests in
+// internal/core assert that every registered experiment produces
+// identical metrics at any worker count.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Seed derives a per-item RNG seed from a base seed and an item index
+// using a splitmix64 finalizer. Seeding each item independently (instead
+// of drawing from one shared stream, or one stream per worker) is what
+// makes randomized sweeps order-independent: item i sees the same
+// randomness whether it runs first on worker 3 or last on worker 0.
+func Seed(base int64, i int) int64 {
+	z := uint64(base) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// PanicError wraps a panic recovered inside a worker so it propagates to
+// the caller as an ordinary error instead of killing the process from a
+// goroutine.
+type PanicError struct {
+	Index int // item index whose function panicked
+	Value any // the recovered panic value
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", p.Index, p.Value)
+}
+
+// Map runs fn over every item with at most workers concurrent
+// goroutines and returns the results in item order.
+//
+// The first error (or contained panic) cancels the derived context and
+// stops workers from starting new items; already-running items finish.
+// When multiple items fail, the lowest-indexed recorded error is
+// returned. Callers that need a fully deterministic error regardless of
+// scheduling should capture per-item errors in R instead and scan the
+// ordered results. A nil ctx is treated as context.Background().
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(items)
+	out := make([]R, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+
+	runOne := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Index: i, Value: v}
+				cancel()
+			}
+		}()
+		r, err := fn(cctx, i, items[i])
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		out[i] = r
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runOne(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Sweep is Map over the index range [0, n): the items are the indices
+// themselves. It is the natural shape for "run n independent trials"
+// loops (samples, byte offsets, candidate windows).
+func Sweep[R any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	if n < 0 {
+		n = 0
+	}
+	idx := make([]struct{}, n)
+	return Map(ctx, workers, idx, func(ctx context.Context, i int, _ struct{}) (R, error) {
+		return fn(ctx, i)
+	})
+}
+
+// Pool is a bounded free list of reusable worker resources (cloned
+// machines, attack scenarios, analyzer instances). Get hands out a
+// pooled value or builds a fresh one; Put returns it for reuse. Unlike
+// sync.Pool it never drops values under GC pressure and never exceeds
+// its capacity, so a sweep over n items builds at most min(workers, n)
+// resources.
+//
+// Determinism contract: values handed out by Get carry state from
+// whichever item used them last, so callers must reset a pooled value
+// to a canonical state before use (or only pool stateless values).
+type Pool[T any] struct {
+	// New builds a fresh value when the pool is empty.
+	New func() (T, error)
+
+	free chan T
+}
+
+// NewPool returns a pool that retains at most capacity idle values.
+func NewPool[T any](capacity int, newFn func() (T, error)) *Pool[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool[T]{New: newFn, free: make(chan T, capacity)}
+}
+
+// Get returns an idle pooled value, or builds a fresh one.
+func (p *Pool[T]) Get() (T, error) {
+	select {
+	case v := <-p.free:
+		return v, nil
+	default:
+		return p.New()
+	}
+}
+
+// Put returns v to the pool; if the pool is full, v is dropped.
+func (p *Pool[T]) Put(v T) {
+	select {
+	case p.free <- v:
+	default:
+	}
+}

@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := []int{10, 20, 30, 40, 50, 60, 70}
+	for _, workers := range []int{0, 1, 2, 3, len(items), len(items) + 5} {
+		got, err := Map(context.Background(), workers, items, func(_ context.Context, i int, v int) (int, error) {
+			return v * 2, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != items[i]*2 {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, items[i]*2)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	got, err := Map(context.Background(), 4, nil, func(_ context.Context, i int, v int) (int, error) {
+		return v, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: got %v, err %v", got, err)
+	}
+	one, err := Sweep(context.Background(), 8, 1, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if err != nil || len(one) != 1 || one[0] != 1 {
+		t.Fatalf("single sweep: got %v, err %v", one, err)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	_, err := Sweep(context.Background(), 2, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		// Give cancellation a chance to land before the queue drains.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Errorf("cancellation did not stop the feed: all %d items started", n)
+	}
+}
+
+func TestMapPanicContained(t *testing.T) {
+	_, err := Sweep(context.Background(), 4, 16, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 5 || pe.Value != "kaboom" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Sweep(ctx, 2, 8, func(ctx context.Context, i int) (int, error) {
+		return i, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSeedDeterministicAndSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := Seed(42, i)
+		if s != Seed(42, i) {
+			t.Fatal("Seed not deterministic")
+		}
+		if seen[s] {
+			t.Fatalf("Seed collision at i=%d", i)
+		}
+		seen[s] = true
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("Seed ignores the base")
+	}
+}
+
+// TestSweepSeedOrderIndependence is the engine's core guarantee in
+// miniature: a randomized sweep produces identical results at any
+// worker count because randomness is keyed by item, not by worker.
+func TestSweepSeedOrderIndependence(t *testing.T) {
+	run := func(workers int) []uint64 {
+		out, err := Sweep(context.Background(), workers, 64, func(_ context.Context, i int) (uint64, error) {
+			rng := rand.New(rand.NewSource(Seed(7, i)))
+			v := uint64(0)
+			for k := 0; k < 10+i%7; k++ {
+				v = v*31 + rng.Uint64()
+			}
+			return v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("Workers(5) != 5")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must normalize to >= 1")
+	}
+}
+
+func TestPoolReuseAndCap(t *testing.T) {
+	var built atomic.Int32
+	p := NewPool(2, func() (*int, error) {
+		n := int(built.Add(1))
+		return &n, nil
+	})
+	a, _ := p.Get()
+	b, _ := p.Get()
+	c, _ := p.Get()
+	if built.Load() != 3 {
+		t.Fatalf("built %d, want 3", built.Load())
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // dropped: over capacity
+	x, _ := p.Get()
+	y, _ := p.Get()
+	if built.Load() != 3 {
+		t.Fatalf("pool did not reuse: built %d", built.Load())
+	}
+	_, _ = x, y
+	z, _ := p.Get()
+	if built.Load() != 4 || *z != 4 {
+		t.Fatalf("empty pool must build fresh (built=%d)", built.Load())
+	}
+}
+
+func TestPoolNewError(t *testing.T) {
+	p := NewPool(1, func() (int, error) { return 0, fmt.Errorf("nope") })
+	if _, err := p.Get(); err == nil {
+		t.Fatal("expected error from New")
+	}
+}

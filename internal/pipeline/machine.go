@@ -156,7 +156,16 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 		return Result{}, fmt.Errorf("pipeline: empty program")
 	}
 	m.prog = prog
-	m.oracle = emu.New(m.mem.Clone())
+	// The oracle runs on a copy-on-write image of data memory. Reuse the
+	// oracle machine and its clone across runs — sweep-style attacks call
+	// Run thousands of times, and re-cloning into the existing image is
+	// allocation-free in steady state.
+	if m.oracle == nil {
+		m.oracle = emu.New(m.mem.Clone())
+	} else {
+		m.oracle.Reset()
+		m.mem.CloneInto(m.oracle.Mem)
+	}
 	m.oracleHalted = false
 	m.haltFetched = false
 	m.haltRetired = false
