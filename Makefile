@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci bench clean
+.PHONY: build test race ci check check-quick bench clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ race:
 
 ci:
 	./ci.sh
+
+# Differential oracle: full sweep (500 programs, all 128 toggle masks).
+check: build
+	$(GO) run ./cmd/pandora check
+
+# Bounded variant used by CI.
+check-quick: build
+	$(GO) run ./cmd/pandora check -quick
 
 # Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
 bench: build

@@ -8,3 +8,14 @@ set -eux
 go vet ./...
 go build ./...
 go test -race -short ./...
+
+# Differential oracle: pipeline vs emulator over a bounded seeded corpus,
+# all optimization-toggle extremes plus rotating coverage, invariant
+# checks on. The -inject leg proves the oracle can actually catch a
+# miscompiled pipeline, so a green sweep means something.
+go run ./cmd/pandora check -quick
+go run ./cmd/pandora check -quick -inject >/dev/null
+
+# Fuzz smoke: a few seconds per target, same oracle as the sweep.
+go test ./internal/diffcheck -fuzz FuzzDifferential -fuzztime 5s -run '^$'
+go test ./internal/diffcheck -fuzz FuzzCacheHierarchy -fuzztime 5s -run '^$'

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"pandora/internal/diffcheck"
+)
+
+// runCheck implements `pandora check`: the differential-oracle sweep that
+// compares the pipeline against the functional emulator over a seeded
+// corpus, under every optimization-toggle combination (sampled per
+// program, covered in full across the corpus) and a spread of cache
+// variants, with runtime invariant checking enabled throughout.
+func runCheck(args []string) int {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	n := fs.Int("n", 500, "generated program count")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	masks := fs.Int("masks", 3, "extra random toggle masks per program")
+	quick := fs.Bool("quick", false, "bounded CI sweep (64 programs, 1 extra mask)")
+	workers := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	inject := fs.Bool("inject", false, "inject a deliberate pipeline bug (SRA executed as SRL); the sweep must catch it")
+	verbose := fs.Bool("v", false, "progress tracing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opts := diffcheck.Options{
+		Programs:        *n,
+		Seed:            *seed,
+		MasksPerProgram: *masks,
+		Workers:         *workers,
+	}
+	if *quick {
+		opts.Programs = 64
+		opts.MasksPerProgram = 1
+	}
+	if *inject {
+		opts.Subject = diffcheck.BugSRAAsSRL
+	}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := diffcheck.Check(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: check: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep)
+
+	if *inject {
+		// Inverted expectation: the sweep validates itself by catching the
+		// injected bug.
+		if rep.Ok() {
+			fmt.Println("[INJECTED BUG NOT CAUGHT]")
+			return 1
+		}
+		fmt.Println("[INJECTED BUG CAUGHT]")
+		return 0
+	}
+	if !rep.Ok() {
+		return 1
+	}
+	fmt.Println("[CLEAN]")
+	return 0
+}

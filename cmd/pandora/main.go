@@ -45,6 +45,9 @@ func main() {
 	if cmd == "bench" {
 		os.Exit(runBench(os.Args[2:]))
 	}
+	if cmd == "check" {
+		os.Exit(runCheck(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
@@ -217,4 +220,5 @@ func usage() {
 	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-parallel N] [-v]")
 	fmt.Println("       pandora bench [-parallel N] [-json path]")
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
+	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
 }

@@ -192,10 +192,14 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Fill(addr uint64, prefetched bool) (victim uint64, evicted bool) {
 	c.tick++
 	set, tag := c.SetOf(addr), c.tagOf(addr)
-	// Already present: refresh.
+	// Already present: refresh. The prefetched mark must track the most
+	// recent fill — a demand re-fill of a prefetch-filled line (or the
+	// reverse) that kept the stale mark would make a later Lookup
+	// miscount Stats.PrefetchHits.
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
+			ln.prefetched = prefetched
 			c.touch(set, i)
 			return 0, false
 		}
@@ -269,18 +273,26 @@ func (c *Cache) touch(set, way int) {
 	case TreePLRU:
 		// Walk root→leaf; at each node set the bit to point away from
 		// the touched way (true = victim side is right).
+		//
+		// The tree over a non-power-of-two way count is irregular (a left
+		// subtree of floor(n/2) leaves, a right subtree of the rest), so
+		// the bits use subtree-offset indexing — a subtree of n leaves
+		// owns n-1 consecutive bits, root first — rather than complete-
+		// binary-heap indexing, which walks out of the array for such
+		// trees (left child of the root's right child is at heap index 5
+		// of a 2-bit array for Ways=3).
 		bits := c.plru[set]
 		n := c.cfg.Ways
 		node, lo := 0, 0
-		for n > 1 && node < len(bits) {
+		for n > 1 {
 			half := n / 2
 			if way < lo+half {
 				bits[node] = true
-				node = 2*node + 1
+				node++ // left subtree root
 				n = half
 			} else {
 				bits[node] = false
-				node = 2*node + 2
+				node += half // skip the left subtree's half-1 bits
 				lo += half
 				n -= half
 			}
@@ -288,23 +300,78 @@ func (c *Cache) touch(set, way int) {
 	}
 }
 
+// CheckReplacementState verifies the cache's replacement metadata: no set
+// holds two valid lines with the same tag, every LRU timestamp is bounded
+// by the access tick (timestamps are assigned from the monotone tick, so a
+// larger value means corrupted state), and for TreePLRU the victim walk of
+// every set stays inside the bit array and lands on a legal way — the
+// property the heap-indexed walk violated for non-power-of-two way counts.
+// It is a pure probe used by the invariant-checking harness.
+func (c *Cache) CheckReplacementState() error {
+	for s := range c.sets {
+		seen := make(map[uint64]int, c.cfg.Ways)
+		for w, ln := range c.sets[s] {
+			if !ln.valid {
+				continue
+			}
+			if prev, dup := seen[ln.tag]; dup {
+				return fmt.Errorf("cache %s: set %d ways %d and %d both hold tag %#x",
+					c.cfg.Name, s, prev, w, ln.tag)
+			}
+			seen[ln.tag] = w
+			if ln.lastUse > c.tick {
+				return fmt.Errorf("cache %s: set %d way %d lastUse %d ahead of tick %d",
+					c.cfg.Name, s, w, ln.lastUse, c.tick)
+			}
+		}
+		if c.cfg.Policy == TreePLRU {
+			bits := c.plru[s]
+			n := c.cfg.Ways
+			node, lo := 0, 0
+			for n > 1 {
+				if node < 0 || node >= len(bits) {
+					return fmt.Errorf("cache %s: set %d tree-plru walk node %d outside [0,%d)",
+						c.cfg.Name, s, node, len(bits))
+				}
+				half := n / 2
+				if bits[node] {
+					node += half
+					lo += half
+					n -= half
+				} else {
+					node++
+					n = half
+				}
+			}
+			if lo < 0 || lo >= c.cfg.Ways {
+				return fmt.Errorf("cache %s: set %d tree-plru victim way %d outside [0,%d)",
+					c.cfg.Name, s, lo, c.cfg.Ways)
+			}
+		}
+	}
+	return nil
+}
+
 func (c *Cache) victimWay(set int) int {
 	switch c.cfg.Policy {
 	case Random:
 		return c.rng.Intn(c.cfg.Ways)
 	case TreePLRU:
-		// Follow the bits toward the pseudo-LRU leaf.
+		// Follow the bits toward the pseudo-LRU leaf, mirroring touch's
+		// subtree-offset indexing (the heap-indexed walk used previously
+		// read past the bit array for non-power-of-two way counts and
+		// could never select the last way as victim).
 		bits := c.plru[set]
 		n := c.cfg.Ways
 		node, lo := 0, 0
 		for n > 1 {
 			half := n / 2
-			if node < len(bits) && bits[node] {
-				node = 2*node + 2
+			if bits[node] {
+				node += half
 				lo += half
 				n -= half
 			} else {
-				node = 2*node + 1
+				node++
 				n = half
 			}
 		}

@@ -214,3 +214,73 @@ func TestFlushAll(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Fill's refresh path must update the prefetched mark to match
+// the most recent fill. A stale mark miscounts Stats.PrefetchHits on the
+// next Lookup — hiding a prefetch hit after a demand re-fill, or
+// inventing one after a prefetch re-fill of demand-resident data.
+func TestFillRefreshUpdatesPrefetchedMark(t *testing.T) {
+	c := MustNew(smallCfg())
+	c.Fill(0x40, true)
+	c.Fill(0x40, false) // demand refresh clears the mark
+	c.Lookup(0x40)
+	if c.Stats.PrefetchHits != 0 {
+		t.Errorf("demand-refreshed line counted as prefetch hit: %+v", c.Stats)
+	}
+
+	c = MustNew(smallCfg())
+	c.Fill(0x80, false)
+	c.Fill(0x80, true) // prefetch refresh sets the mark
+	c.Lookup(0x80)
+	if c.Stats.PrefetchHits != 1 {
+		t.Errorf("prefetch-refreshed line not counted: %+v", c.Stats)
+	}
+}
+
+// Regression: with a non-power-of-two way count the TreePLRU walk used
+// complete-binary-heap bit indexing, which steps outside the bit array and
+// can never select the last way as a victim.
+func TestTreePLRUNonPowerOfTwoWays(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Ways = 3
+	cfg.Policy = TreePLRU
+	c := MustNew(cfg)
+	addrs := []uint64{0, 0x100, 0x200} // all in set 0
+	for _, a := range addrs {
+		c.Fill(a, false)
+	}
+	// Touch way 1 (right subtree: its bit points at way 2), then way 0
+	// (root bit points right): the pseudo-LRU walk must land on way 2.
+	c.Lookup(addrs[1])
+	c.Lookup(addrs[0])
+	victim, evicted := c.Fill(0x300, false)
+	if !evicted || victim != addrs[2] {
+		t.Errorf("victim = %#x (evicted=%v), want %#x", victim, evicted, addrs[2])
+	}
+	if err := c.CheckReplacementState(); err != nil {
+		t.Errorf("CheckReplacementState: %v", err)
+	}
+
+	// The last way must be reachable as a victim under plain filling, for
+	// every irregular tree shape.
+	for ways := 2; ways <= 9; ways++ {
+		cfg.Ways = ways
+		c := MustNew(cfg)
+		for w := 0; w < ways; w++ {
+			c.Fill(uint64(w)*0x100, false)
+		}
+		last := uint64(ways-1) * 0x100
+		gone := false
+		for i := ways; i < ways+3*ways && !gone; i++ {
+			if v, ev := c.Fill(uint64(i)*0x100, false); ev && v == last {
+				gone = true
+			}
+			if err := c.CheckReplacementState(); err != nil {
+				t.Fatalf("ways=%d: %v", ways, err)
+			}
+		}
+		if !gone {
+			t.Errorf("ways=%d: last way's line never evicted (unreachable victim)", ways)
+		}
+	}
+}

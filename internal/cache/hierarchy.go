@@ -15,6 +15,15 @@ type HierConfig struct {
 	// monitors L2.
 	PrefetchBuffer     bool
 	PrefetchBufferSize int // entries; default 8
+
+	// SelfCheck makes the hierarchy verify its structural invariants —
+	// L2 ⊇ L1 inclusivity (prefetch-buffer entries included) and per-level
+	// replacement-state sanity — after every mutating operation. The first
+	// violation is latched and reported by InvariantError; the pipeline's
+	// invariant harness polls it and attaches the violating cycle. Off by
+	// default: the checks walk both caches and cost far more than the
+	// operations they guard.
+	SelfCheck bool
 }
 
 // DefaultHierConfig returns the configuration used by most experiments:
@@ -48,6 +57,9 @@ type Hierarchy struct {
 	// Listeners observe demand accesses; the data memory-dependent
 	// prefetcher registers itself here.
 	listeners []AccessListener
+
+	// invErr latches the first invariant violation found by SelfCheck.
+	invErr error
 
 	DemandAccesses   uint64
 	PrefetchRequests uint64
@@ -121,6 +133,9 @@ func (h *Hierarchy) AccessSilent(addr uint64) AccessResult {
 }
 
 func (h *Hierarchy) accessTiming(addr uint64) AccessResult {
+	if h.cfg.SelfCheck {
+		defer h.selfCheck("access", addr)
+	}
 	if h.L1.Lookup(addr) {
 		return AccessResult{Latency: h.cfg.L1.HitLatency, L1Hit: true}
 	}
@@ -171,6 +186,9 @@ func (h *Hierarchy) fillL1(addr uint64) {
 // buffer configured, L1 is bypassed but L2 still fills.
 func (h *Hierarchy) Prefetch(addr uint64) {
 	h.PrefetchRequests++
+	if h.cfg.SelfCheck {
+		defer h.selfCheck("prefetch", addr)
+	}
 	h.fillL2(addr, true)
 	if h.cfg.PrefetchBuffer {
 		la := h.L1.LineAddr(addr)
@@ -198,6 +216,52 @@ func (h *Hierarchy) Latency(addr uint64) int {
 		return h.cfg.L2.HitLatency
 	}
 	return h.cfg.MemLatency
+}
+
+// CheckInclusive verifies L2 ⊇ L1: every valid L1 line, and every line
+// parked in the prefetch buffer, must be present in L2. A pure probe.
+func (h *Hierarchy) CheckInclusive() error {
+	l1 := h.L1.Config()
+	for s := 0; s < l1.Sets; s++ {
+		for _, la := range h.L1.SetContents(s) {
+			if !h.L2.Contains(la) {
+				return fmt.Errorf("cache: inclusivity broken: L1 line %#x absent from L2", la)
+			}
+		}
+	}
+	for _, la := range h.pbuf {
+		if !h.L2.Contains(la) {
+			return fmt.Errorf("cache: inclusivity broken: prefetch-buffer line %#x absent from L2", la)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants runs every structural check: inclusivity plus both
+// levels' replacement-state sanity. A pure probe.
+func (h *Hierarchy) CheckInvariants() error {
+	if err := h.CheckInclusive(); err != nil {
+		return err
+	}
+	if err := h.L1.CheckReplacementState(); err != nil {
+		return err
+	}
+	return h.L2.CheckReplacementState()
+}
+
+// InvariantError returns the first violation latched by SelfCheck mode,
+// or nil.
+func (h *Hierarchy) InvariantError() error { return h.invErr }
+
+// selfCheck latches the first invariant violation, tagged with the
+// operation that exposed it.
+func (h *Hierarchy) selfCheck(op string, addr uint64) {
+	if h.invErr != nil {
+		return
+	}
+	if err := h.CheckInvariants(); err != nil {
+		h.invErr = fmt.Errorf("after %s of %#x: %w", op, addr, err)
+	}
 }
 
 // EvictAll removes the line containing addr from every level.

@@ -165,3 +165,49 @@ func TestFlushAllHierarchy(t *testing.T) {
 		t.Error("FlushAll left lines")
 	}
 }
+
+func TestCheckInclusiveDetectsViolation(t *testing.T) {
+	h := MustNewHierarchy(DefaultHierConfig())
+	h.Access(0x1000, 0, false)
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("clean hierarchy: %v", err)
+	}
+	// Break inclusivity by hand: drop the line from L2 only.
+	h.L2.Evict(0x1000)
+	if err := h.CheckInclusive(); err == nil {
+		t.Error("L1-only line not flagged as an inclusivity violation")
+	}
+}
+
+// Back-invalidation must preserve L2 ⊇ L1 under sustained eviction
+// pressure, including through prefetches and an L2 policy different from
+// L1's. SelfCheck validates after every operation; the test also probes
+// directly at the end.
+func TestBackInvalidationKeepsInclusivity(t *testing.T) {
+	cfg := HierConfig{
+		L1:         Config{Name: "L1", Sets: 2, Ways: 2, LineSize: 64, HitLatency: 1, Policy: LRU},
+		L2:         Config{Name: "L2", Sets: 4, Ways: 3, LineSize: 64, HitLatency: 4, Policy: TreePLRU},
+		MemLatency: 10,
+		SelfCheck:  true,
+	}
+	h := MustNewHierarchy(cfg)
+	x := uint64(12345)
+	for i := 0; i < 800; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		a := (x >> 33) % (1 << 14)
+		switch i % 5 {
+		case 0:
+			h.Prefetch(a)
+		case 1:
+			h.EvictAll(a)
+		default:
+			h.Access(a, uint64(i), i%2 == 0)
+		}
+		if err := h.InvariantError(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("final state: %v", err)
+	}
+}

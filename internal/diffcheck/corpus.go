@@ -1,0 +1,125 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"pandora/internal/asm"
+	"pandora/internal/ebpf"
+	"pandora/internal/mem"
+)
+
+// Fixtures returns the hand-written and JIT-produced cases the harness
+// always runs in addition to the generated corpus: programs shaped like
+// the paper's proofs of concept, which stress the exact machinery (silent
+// stores, forwarding, fences, pointer-chase loads) the toggles modify.
+func Fixtures() []Case {
+	cases := []Case{
+		{
+			Name: "ss-amplify",
+			// Repeated same-value stores: the silent-store candidate stream.
+			Prog: asm.MustAssemble(`
+				addi x1, x0, 0x1000
+				addi x2, x0, 77
+				addi x3, x0, 4
+			loop:
+				sd   x2, 0(x1)
+				sd   x2, 64(x1)
+				sd   x2, 0(x1)
+				addi x3, x3, -1
+				bne  x3, x0, loop
+				halt
+			`),
+		},
+		{
+			Name: "forward-partial",
+			// Narrow store under a wide load: partial forwarding merges
+			// store-queue bytes with memory bytes.
+			Prog: asm.MustAssemble(`
+				addi x1, x0, 0x1200
+				addi x2, x0, -1
+				sd   x2, 0(x1)
+				addi x3, x0, 0
+				sb   x3, 3(x1)
+				ld   x4, 0(x1)
+				sh   x3, 6(x1)
+				ld   x5, 0(x1)
+				halt
+			`),
+		},
+		{
+			Name: "fence-widths",
+			Prog: asm.MustAssemble(`
+				addi x1, x0, 0x1300
+				addi x2, x0, -2
+				sw   x2, 0(x1)
+				fence
+				lb   x3, 0(x1)
+				lbu  x4, 0(x1)
+				lh   x5, 0(x1)
+				lhu  x6, 2(x1)
+				lwu  x7, 0(x1)
+				halt
+			`),
+		},
+		{
+			Name: "jal-jalr-chain",
+			Prog: asm.MustAssemble(`
+				addi x5, x0, 6
+				jal  x1, f1
+				addi x6, x6, 100   # skipped
+			f1:
+				addi x6, x6, 1
+				addi x7, x0, 7
+				jalr x2, 0(x7)     # jump to index 7 (the next halt block)
+				addi x6, x6, 100   # skipped
+				addi x6, x6, 2
+				halt
+			`),
+		},
+	}
+	if c, err := figure7Case(); err == nil {
+		cases = append(cases, c)
+	}
+	if c, err := chaseCase(); err == nil {
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// ebpfEnv builds a three-map environment with bases far from the
+// generator's scratch regions, plus the Init that materializes map
+// contents so the pointer chase follows real in-bounds indices.
+func ebpfEnv() (*ebpf.Env, func(*mem.Memory)) {
+	env := &ebpf.Env{Maps: []ebpf.Map{
+		{Name: "Z", ElemSize: 8, NElems: 16, Base: 0x100000},
+		{Name: "Y", ElemSize: 8, NElems: 16, Base: 0x110000},
+		{Name: "X", ElemSize: 8, NElems: 16, Base: 0x120000},
+	}}
+	init := func(m *mem.Memory) {
+		for i := 0; i < 16; i++ {
+			m.Write(0x100000+uint64(i)*8, 8, uint64((i*7)%16))
+			m.Write(0x110000+uint64(i)*8, 8, uint64((i*5)%16))
+			m.Write(0x120000+uint64(i)*8, 8, uint64(i+1))
+		}
+	}
+	return env, init
+}
+
+func figure7Case() (Case, error) {
+	env, init := ebpfEnv()
+	prog, err := ebpf.Compile(ebpf.Figure7Program(0, 1, 2, 12, 8, 8, 8), env)
+	if err != nil {
+		return Case{}, fmt.Errorf("diffcheck: figure7 fixture: %w", err)
+	}
+	return Case{Name: "ebpf-figure7", Prog: prog, Init: init}, nil
+}
+
+func chaseCase() (Case, error) {
+	env, init := ebpfEnv()
+	levels := []ebpf.ChaseLevel{{Map: 0, LoadSize: 8}, {Map: 1, LoadSize: 8}, {Map: 2, LoadSize: 8}}
+	prog, err := ebpf.Compile(ebpf.ChaseProgram(levels, 10), env)
+	if err != nil {
+		return Case{}, fmt.Errorf("diffcheck: chase fixture: %w", err)
+	}
+	return Case{Name: "ebpf-chase3", Prog: prog, Init: init}, nil
+}

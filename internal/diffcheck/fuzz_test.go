@@ -1,0 +1,133 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"pandora/internal/cache"
+	"pandora/internal/isa"
+)
+
+// decodeProgram turns arbitrary fuzz bytes into a terminating program that
+// follows the generator's register convention: a fixed prologue (bases +
+// loop counter), a body decoded three bytes per instruction from a menu of
+// safe shapes, and the counted-loop epilogue. Every input decodes to a
+// comparable case — the fuzzer explores instruction mixes, not encodings.
+func decodeProgram(data []byte) isa.Program {
+	var p isa.Program
+	emit := func(in isa.Inst) { p = append(p, in) }
+	emit(isa.Inst{Op: isa.ADDI, Rd: loopReg, Imm: 2})
+	emit(isa.Inst{Op: isa.ADDI, Rd: baseA, Imm: regionA})
+	emit(isa.Inst{Op: isa.ADDI, Rd: baseB, Imm: regionB})
+	emit(isa.Inst{Op: isa.LUI, Rd: baseFar, Imm: regionFar >> 12})
+	loopStart := int64(len(p))
+
+	bases := []isa.Reg{baseA, baseB, baseFar}
+	for i := 0; i+2 < len(data) && i < 3*48; i += 3 {
+		sel, b1, b2 := data[i], data[i+1], data[i+2]
+		rd := isa.Reg(1 + b1%genRegHi)
+		rs1 := isa.Reg(b1 % (genRegHi + 1)) // may be x0
+		rs2 := isa.Reg(b2 % (genRegHi + 1))
+		base := bases[b2%3]
+		off := int64(b2%(regionSpan/8-1)) * 8
+		switch sel % 10 {
+		case 0:
+			ops := []isa.Op{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT, isa.SLTU, isa.SLL, isa.SRL, isa.SRA}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rd: rd, Rs1: rs1, Rs2: rs2})
+		case 1:
+			ops := []isa.Op{isa.MUL, isa.MULH, isa.DIV, isa.REM}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rd: rd, Rs1: rs1, Rs2: rs2})
+		case 2:
+			ops := []isa.Op{isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rd: rd, Rs1: rs1, Imm: int64(b2) - 128})
+		case 3:
+			ops := []isa.Op{isa.SLLI, isa.SRLI, isa.SRAI}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rd: rd, Rs1: rs1, Imm: int64(b2 % 63)})
+		case 4:
+			ops := []isa.Op{isa.SB, isa.SH, isa.SW, isa.SD}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rs1: base, Rs2: rs2, Imm: off})
+		case 5:
+			ops := []isa.Op{isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW, isa.LWU, isa.LD}
+			emit(isa.Inst{Op: ops[b1%byte(len(ops))], Rd: rd, Rs1: base, Imm: off})
+		case 6:
+			// Silent-store pair.
+			emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: base, Imm: off})
+			emit(isa.Inst{Op: isa.SD, Rs1: base, Rs2: rd, Imm: off})
+		case 7:
+			// Forward branch over one instruction.
+			bops := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+			emit(isa.Inst{Op: bops[b1%byte(len(bops))], Rs1: rs1, Rs2: rs2, Imm: int64(len(p)) + 2})
+			emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: int64(b2 % 64)})
+		case 8:
+			// ADDI feeding a load: the fusion shape.
+			emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: base, Imm: off})
+			emit(isa.Inst{Op: isa.LD, Rd: isa.Reg(1 + b2%genRegHi), Rs1: rd})
+		default:
+			emit(isa.Inst{Op: isa.FENCE})
+		}
+	}
+	emit(isa.Inst{Op: isa.ADDI, Rd: loopReg, Rs1: loopReg, Imm: -1})
+	emit(isa.Inst{Op: isa.BNE, Rs1: loopReg, Imm: loopStart})
+	emit(isa.Inst{Op: isa.HALT})
+	return p
+}
+
+// FuzzDifferential feeds decoded programs to the same pipeline-vs-emulator
+// oracle the sweep uses; any divergence is a crasher.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0, 1, 2, 4, 10, 20, 5, 3, 7, 6, 9, 1, 7, 40, 40}, uint8(AllMasks-1))
+	f.Add([]byte{6, 0, 0, 4, 0, 0, 9, 0, 0, 5, 0, 0}, uint8(TogSilentStores|TogFuse))
+	variants := CacheVariants()
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+		c := Case{Name: "fuzz", Prog: decodeProgram(data), Init: InitMemory}
+		mask := ToggleMask(sel % AllMasks)
+		v := variants[int(sel)%len(variants)]
+		if d := RunCase(c, mask, v, nil); d != nil {
+			t.Fatalf("divergence under toggles=%v cache=%s: %v\nprogram: %v", mask, v.Name, d, c.Prog)
+		}
+	})
+}
+
+// FuzzCacheHierarchy drives a tiny self-checking hierarchy through
+// byte-directed access/prefetch/evict sequences; the per-operation
+// self-check plus a final probe must stay clean for every geometry,
+// including non-power-of-two TreePLRU way counts.
+func FuzzCacheHierarchy(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{5, 3, 255, 254, 253, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		policies := []cache.Policy{cache.LRU, cache.TreePLRU, cache.Random}
+		cfg := cache.HierConfig{
+			L1: cache.Config{Name: "L1D", Sets: 2, Ways: 1 + int(data[0]%8), LineSize: 64,
+				HitLatency: 1, Policy: policies[data[0]%3], Seed: 7},
+			L2: cache.Config{Name: "L2", Sets: 4, Ways: 1 + int(data[1]%8), LineSize: 64,
+				HitLatency: 4, Policy: policies[data[1]%3], Seed: 11},
+			MemLatency: 20,
+			SelfCheck:  true,
+		}
+		h, err := cache.NewHierarchy(cfg)
+		if err != nil {
+			t.Skip() // geometry rejected by construction-time validation
+		}
+		for i := 2; i+1 < len(data) && i < 2+2*256; i += 2 {
+			addr := uint64(data[i+1]) << 6
+			switch data[i] % 8 {
+			case 0:
+				h.Prefetch(addr)
+			case 1:
+				h.EvictAll(addr)
+			default:
+				h.Access(addr, uint64(i), data[i]%2 == 0)
+			}
+			if err := h.InvariantError(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Fatalf("final state: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package diffcheck
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pandora/internal/isa"
+	"pandora/internal/parallel"
+)
+
+// Options parameterizes a harness sweep.
+type Options struct {
+	// Programs is the number of generated programs (default 500).
+	Programs int
+	// Seed is the corpus seed; every program derives its own RNG from
+	// parallel.Seed(Seed, index), so the corpus is identical at any
+	// worker count.
+	Seed int64
+	// MasksPerProgram is how many random toggle masks each program runs
+	// under, in addition to the three scheduled ones (all-off, all-on, and
+	// a rotating mask that covers all 128 combinations across the corpus).
+	// Default 3.
+	MasksPerProgram int
+	// Workers bounds the fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Subject, when set, rewrites each program before the pipeline runs it
+	// (bug injection).
+	Subject Subject
+	// SkipFixtures drops the hand-written and eBPF cases.
+	SkipFixtures bool
+	// MaxFailures caps how many failures keep their minimized repro in the
+	// report (default 4); further divergences are still counted, just
+	// without a listing.
+	MaxFailures int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Failure is one minimized divergence.
+type Failure struct {
+	Name    string
+	Mask    ToggleMask
+	Variant string
+	Div     Divergence
+	Repro   isa.Program
+}
+
+// Report summarizes a sweep.
+type Report struct {
+	Programs int // cases examined (generated + fixtures)
+	Runs     int // pipeline-vs-emulator comparisons executed
+	Failures []Failure
+}
+
+// Ok reports a clean sweep.
+func (r Report) Ok() bool { return len(r.Failures) == 0 }
+
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diffcheck: %d programs, %d differential runs, %d divergence(s)\n",
+		r.Programs, r.Runs, len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\nFAIL %s  toggles=%v  cache=%s\n  %v\n", f.Name, f.Mask, f.Variant, f.Div)
+		if len(f.Repro) == 0 {
+			fmt.Fprintf(&b, "  (repro not minimized: over the failure cap)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "  minimized repro (%d instructions):\n", len(f.Repro))
+		for i, in := range f.Repro {
+			fmt.Fprintf(&b, "    %3d: %v\n", i, in)
+		}
+	}
+	return b.String()
+}
+
+// masksFor returns the toggle masks case index i runs under: the two
+// extremes, a rotating mask so the whole corpus covers all 128
+// combinations, and extra random draws.
+func masksFor(i int, extra int, rng *rand.Rand) []ToggleMask {
+	masks := []ToggleMask{0, AllMasks - 1, ToggleMask(i % AllMasks)}
+	for k := 0; k < extra; k++ {
+		masks = append(masks, ToggleMask(rng.Intn(AllMasks)))
+	}
+	return masks
+}
+
+// Check runs the full differential sweep: fixtures plus Programs generated
+// cases, each under several toggle masks, cycling through the cache
+// variants. Divergent cases are minimized before being reported.
+func Check(ctx context.Context, opts Options) (Report, error) {
+	if opts.Programs <= 0 {
+		opts.Programs = 500
+	}
+	if opts.MasksPerProgram <= 0 {
+		opts.MasksPerProgram = 3
+	}
+	if opts.MaxFailures <= 0 {
+		opts.MaxFailures = 4
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	variants := CacheVariants()
+
+	var cases []Case
+	if !opts.SkipFixtures {
+		cases = Fixtures()
+	}
+	nFixtures := len(cases)
+	for i := 0; i < opts.Programs; i++ {
+		rng := rand.New(rand.NewSource(parallel.Seed(opts.Seed, i)))
+		cases = append(cases, Case{
+			Name: fmt.Sprintf("gen-%04d", i),
+			Prog: Generate(rng),
+			Init: InitMemory,
+		})
+	}
+	logf("diffcheck: %d fixtures + %d generated programs, %d cache variants",
+		nFixtures, opts.Programs, len(variants))
+
+	type caseResult struct {
+		runs     int
+		failures []Failure
+	}
+	results, err := parallel.Map(ctx, opts.Workers, cases,
+		func(_ context.Context, i int, c Case) (caseResult, error) {
+			var res caseResult
+			// Mask draws reuse the per-case seed so the schedule is a pure
+			// function of (Seed, index).
+			rng := rand.New(rand.NewSource(parallel.Seed(opts.Seed+1, i)))
+			v := variants[i%len(variants)]
+			for _, mask := range masksFor(i, opts.MasksPerProgram, rng) {
+				res.runs++
+				div := RunCase(c, mask, v, opts.Subject)
+				if div == nil {
+					continue
+				}
+				min := Minimize(c, func(cand Case) bool {
+					return RunCase(cand, mask, v, opts.Subject) != nil
+				})
+				res.failures = append(res.failures, Failure{
+					Name: c.Name, Mask: mask, Variant: v.Name, Div: *div, Repro: min.Prog,
+				})
+				break // one minimized failure per case is enough signal
+			}
+			return res, nil
+		})
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{Programs: len(cases)}
+	for _, r := range results {
+		rep.Runs += r.runs
+		for _, f := range r.failures {
+			if len(rep.Failures) < opts.MaxFailures {
+				rep.Failures = append(rep.Failures, f)
+			} else {
+				rep.Failures = append(rep.Failures, Failure{
+					Name: f.Name, Mask: f.Mask, Variant: f.Variant, Div: f.Div,
+				})
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,57 @@
+package diffcheck
+
+import "pandora/internal/isa"
+
+// Minimize shrinks c.Prog while fails keeps reporting a divergence,
+// delta-debugging style: it first tries removing shrinking windows of
+// instructions, then single instructions, until a fixpoint. Branch and JAL
+// targets are renumbered across each removal; a removal that breaks a
+// target (or removes the divergence) is simply rejected by the predicate,
+// so minimization is always sound — the result is a program that still
+// fails — just not guaranteed minimal.
+func Minimize(c Case, fails func(Case) bool) Case {
+	if !fails(c) {
+		return c
+	}
+	for window := len(c.Prog) / 2; window >= 1; window /= 2 {
+		for {
+			shrunk := false
+			for at := 0; at+window <= len(c.Prog); at++ {
+				cand := Case{Name: c.Name, Init: c.Init, Prog: removeRange(c.Prog, at, window)}
+				if fails(cand) {
+					c = cand
+					shrunk = true
+					// Restart the scan at the same position: the window now
+					// covers what used to be the next instructions.
+					at--
+				}
+			}
+			if !shrunk {
+				break
+			}
+		}
+	}
+	return c
+}
+
+// removeRange deletes prog[at:at+n], renumbering absolute branch/JAL
+// targets that pointed past the removed range. Targets inside the range
+// are clamped to its start (the instruction that now sits there).
+func removeRange(prog isa.Program, at, n int) isa.Program {
+	out := make(isa.Program, 0, len(prog)-n)
+	for i, in := range prog {
+		if i >= at && i < at+n {
+			continue
+		}
+		if isa.ClassOf(in.Op) == isa.ClassBranch || in.Op == isa.JAL {
+			switch {
+			case in.Imm >= int64(at+n):
+				in.Imm -= int64(n)
+			case in.Imm > int64(at):
+				in.Imm = int64(at)
+			}
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -106,29 +106,20 @@ func Render(series map[string]*Histogram, width int) string {
 	}
 	sort.Strings(names)
 
-	// Union of bins across series.
-	binset := map[int64]bool{}
-	binWidth := int64(1)
+	// Shared bar scale across series, so side-by-side heights compare.
 	maxPct := 0.0
 	for _, n := range names {
 		h := series[n]
-		binWidth = h.BinWidth
-		starts, counts := h.Bins()
-		for i, b := range starts {
-			binset[b] = true
-			if h.N() > 0 {
-				pct := 100 * float64(counts[i]) / float64(h.N())
-				if pct > maxPct {
-					maxPct = pct
-				}
+		if h.N() == 0 {
+			continue
+		}
+		_, counts := h.Bins()
+		for _, c := range counts {
+			if pct := 100 * float64(c) / float64(h.N()); pct > maxPct {
+				maxPct = pct
 			}
 		}
 	}
-	bins := make([]int64, 0, len(binset))
-	for b := range binset {
-		bins = append(bins, b)
-	}
-	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
 	if maxPct == 0 {
 		maxPct = 1
 	}
@@ -137,14 +128,17 @@ func Render(series map[string]*Histogram, width int) string {
 	for _, n := range names {
 		h := series[n]
 		fmt.Fprintf(&out, "%s (%s)\n", n, h.Summarize())
-		for _, b := range bins {
-			c := h.bins[b]
-			if c == 0 {
-				continue
-			}
-			pct := 100 * float64(c) / float64(h.N())
+		if h.N() == 0 {
+			continue // no samples: nothing to normalize against
+		}
+		// Bin ranges are labeled with this series' own width — series may
+		// legitimately differ in BinWidth, and a shared width would
+		// mislabel every range but one.
+		starts, counts := h.Bins()
+		for i, b := range starts {
+			pct := 100 * float64(counts[i]) / float64(h.N())
 			bar := strings.Repeat("#", int(pct/maxPct*float64(width))+1)
-			fmt.Fprintf(&out, "  [%6d, %6d) %6.1f%% %s\n", b, b+binWidth, pct, bar)
+			fmt.Fprintf(&out, "  [%6d, %6d) %6.1f%% %s\n", b, b+h.BinWidth, pct, bar)
 		}
 	}
 	return out.String()

@@ -80,3 +80,36 @@ func TestRenderEmpty(t *testing.T) {
 		t.Errorf("render: %q", out)
 	}
 }
+
+// Regression: Render labelled every series' bins with a single bin width,
+// so mixed-width series printed wrong interval bounds. Each series must be
+// labelled with its own BinWidth.
+func TestRenderPerSeriesBinWidth(t *testing.T) {
+	narrow, wide := New(10), New(64)
+	narrow.Add(15) // bin [10, 20)
+	wide.Add(100)  // bin [64, 128)
+	out := Render(map[string]*Histogram{"narrow": narrow, "wide": wide}, 20)
+	if !strings.Contains(out, "10") || !strings.Contains(out, "20)") {
+		t.Errorf("narrow series bounds wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "64") || !strings.Contains(out, "128)") {
+		t.Errorf("wide series bounds wrong:\n%s", out)
+	}
+	if strings.Contains(out, "74)") { // 10+64: the cross-width artifact
+		t.Errorf("narrow bin labelled with wide series' width:\n%s", out)
+	}
+}
+
+// Regression: an empty series alongside a populated one must not divide by
+// a zero sample count (NaN percentages) or emit bogus bars.
+func TestRenderEmptyAlongsidePopulated(t *testing.T) {
+	full := New(10)
+	full.Add(5)
+	out := Render(map[string]*Histogram{"empty": New(10), "full": full}, 20)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into render:\n%s", out)
+	}
+	if !strings.Contains(out, "full") || !strings.Contains(out, "empty") {
+		t.Errorf("series headers missing:\n%s", out)
+	}
+}

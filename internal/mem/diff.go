@@ -1,0 +1,53 @@
+package mem
+
+import "sort"
+
+// Mismatch is one byte address at which two memories disagree.
+type Mismatch struct {
+	Addr uint64
+	A, B byte
+}
+
+// Diff compares two memories byte-wise over the union of their allocated
+// pages, returning up to max mismatches in ascending address order (max <= 0
+// means no limit). Never-written bytes read as zero, so a page allocated in
+// one memory but not the other only counts where its contents are nonzero —
+// sparse-allocation differences alone are not architectural differences.
+func Diff(a, b *Memory, max int) []Mismatch {
+	pns := make(map[uint64]struct{}, len(a.pages)+len(b.pages))
+	for pn := range a.pages {
+		pns[pn] = struct{}{}
+	}
+	for pn := range b.pages {
+		pns[pn] = struct{}{}
+	}
+	order := make([]uint64, 0, len(pns))
+	for pn := range pns {
+		order = append(order, pn)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var out []Mismatch
+	for _, pn := range order {
+		pa, pb := a.pages[pn], b.pages[pn]
+		if pa == pb {
+			continue // copy-on-write aliases: identical by construction
+		}
+		for i := 0; i < pageSize; i++ {
+			var va, vb byte
+			if pa != nil {
+				va = pa[i]
+			}
+			if pb != nil {
+				vb = pb[i]
+			}
+			if va != vb {
+				out = append(out, Mismatch{Addr: pn<<pageShift | uint64(i), A: va, B: vb})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package mem
+
+import "testing"
+
+func TestDiff(t *testing.T) {
+	a, b := New(), New()
+	a.Write(0x100, 8, 0xdeadbeef)
+	b.Write(0x100, 8, 0xdeadbeee) // low byte differs
+	b.StoreByte(0x5000, 7)        // page present only in b
+
+	d := Diff(a, b, 0)
+	if len(d) != 2 {
+		t.Fatalf("Diff = %v, want 2 mismatches", d)
+	}
+	if d[0].Addr != 0x100 || d[0].A != 0xef || d[0].B != 0xee {
+		t.Errorf("first mismatch = %+v", d[0])
+	}
+	if d[1].Addr != 0x5000 || d[1].A != 0 || d[1].B != 7 {
+		t.Errorf("second mismatch = %+v", d[1])
+	}
+	// Symmetric in content, swapped in byte labels.
+	rd := Diff(b, a, 0)
+	if len(rd) != 2 || rd[0].A != 0xee || rd[0].B != 0xef {
+		t.Errorf("reverse diff = %v", rd)
+	}
+}
+
+func TestDiffMaxCap(t *testing.T) {
+	a, b := New(), New()
+	for i := uint64(0); i < 10; i++ {
+		b.StoreByte(i, byte(i+1))
+	}
+	if d := Diff(a, b, 3); len(d) != 3 {
+		t.Errorf("capped diff = %v, want 3", d)
+	}
+}
+
+func TestDiffIdenticalAndCoWAliases(t *testing.T) {
+	a := New()
+	a.Write(0x200, 8, 0x1122334455667788)
+	if d := Diff(a, a, 0); len(d) != 0 {
+		t.Errorf("self diff = %v", d)
+	}
+	// A clone shares pages copy-on-write; Diff must treat shared pages as
+	// equal without touching them, and spot post-clone divergence.
+	c := a.Clone()
+	if d := Diff(a, c, 0); len(d) != 0 {
+		t.Errorf("clone diff = %v", d)
+	}
+	c.StoreByte(0x200, 0x99)
+	d := Diff(a, c, 0)
+	if len(d) != 1 || d[0].Addr != 0x200 || d[0].A != 0x88 || d[0].B != 0x99 {
+		t.Errorf("post-clone diff = %v", d)
+	}
+}

@@ -180,3 +180,20 @@ func TestPoolNewError(t *testing.T) {
 		t.Fatal("expected error from New")
 	}
 }
+
+// Seed must give distinct streams across a grid of nearby (base, index)
+// pairs — including the base/base+1 adjacency the diffcheck harness relies
+// on for independent program and mask schedules.
+func TestSeedDistinctAcrossGrid(t *testing.T) {
+	seen := make(map[int64][2]int64)
+	for base := int64(0); base < 16; base++ {
+		for i := 0; i < 128; i++ {
+			s := Seed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("Seed collision: (%d,%d) and (%d,%d) -> %d",
+					base, i, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+}

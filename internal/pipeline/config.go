@@ -104,6 +104,16 @@ type Config struct {
 	// Figure 4 timelines.
 	RecordEvents bool
 
+	// CheckInvariants enables per-cycle structural self-checks: ROB
+	// program order and in-order retire, store-queue ordering and dequeue
+	// discipline, store-to-load forwarding recomputed by an independent
+	// algorithm, and the cache hierarchy's inclusivity and replacement-
+	// state sanity. A violation aborts the run with a cycle-stamped error.
+	// Off by default — the checks walk the ROB, SQ and both cache levels
+	// every cycle; they exist for the differential-testing harness
+	// (internal/diffcheck), not for production sweeps.
+	CheckInvariants bool
+
 	// Optimization classes (nil/zero disables each).
 	SilentStores *SilentStoreConfig
 	Simplifier   *uopt.Simplifier

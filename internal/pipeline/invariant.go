@@ -1,0 +1,118 @@
+package pipeline
+
+import "pandora/internal/isa"
+
+// This file holds the per-cycle structural self-checks enabled by
+// Config.CheckInvariants. Every violation is reported through m.fail, so
+// the error carries the cycle on which the structure first went wrong —
+// the property the differential harness (internal/diffcheck) relies on to
+// localize a bug, since an end-of-run state diff only says *that* the
+// machines diverged, not *when*.
+
+// checkInvariants runs once per cycle, after every stage has ticked.
+func (m *Machine) checkInvariants() {
+	if m.err != nil {
+		return
+	}
+
+	// ROB: strict program order, head younger than everything retired,
+	// no retired µop lingering (retire removes entries as it marks them).
+	for i, u := range m.rob {
+		if i > 0 && u.seq <= m.rob[i-1].seq {
+			m.fail("invariant: ROB out of order: µop #%d at slot %d follows #%d",
+				u.seq, i, m.rob[i-1].seq)
+			return
+		}
+		if u.stage == stRetired {
+			m.fail("invariant: retired µop #%d (pc=%d) still in ROB slot %d", u.seq, u.pc, i)
+			return
+		}
+	}
+	if len(m.rob) > 0 && m.rob[0].seq <= m.lastRetiredSeq {
+		m.fail("invariant: ROB head #%d not younger than last retired #%d",
+			m.rob[0].seq, m.lastRetiredSeq)
+		return
+	}
+
+	// Store queue: stores only, program order, retired entries resolved,
+	// and the dequeue discipline the config promises (only the head may be
+	// in flight to the cache unless SQOutOfOrderDequeue).
+	for i, e := range m.sq {
+		if e.u.class != isa.ClassStore {
+			m.fail("invariant: non-store µop #%d (%v) in SQ slot %d", e.u.seq, e.u.inst, i)
+			return
+		}
+		if i > 0 && e.u.seq <= m.sq[i-1].u.seq {
+			m.fail("invariant: SQ out of order: store #%d at slot %d follows #%d",
+				e.u.seq, i, m.sq[i-1].u.seq)
+			return
+		}
+		if e.u.stage == stRetired && !e.addrReady {
+			m.fail("invariant: retired store #%d has unresolved address", e.u.seq)
+			return
+		}
+		if e.dequeuing {
+			if e.u.stage != stRetired {
+				m.fail("invariant: store #%d dequeuing before retirement", e.u.seq)
+				return
+			}
+			if i != 0 && !m.cfg.SQOutOfOrderDequeue {
+				m.fail("invariant: store #%d dequeuing behind the SQ head under in-order dequeue", e.u.seq)
+				return
+			}
+		}
+	}
+
+	// Cache hierarchy: inclusivity and replacement-state sanity. A latched
+	// SelfCheck violation names the operation that exposed it; otherwise
+	// probe directly.
+	if err := m.hier.InvariantError(); err != nil {
+		m.fail("invariant: %v", err)
+		return
+	}
+	if err := m.hier.CheckInvariants(); err != nil {
+		m.fail("invariant: %v", err)
+	}
+}
+
+// checkForwardConsistency recomputes a store-to-load forwarding result
+// with an independent algorithm — youngest-to-oldest, first writer per
+// byte wins, instead of readWithForward's oldest-to-youngest overwrite —
+// and fails the machine if the two disagree.
+func (m *Machine) checkForwardConsistency(addr uint64, width int, seq uint64, gotVal uint64, gotFull, gotAny bool) {
+	if m.err != nil {
+		return
+	}
+	var b [8]byte
+	var covered [8]bool
+	for k := len(m.sq) - 1; k >= 0; k-- {
+		e := m.sq[k]
+		if e.u.seq >= seq || !e.addrReady {
+			continue
+		}
+		sa, sw := e.u.addr, e.u.memWidth
+		for i := 0; i < width; i++ {
+			a := addr + uint64(i)
+			if !covered[i] && a >= sa && a < sa+uint64(sw) {
+				b[i] = byte(e.u.storeVal >> (8 * (a - sa)))
+				covered[i] = true
+			}
+		}
+	}
+	full, any := true, false
+	var val uint64
+	for i := width - 1; i >= 0; i-- {
+		if covered[i] {
+			any = true
+		} else {
+			full = false
+			b[i] = m.mem.LoadByte(addr + uint64(i))
+		}
+		val = val<<8 | uint64(b[i])
+	}
+	full = full && any
+	if val != gotVal || full != gotFull || any != gotAny {
+		m.fail("invariant: forwarding disagreement at %#x/%d for load #%d: scan=(%#x full=%v any=%v) recheck=(%#x full=%v any=%v)",
+			addr, width, seq, gotVal, gotFull, gotAny, val, full, any)
+	}
+}

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"pandora/internal/cache"
+	"pandora/internal/emu"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+)
+
+// Regression: store-queue slots are allocated at rename, so a store fetched
+// in the same window as a FENCE already occupies a slot while the fence
+// waits to issue. Requiring a fully empty queue deadlocked — the store can
+// never issue past the pending fence. The fence must only wait for OLDER
+// stores to drain.
+func TestFenceBeforeStoreNoDeadlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 100_000 // a deadlock should fail fast, not after 50M cycles
+	m := newTestMachine(t, cfg)
+	res := run(t, m, `
+		fence
+		sb x0, 0x700(x0)
+		halt
+	`)
+	if res.Cycles >= cfg.MaxCycles {
+		t.Fatalf("fence/store deadlock: %d cycles", res.Cycles)
+	}
+
+	// Fences interleaved with stores and loads at several widths must still
+	// drain and retire in order.
+	m = newTestMachine(t, cfg)
+	run(t, m, `
+		addi x1, x0, 0x700
+		addi x2, x0, 77
+		fence
+		sd x2, 0(x1)
+		fence
+		sb x2, 8(x1)
+		ld x3, 0(x1)
+		fence
+		halt
+	`)
+	if got := m.Reg(isa.Reg(3)); got != 77 {
+		t.Errorf("x3 = %d, want 77", got)
+	}
+}
+
+// With CheckInvariants on, random programs across the optimization
+// variants must run to completion with no invariant failure, and still
+// match the functional emulator.
+func TestCheckInvariantsCleanOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	variants := optVariants()
+	for i := 0; i < 12; i++ {
+		prog := randProgram(rng)
+		for name, mk := range variants {
+			cfg := mk()
+			cfg.CheckInvariants = true
+			hier := cache.MustNewHierarchy(cache.DefaultHierConfig())
+			pm := mem.New()
+			for a := uint64(0x1000); a < 0x1100; a++ {
+				pm.StoreByte(a, byte(a*7))
+			}
+			m, err := New(cfg, pm, hier)
+			if err != nil {
+				t.Fatalf("New(%s): %v", name, err)
+			}
+			if _, err := m.Run(prog); err != nil {
+				t.Fatalf("prog %d under %s: %v", i, name, err)
+			}
+
+			em := emu.Machine{Mem: mem.New()}
+			for a := uint64(0x1000); a < 0x1100; a++ {
+				em.Mem.StoreByte(a, byte(a*7))
+			}
+			if err := em.Run(prog, 1_000_000); err != nil {
+				t.Fatalf("emulator prog %d: %v", i, err)
+			}
+			for r := isa.Reg(1); r < isa.NumRegs; r++ {
+				if m.RegTainted(r) {
+					continue
+				}
+				if got, want := m.Reg(r), em.Regs[r]; got != want {
+					t.Errorf("prog %d under %s: %v = %#x, want %#x", i, name, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The retire-order invariant must accept replayed µops: a squash/replay
+// storm (mispredicted value speculation) re-dispatches with fresh sequence
+// numbers, which is legal and must not trip the strictly-increasing check.
+func TestInvariantAllowsReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	m := newTestMachine(t, cfg)
+	// Dependent loads with interleaved stores force forwarding + replay
+	// traffic through the checker.
+	run(t, m, `
+		addi x1, x0, 0x800
+		addi x2, x0, 5
+	loop:
+		sd   x2, 0(x1)
+		ld   x3, 0(x1)
+		sb   x3, 8(x1)
+		lb   x4, 8(x1)
+		addi x2, x2, -1
+		bne  x2, x0, loop
+		halt
+	`)
+	if got := m.Reg(isa.Reg(4)); got != 1 {
+		t.Errorf("x4 = %d, want 1", got)
+	}
+}

@@ -27,6 +27,10 @@ type Machine struct {
 	cycle int64
 	seq   uint64
 
+	// lastRetiredSeq is the most recently retired µop's sequence number,
+	// for the in-order-retire invariant check.
+	lastRetiredSeq uint64
+
 	rob     []*uop
 	sq      []*sqEntry
 	lqCount int
@@ -202,6 +206,9 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 		m.sqTick()
 		m.issue()
 		m.fetchAndDispatch()
+		if m.cfg.CheckInvariants {
+			m.checkInvariants()
+		}
 		if m.err != nil {
 			return Result{}, m.err
 		}
@@ -275,5 +282,17 @@ func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint6
 	for i := width - 1; i >= 0; i-- {
 		val = val<<8 | uint64(b[i])
 	}
+	if m.cfg.CheckInvariants {
+		m.checkForwardConsistency(addr, width, seq, val, full && any, any)
+	}
 	return val, full && any, any, tainted
 }
+
+// RegTainted reports whether r's committed value derives from RDCYCLE.
+// Tainted registers are timing-dependent by design and must be excluded
+// from architectural comparison against the functional emulator.
+func (m *Machine) RegTainted(r isa.Reg) bool { return m.committedTaint[r] }
+
+// MemTainted reports whether the byte at addr was written by a
+// RDCYCLE-derived store, making its value timing-dependent.
+func (m *Machine) MemTainted(addr uint64) bool { return m.taintedMem[addr] }

@@ -16,6 +16,13 @@ func (m *Machine) retire() {
 		if u.stage != stDone {
 			return
 		}
+		// Replay re-dispatches with a fresh sequence number, so retire
+		// order is strictly increasing seq — anything else is a ROB bug.
+		if m.cfg.CheckInvariants && u.seq <= m.lastRetiredSeq {
+			m.fail("invariant: retire out of program order: µop #%d after #%d", u.seq, m.lastRetiredSeq)
+			return
+		}
+		m.lastRetiredSeq = u.seq
 		u.stage = stRetired
 		u.retireC = m.cycle
 		m.rob = m.rob[1:]
@@ -442,7 +449,12 @@ func (m *Machine) issue() {
 
 		switch u.class {
 		case isa.ClassFence:
-			if len(m.rob) > 0 && m.rob[0] == u && len(m.sq) == 0 {
+			// Issue when oldest and every OLDER store has drained. SQ slots
+			// are allocated at rename, so younger stores fetched in the same
+			// window already occupy entries — requiring a fully empty queue
+			// deadlocks against them (they cannot issue past the fence).
+			// The SQ is in program order: checking the head suffices.
+			if m.rob[0] == u && (len(m.sq) == 0 || m.sq[0].u.seq > u.seq) {
 				m.startExec(u, 1)
 			}
 
