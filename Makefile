@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick bench clean
+.PHONY: build test race ci check check-quick scan bench clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ check: build
 # Bounded variant used by CI.
 check-quick: build
 	$(GO) run ./cmd/pandora check -quick
+
+# Leakage scanner: taint-based leak assertions (AES, eBPF, self-test).
+scan: build
+	$(GO) run ./cmd/pandora scan -quick
 
 # Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
 bench: build

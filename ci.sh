@@ -16,6 +16,15 @@ go test -race -short ./...
 go run ./cmd/pandora check -quick
 go run ./cmd/pandora check -quick -inject >/dev/null
 
+# Leakage scanner: AES scans clean on baseline / leaks the key under
+# silent stores, eBPF leaks the kernel byte through the IMP, and the
+# taint self-test passes both ways. The -inject leg breaks the ALU
+# propagation rule and requires the no-under-tainting invariant to
+# object.
+go run ./cmd/pandora scan -quick
+go run ./cmd/pandora scan -inject >/dev/null
+
 # Fuzz smoke: a few seconds per target, same oracle as the sweep.
 go test ./internal/diffcheck -fuzz FuzzDifferential -fuzztime 5s -run '^$'
 go test ./internal/diffcheck -fuzz FuzzCacheHierarchy -fuzztime 5s -run '^$'
+go test ./internal/taint -fuzz FuzzTaint -fuzztime 5s -run '^$'

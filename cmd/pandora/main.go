@@ -48,6 +48,9 @@ func main() {
 	if cmd == "check" {
 		os.Exit(runCheck(os.Args[2:]))
 	}
+	if cmd == "scan" {
+		os.Exit(runScan(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
@@ -221,4 +224,6 @@ func usage() {
 	fmt.Println("       pandora bench [-parallel N] [-json path]")
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
 	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
+	fmt.Println("       pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
+	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf | -quick | -inject")
 }

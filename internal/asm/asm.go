@@ -19,6 +19,14 @@
 // Immediates may be decimal, hex (0x...), or character ('a'). Branch and
 // JAL targets are labels or absolute instruction indices.
 //
+// Directives start with '.' and emit no instruction:
+//
+//	.secret 0x1000, 16          # declare 16 bytes at 0x1000 secret
+//	.secret 0x2000, 8, key      # with an explicit label name
+//
+// Secret regions are carried on the Unit returned by AssembleUnit and feed
+// the taint scanner (`pandora scan`); Assemble accepts and discards them.
+//
 // Pseudo-instructions expand to one base instruction each:
 //
 //	nop            -> addi x0, x0, 0
@@ -46,16 +54,38 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
 
-// Assemble translates source text into a program.
+// SecretRegion is one memory range declared secret by a `.secret`
+// directive, for the taint scanner.
+type SecretRegion struct {
+	Base uint64
+	Len  uint64
+	Name string
+}
+
+// Unit is the result of assembling one source text: the program plus any
+// metadata directives it carried.
+type Unit struct {
+	Prog    isa.Program
+	Secrets []SecretRegion
+}
+
+// Assemble translates source text into a program, discarding directives.
 func Assemble(src string) (isa.Program, error) {
+	u, err := AssembleUnit(src)
+	return u.Prog, err
+}
+
+// AssembleUnit translates source text into a program and collects its
+// directives.
+func AssembleUnit(src string) (Unit, error) {
 	a := &assembler{labels: make(map[string]int64)}
 	if err := a.firstPass(src); err != nil {
-		return nil, err
+		return Unit{}, err
 	}
 	if err := a.secondPass(src); err != nil {
-		return nil, err
+		return Unit{}, err
 	}
-	return a.prog, nil
+	return Unit{Prog: a.prog, Secrets: a.secrets}, nil
 }
 
 // MustAssemble is Assemble that panics on error, for tests and fixed
@@ -69,8 +99,25 @@ func MustAssemble(src string) isa.Program {
 }
 
 type assembler struct {
-	labels map[string]int64
-	prog   isa.Program
+	labels  map[string]int64
+	prog    isa.Program
+	secrets []SecretRegion
+}
+
+// directiveName returns the leading ".name" token when line is a
+// directive, or "" otherwise. A label like ".foo:" is not a directive.
+func directiveName(line string) string {
+	if !strings.HasPrefix(line, ".") {
+		return ""
+	}
+	name := line
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		name = line[:i]
+	}
+	if strings.Contains(name, ":") {
+		return ""
+	}
+	return name
 }
 
 // stripComment removes '#' and ';' comments.
@@ -87,6 +134,9 @@ func (a *assembler) firstPass(src string) error {
 		line := stripComment(raw)
 		if line == "" {
 			continue
+		}
+		if directiveName(line) != "" {
+			continue // directives emit no instruction
 		}
 		for strings.Contains(line, ":") {
 			i := strings.Index(line, ":")
@@ -111,6 +161,12 @@ func (a *assembler) secondPass(src string) error {
 	for ln, raw := range strings.Split(src, "\n") {
 		line := stripComment(raw)
 		if line == "" {
+			continue
+		}
+		if d := directiveName(line); d != "" {
+			if err := a.parseDirective(d, line); err != nil {
+				return &Error{ln + 1, err.Error()}
+			}
 			continue
 		}
 		for strings.Contains(line, ":") {
@@ -171,6 +227,42 @@ func splitOperands(s string) []string {
 		parts[i] = strings.TrimSpace(parts[i])
 	}
 	return parts
+}
+
+// parseDirective handles a directive line during the second pass. The
+// first pass already skipped it, so directives never shift instruction
+// indices or label targets.
+func (a *assembler) parseDirective(name, line string) error {
+	rest := strings.TrimSpace(line[len(name):])
+	switch name {
+	case ".secret":
+		ops := splitOperands(rest)
+		if len(ops) != 2 && len(ops) != 3 {
+			return fmt.Errorf(".secret needs base, len[, name]")
+		}
+		base, err := a.parseImm(ops[0])
+		if err != nil {
+			return err
+		}
+		n, err := a.parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf(".secret length must be positive, got %d", n)
+		}
+		sname := fmt.Sprintf("secret%d", len(a.secrets))
+		if len(ops) == 3 {
+			if !isIdent(ops[2]) {
+				return fmt.Errorf(".secret name %q is not an identifier", ops[2])
+			}
+			sname = ops[2]
+		}
+		a.secrets = append(a.secrets, SecretRegion{Base: uint64(base), Len: uint64(n), Name: sname})
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", name)
+	}
 }
 
 func (a *assembler) parseInst(line string) (isa.Inst, error) {

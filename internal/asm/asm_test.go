@@ -229,3 +229,64 @@ func TestPseudoCaseInsensitive(t *testing.T) {
 		t.Errorf("LI expansion: %+v", p[0])
 	}
 }
+
+func TestSecretDirective(t *testing.T) {
+	u, err := AssembleUnit(`
+		.secret 0x1000, 16
+		.secret 0x2000, 8, key
+		addi x1, x0, 0x1000
+	loop:
+		ld   x2, 0(x1)
+		bne  x2, x0, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SecretRegion{
+		{Base: 0x1000, Len: 16, Name: "secret0"},
+		{Base: 0x2000, Len: 8, Name: "key"},
+	}
+	if len(u.Secrets) != len(want) {
+		t.Fatalf("got %d secrets, want %d", len(u.Secrets), len(want))
+	}
+	for i := range want {
+		if u.Secrets[i] != want[i] {
+			t.Errorf("secret %d = %+v, want %+v", i, u.Secrets[i], want[i])
+		}
+	}
+	// Directives emit no instructions and must not shift label targets:
+	// the bne's target is the ld at index 1.
+	if len(u.Prog) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(u.Prog))
+	}
+	if u.Prog[2].Op != isa.BNE || u.Prog[2].Imm != 1 {
+		t.Errorf("branch = %+v, want target 1", u.Prog[2])
+	}
+}
+
+func TestSecretDirectiveErrors(t *testing.T) {
+	for _, src := range []string{
+		".secret",                    // missing operands
+		".secret 0x1000",             // missing length
+		".secret 0x1000, 0",          // zero length
+		".secret 0x1000, -4",         // negative length
+		".secret 0x1000, 8, 9bad",    // malformed name
+		".secret 0x1000, 8, a, b",    // too many operands
+		".quux 1, 2",                 // unknown directive
+	} {
+		if _, err := AssembleUnit(src + "\nhalt"); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestAssembleDiscardsDirectives(t *testing.T) {
+	p, err := Assemble(".secret 0x1000, 8\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0].Op != isa.HALT {
+		t.Fatalf("prog = %+v", p)
+	}
+}

@@ -155,15 +155,16 @@ func (a *BSAESAttack) Reset() {
 // victim's public data — observable by the attacker on the wire.
 func (a *BSAESAttack) VictimCiphertext() [16]byte { return a.victimTrace.Ciphertext }
 
-// slotAddr returns the stack address of spilled slice k.
-func slotAddr(k int) uint64 { return bsStackBase + uint64(k)*bsSlotStep }
+// SpillSlotAddr returns the stack address of spilled slice k — the
+// byte-substitution stage's k-th 16-bit spill slot.
+func SpillSlotAddr(k int) uint64 { return bsStackBase + uint64(k)*bsSlotStep }
 
-// encryptKernel builds the simulated server kernel for one encryption
+// EncryptKernel builds the simulated server kernel for one encryption
 // call: the eight final-round slice stores, with the Figure 5
 // amplification gadget (delay load + eight-line flush) spliced in before
 // the target store. target < 0 builds the un-instrumented kernel.
 // clearSpills appends the defensive zeroing epilogue.
-func encryptKernel(slices bsaes.State, target int, clearSpills bool) isa.Program {
+func EncryptKernel(slices bsaes.State, target int, clearSpills bool) isa.Program {
 	var p isa.Program
 	emit := func(in isa.Inst) { p = append(p, in) }
 
@@ -217,7 +218,7 @@ func (a *BSAESAttack) resetGadgetLines(target int) {
 // slice values are spilled to the stack (and its slot lines end up warm in
 // the cache). Un-instrumented: the victim's own call timing is irrelevant.
 func (a *BSAESAttack) runVictim() error {
-	_, err := a.Machine.Run(encryptKernel(a.victimTrace.FinalSlices, -1, a.cfg.ClearSpills))
+	_, err := a.Machine.Run(EncryptKernel(a.victimTrace.FinalSlices, -1, a.cfg.ClearSpills))
 	return err
 }
 
@@ -225,7 +226,7 @@ func (a *BSAESAttack) runVictim() error {
 // `target`, returning the call's cycle count.
 func (a *BSAESAttack) runAttempt(slices bsaes.State, target int) (int64, error) {
 	a.resetGadgetLines(target)
-	res, err := a.Machine.Run(encryptKernel(slices, target, a.cfg.ClearSpills))
+	res, err := a.Machine.Run(EncryptKernel(slices, target, a.cfg.ClearSpills))
 	if err != nil {
 		return 0, err
 	}

@@ -20,6 +20,7 @@ import (
 	"pandora/internal/mem"
 	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
+	"pandora/internal/taint"
 )
 
 // Memory layout of the URG scenario. Everything below secretBase is the
@@ -54,6 +55,10 @@ type URGConfig struct {
 	// PrefetchBuffer interposes a prefetch buffer before L1
 	// (Section V-B3); the attack monitors L2 and still succeeds.
 	PrefetchBuffer bool
+	// Taint, when non-nil, shadows the scenario with secret labels: the
+	// pipeline propagates them and the IMP reports prefetches whose
+	// addresses derive from labeled bytes. Purely observational.
+	Taint *taint.State
 	// Trace receives narrative progress lines when non-nil.
 	Trace func(format string, args ...any)
 }
@@ -128,6 +133,9 @@ func NewURG(cfg URGConfig, secret []byte) (*URG, error) {
 	impCfg.ConfirmThreshold = 3
 	imp := dmp.New(impCfg, hier, m)
 	hier.AddListener(imp)
+	if cfg.Taint != nil {
+		imp.AttachTaint(cfg.Taint)
+	}
 
 	env := &ebpf.Env{Maps: []ebpf.Map{
 		{Name: "Z", ElemSize: 8, NElems: urgN, Base: urgZBase},
@@ -145,7 +153,9 @@ func NewURG(cfg URGConfig, secret []byte) (*URG, error) {
 		return nil, fmt.Errorf("attack: sandbox rejected the attacker program: %w", err)
 	}
 
-	machine, err := pipeline.New(pipeline.DefaultConfig(), m, hier)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Taint = cfg.Taint
+	machine, err := pipeline.New(pcfg, m, hier)
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +318,20 @@ func (u *URG) LeakByte(off int) (byte, error) {
 			off, bestN, secondN, informative)
 	}
 	return best, nil
+}
+
+// SecretBase returns the base address of the protected region.
+func (u *URG) SecretBase() uint64 { return urgSecret }
+
+// RunOnce plants the out-of-sandbox pointer for byte offset off and runs
+// the verified sandbox program a single time, with no cache probing. The
+// taint scanner uses it: one run is enough for the shadowed IMP to report
+// the prefetcher dereferencing labeled kernel bytes.
+func (u *URG) RunOnce(off int) error {
+	target := urgSecret + uint64(off) - urgYBase
+	u.precondition(target, 0)
+	_, err := u.Machine.Run(u.isaProg)
+	return err
 }
 
 // Clone builds an independent scenario with the same configuration and

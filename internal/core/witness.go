@@ -19,14 +19,23 @@ import (
 // safe). These runs turn the MLD-derived table into observed pipeline
 // behavior.
 
+// witnessSecretAddr is the memory word every witness kernel loads its
+// secret from. Keeping the secret in memory (instead of an immediate)
+// means the same kernels serve two masters: the timing runs contrast two
+// planted values, and the taint scanner labels the word and checks that
+// leak events appear exactly when the optimization is enabled
+// (TestWitnessScanPairing).
+const witnessSecretAddr = 0x7100
+
 // witness is one paired-kernel experiment.
 type witness struct {
 	name     string
 	item     string // the Table I row it witnesses
 	config   func() pipeline.Config
 	baseline func() pipeline.Config
-	// kernel builds the victim program text for a given secret.
-	kernel func(secret uint64) string
+	// kernel is the victim program text; it loads the secret from
+	// witnessSecretAddr.
+	kernel string
 	// secrets are the two values to contrast.
 	secrets [2]uint64
 	// setup optionally preconditions memory/caches.
@@ -59,19 +68,18 @@ func witnesses() []witness {
 				return c
 			},
 			baseline: base,
-			kernel: func(secret uint64) string {
-				return fmt.Sprintf(`
-					addi x1, x0, %d     # secret operand
-					addi x2, x0, 12345
-					addi x5, x0, 64
-				loop:
-					mul  x3, x1, x2     # dependent chain of multiplies
-					mul  x3, x1, x3
-					addi x5, x5, -1
-					bne  x5, x0, loop
-					halt
-				`, secret)
-			},
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x1, 0(x28)     # secret operand
+				addi x2, x0, 12345
+				addi x5, x0, 64
+			loop:
+				mul  x3, x1, x2     # dependent chain of multiplies
+				mul  x3, x1, x3
+				addi x5, x5, -1
+				bne  x5, x0, loop
+				halt
+			`,
 			secrets: [2]uint64{0, 3},
 		},
 		{
@@ -82,18 +90,17 @@ func witnesses() []witness {
 				return c
 			},
 			baseline: base,
-			kernel: func(secret uint64) string {
-				return fmt.Sprintf(`
-					addi x1, x0, %d     # secret dividend
-					addi x2, x0, 3
-					addi x5, x0, 32
-				loop:
-					div  x3, x1, x2
-					addi x5, x5, -1
-					bne  x5, x0, loop
-					halt
-				`, secret)
-			},
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x1, 0(x28)     # secret dividend
+				addi x2, x0, 3
+				addi x5, x0, 32
+			loop:
+				div  x3, x1, x2
+				addi x5, x5, -1
+				bne  x5, x0, loop
+				halt
+			`,
 			secrets: [2]uint64{9, 0x7fffffff},
 		},
 		{
@@ -109,23 +116,22 @@ func witnesses() []witness {
 				c.ALUPorts = 1
 				return c
 			},
-			kernel: func(secret uint64) string {
-				// Independent add pairs: all-narrow operands co-issue on
-				// the single ALU port when packing is enabled.
-				return fmt.Sprintf(`
-					addi x1, x0, %d     # secret operand
-					addi x2, x0, 7
-					addi x9, x0, 48
-				loop:
-					add  x3, x1, x2
-					add  x4, x1, x2
-					add  x5, x1, x2
-					add  x6, x1, x2
-					addi x9, x9, -1
-					bne  x9, x0, loop
-					halt
-				`, secret)
-			},
+			// Independent add pairs: all-narrow operands co-issue on
+			// the single ALU port when packing is enabled.
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x1, 0(x28)     # secret operand
+				addi x2, x0, 7
+				addi x9, x0, 48
+			loop:
+				add  x3, x1, x2
+				add  x4, x1, x2
+				add  x5, x1, x2
+				add  x6, x1, x2
+				addi x9, x9, -1
+				bne  x9, x0, loop
+				halt
+			`,
 			secrets: [2]uint64{12, 1 << 20},
 		},
 		{
@@ -136,28 +142,27 @@ func witnesses() []witness {
 				return c
 			},
 			baseline: base,
-			kernel: func(secret uint64) string {
-				// The multiply's operand alternates between 1000 and the
-				// secret each iteration. If the secret equals 1000, every
-				// dynamic instance matches the memoized operands and the
-				// chain collapses to reuse hits; otherwise every lookup
-				// misses against the previous iteration's entry.
-				return fmt.Sprintf(`
-					addi x1, x0, 1000
-					addi x2, x0, %d     # secret: equals 1000 or not
-					addi x4, x0, 3
-					addi x9, x0, 40
-				loop:
-					mul  x5, x1, x4     # memoized instance (operand alternates)
-					mul  x7, x5, x4     # dependent multiply: same story
-					add  x6, x1, x0     # swap x1 <-> x2
-					add  x1, x2, x0
-					add  x2, x6, x0
-					addi x9, x9, -1
-					bne  x9, x0, loop
-					halt
-				`, secret)
-			},
+			// The multiply's operand alternates between 1000 and the
+			// secret each iteration. If the secret equals 1000, every
+			// dynamic instance matches the memoized operands and the
+			// chain collapses to reuse hits; otherwise every lookup
+			// misses against the previous iteration's entry.
+			kernel: `
+				addi x28, x0, 0x7100
+				addi x1, x0, 1000
+				ld   x2, 0(x28)     # secret: equals 1000 or not
+				addi x4, x0, 3
+				addi x9, x0, 40
+			loop:
+				mul  x5, x1, x4     # memoized instance (operand alternates)
+				mul  x7, x5, x4     # dependent multiply: same story
+				add  x6, x1, x0     # swap x1 <-> x2
+				add  x1, x2, x0
+				add  x2, x6, x0
+				addi x9, x9, -1
+				bne  x9, x0, loop
+				halt
+			`,
 			secrets: [2]uint64{1000, 1001},
 		},
 		{
@@ -168,28 +173,28 @@ func witnesses() []witness {
 				return c
 			},
 			baseline: base,
-			kernel: func(secret uint64) string {
-				// A loop whose load feeds a long dependent chain. The
-				// stored value either stays constant (predictable) or
-				// changes every iteration (squash storm).
-				return fmt.Sprintf(`
-					addi x1, x0, 0x900
-					addi x2, x0, 5
-					sd   x2, 0(x1)
-					addi x9, x0, 48
-				loop:
-					ld   x3, 0(x1)      # predicted load
-					mul  x4, x3, x2     # dependent work
-					mul  x4, x4, x2
-					add  x5, x5, x4
-					add  x6, x3, x2
-					andi x6, x6, %d     # secret selects constant vs varying
-					sd   x6, 0(x1)
-					addi x9, x9, -1
-					bne  x9, x0, loop
-					halt
-				`, secret)
-			},
+			// A loop whose load feeds a long dependent chain. The
+			// stored value either stays constant (predictable) or
+			// changes every iteration (squash storm).
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x27, 0(x28)    # secret mask
+				addi x1, x0, 0x900
+				addi x2, x0, 5
+				sd   x2, 0(x1)
+				addi x9, x0, 48
+			loop:
+				ld   x3, 0(x1)      # predicted load
+				mul  x4, x3, x2     # dependent work
+				mul  x4, x4, x2
+				add  x5, x5, x4
+				add  x6, x3, x2
+				and  x6, x6, x27    # secret selects constant vs varying
+				sd   x6, 0(x1)
+				addi x9, x9, -1
+				bne  x9, x0, loop
+				halt
+			`,
 			// secret 0: store writes 0 forever (after iteration 1 the
 			// load is fully predictable); secret -1: the stored value
 			// keeps changing, so every confident prediction squashes.
@@ -203,42 +208,51 @@ func witnesses() []witness {
 				return c
 			},
 			baseline: rfcWitnessConfig,
-			kernel: func(secret uint64) string {
-				// Eight accumulators with per-register increments scaled
-				// by the secret: secret 0 keeps every in-flight result at
-				// value 0 (all collapse onto one shared register under
-				// RFC); secret 1 makes every result distinct (full rename
-				// pressure on the tight free list).
-				return fmt.Sprintf(`
-					addi x10, x0, %d
-					addi x11, x0, %d
-					addi x12, x0, %d
-					addi x13, x0, %d
-					addi x14, x0, %d
-					addi x15, x0, %d
-					addi x16, x0, %d
-					addi x17, x0, %d
-					addi x9, x0, 40
-					addi x20, x0, 1
-					div  x21, x9, x20   # long op at the ROB head: younger
-					div  x22, x21, x20  # results must hold their registers
-					div  x23, x22, x20  # until it retires — unless RFC
-					div  x24, x23, x20  # returned them at writeback
-				loop:
-					add  x1, x1, x10
-					add  x2, x2, x11
-					add  x3, x3, x12
-					add  x4, x4, x13
-					add  x5, x5, x14
-					add  x6, x6, x15
-					add  x7, x7, x16
-					add  x8, x8, x17
-					addi x9, x9, -1
-					bne  x9, x0, loop
-					halt
-				`, secret*0x10000019, secret*0x30000023, secret*0x5000002f, secret*0x70000039,
-					secret*0xb0000041, secret*0xd0000053, secret*0x110000061, secret*0x130000071)
-			},
+			// Eight accumulators with per-register increments scaled by
+			// the secret: secret 0 keeps every in-flight result at value 0
+			// (all collapse onto one shared register under RFC); secret 1
+			// makes every result distinct (full rename pressure on the
+			// tight free list). The increments are distinct primes larger
+			// than the iteration count, so no two live accumulator values
+			// ever coincide when the secret is non-zero.
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x27, 0(x28)    # secret scale
+				addi x10, x0, 257
+				addi x11, x0, 263
+				addi x12, x0, 269
+				addi x13, x0, 271
+				addi x14, x0, 277
+				addi x15, x0, 281
+				addi x16, x0, 283
+				addi x17, x0, 293
+				mul  x10, x10, x27
+				mul  x11, x11, x27
+				mul  x12, x12, x27
+				mul  x13, x13, x27
+				mul  x14, x14, x27
+				mul  x15, x15, x27
+				mul  x16, x16, x27
+				mul  x17, x17, x27
+				addi x9, x0, 40
+				addi x20, x0, 1
+				div  x21, x9, x20   # long op at the ROB head: younger
+				div  x22, x21, x20  # results must hold their registers
+				div  x23, x22, x20  # until it retires — unless RFC
+				div  x24, x23, x20  # returned them at writeback
+			loop:
+				add  x1, x1, x10
+				add  x2, x2, x11
+				add  x3, x3, x12
+				add  x4, x4, x13
+				add  x5, x5, x14
+				add  x6, x6, x15
+				add  x7, x7, x16
+				add  x8, x8, x17
+				addi x9, x9, -1
+				bne  x9, x0, loop
+				halt
+			`,
 			secrets: [2]uint64{0, 1},
 		},
 		{
@@ -260,25 +274,25 @@ func witnesses() []witness {
 					h.Access(0xa00+i*64, 7, false)
 				}
 			},
-			kernel: func(secret uint64) string {
-				// Eight stores over stale value 7; when the secret is 7
-				// they all dequeue silently (in one cycle each group).
-				return fmt.Sprintf(`
-					addi x1, x0, 0xa00
-					addi x2, x0, %d     # secret store data
-					addi x9, x0, 100
-					div  x3, x9, x9     # delay retirement so SS-Loads win
-					sd   x2, 0(x1)
-					sd   x2, 64(x1)
-					sd   x2, 128(x1)
-					sd   x2, 192(x1)
-					sd   x2, 256(x1)
-					sd   x2, 320(x1)
-					sd   x2, 384(x1)
-					sd   x2, 448(x1)
-					halt
-				`, secret)
-			},
+			// Eight stores over stale value 7; when the secret is 7 they
+			// all dequeue silently (in one cycle each group). The delay
+			// div depends on the loaded secret so it issues after the
+			// load returns and still retires ahead of the stores.
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x2, 0(x28)     # secret store data
+				addi x1, x0, 0xa00
+				div  x3, x2, x2     # delay retirement so SS-Loads win
+				sd   x2, 0(x1)
+				sd   x2, 64(x1)
+				sd   x2, 128(x1)
+				sd   x2, 192(x1)
+				sd   x2, 256(x1)
+				sd   x2, 320(x1)
+				sd   x2, 384(x1)
+				sd   x2, 448(x1)
+				halt
+			`,
 			secrets: [2]uint64{7, 8},
 		},
 	}
@@ -292,11 +306,12 @@ func runWitness(w witness, mk func() pipeline.Config) (a, b int64, err error) {
 		if w.setup != nil {
 			w.setup(m, h)
 		}
+		m.Write(witnessSecretAddr, 8, secret)
 		mach, err := pipeline.New(mk(), m, h)
 		if err != nil {
 			return 0, err
 		}
-		prog, err := asmMust(w.kernel(secret))
+		prog, err := asmMust(w.kernel)
 		if err != nil {
 			return 0, err
 		}

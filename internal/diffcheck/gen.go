@@ -37,6 +37,13 @@ func InitMemory(m *mem.Memory) {
 	}
 }
 
+// ScratchRegions returns the base addresses and span of the scratch
+// regions InitMemory seeds and generated programs access, for harnesses
+// (like the taint fuzzer) that pick sub-ranges of them as secrets.
+func ScratchRegions() (bases []uint64, span uint64) {
+	return []uint64{regionA, regionB, regionFar}, regionSpan
+}
+
 // Generate builds a random but guaranteed-terminating program: a counted
 // loop whose body mixes ALU, multiply/divide, loads and stores of every
 // width over three scratch regions, forward branches, JAL/JALR with

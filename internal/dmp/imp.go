@@ -15,6 +15,7 @@ import (
 
 	"pandora/internal/cache"
 	"pandora/internal/mem"
+	"pandora/internal/taint"
 )
 
 // Levels selects the indirection depth the IMP prefetches through.
@@ -149,9 +150,19 @@ type IMP struct {
 	// TraceFn, when set, receives a line per prefetcher action (used by
 	// the Figure 1 narrative output).
 	TraceFn func(format string, args ...any)
+
+	// taintSt, when set (AttachTaint), reports prefetcher reads of
+	// labeled bytes and prefetch addresses formed from labeled values —
+	// the scanner's view of the universal read gadget.
+	taintSt *taint.State
 }
 
 var _ cache.AccessListener = (*IMP)(nil)
+
+// AttachTaint connects the prefetcher to the secret-label shadow: every
+// chain step checks the shadow of the bytes it reads and of the values it
+// turns into prefetch addresses, firing OptPrefetcher leak events.
+func (p *IMP) AttachTaint(st *taint.State) { p.taintSt = st }
 
 // New creates an IMP attached to the hierarchy and data memory. Callers
 // must also register it: hier.AddListener(imp).
@@ -437,6 +448,7 @@ func (p *IMP) advanceStream(addr uint64) {
 	p.Stats.LinesFetched++
 	p.noteRead(zAddr)
 	v := p.mem.Read(zAddr, p.elemWidthOrDefault())
+	vl := p.shadowRead(zAddr, p.elemWidthOrDefault())
 	p.trace("imp: prefetch chain z=0x%x (=%d)", zAddr, v)
 
 	// Chase the chain through every confirmed indirection level, reading
@@ -448,14 +460,34 @@ func (p *IMP) advanceStream(addr uint64) {
 			break
 		}
 		a := lv.base + (v << lv.shift)
+		if st := p.taintSt; st != nil && vl.Any() {
+			// The prefetch address is a function of a labeled value: the
+			// resulting cache fill transmits that value (Figure 1).
+			st.ObservePrefetch(a, "prefetch address derives from labeled data", vl)
+		}
 		p.hier.Prefetch(a)
 		p.Stats.LinesFetched++
 		p.noteRead(a)
 		p.trace("imp: prefetch chain level-%d value=%d -> addr 0x%x", k+1, v, a)
 		if k+1 < len(p.levels) && p.levels[k+1].confirmed {
 			v = p.mem.Read(a, p.levelValueWidth(k))
+			vl = p.shadowRead(a, p.levelValueWidth(k))
 		}
 	}
+}
+
+// shadowRead returns the labels of the bytes a chain step reads, firing a
+// leak event when they are labeled (the prefetcher read a secret).
+func (p *IMP) shadowRead(addr uint64, width int) taint.LabelSet {
+	st := p.taintSt
+	if st == nil {
+		return 0
+	}
+	l := st.Mem.Read(addr, width)
+	if l.Any() {
+		st.ObservePrefetch(addr, "prefetcher read labeled bytes", l)
+	}
+	return l
 }
 
 // noteRead updates the diagnostic counters classifying where the

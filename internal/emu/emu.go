@@ -30,6 +30,13 @@ type Machine struct {
 
 	// Trace, when non-nil, receives every executed instruction.
 	Trace func(pc int64, in isa.Inst)
+
+	// Shadow, when non-nil, observes every instruction immediately before
+	// it executes, with the pre-execution register file. It is the hook
+	// the taint engine (internal/taint) attaches to so shadow labels can
+	// be propagated in lockstep with architectural state without this
+	// package depending on the taint representation.
+	Shadow func(pc int64, in isa.Inst, regs *[isa.NumRegs]uint64)
 }
 
 // New returns a machine bound to m (a fresh memory if m is nil).
@@ -57,31 +64,23 @@ func (mc *Machine) Step(prog isa.Program) (halted bool, err error) {
 	if mc.Trace != nil {
 		mc.Trace(mc.PC, in)
 	}
+	if mc.Shadow != nil {
+		mc.Shadow(mc.PC, in, &mc.Regs)
+	}
 	next := mc.PC + 1
 
 	switch isa.ClassOf(in.Op) {
 	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
-		a := mc.Regs[in.Rs1]
-		var b uint64
-		if isa.HasImm(in.Op) {
-			b = uint64(in.Imm)
-		} else {
-			b = mc.Regs[in.Rs2]
-		}
+		a, b := in.Operands(mc.Regs[in.Rs1], mc.Regs[in.Rs2])
 		mc.write(in.Rd, isa.EvalALU(in.Op, a, b))
 
 	case isa.ClassLoad:
-		addr := mc.Regs[in.Rs1] + uint64(in.Imm)
-		w := isa.MemWidth(in.Op)
-		v := mc.Mem.Read(addr, w)
-		switch in.Op {
-		case isa.LB, isa.LH, isa.LW:
-			v = mem.SignExtend(v, w)
-		}
-		mc.write(in.Rd, v)
+		addr := in.EffectiveAddr(mc.Regs[in.Rs1])
+		v := mc.Mem.Read(addr, isa.MemWidth(in.Op))
+		mc.write(in.Rd, isa.LoadExtend(in.Op, v))
 
 	case isa.ClassStore:
-		addr := mc.Regs[in.Rs1] + uint64(in.Imm)
+		addr := in.EffectiveAddr(mc.Regs[in.Rs1])
 		mc.Mem.Write(addr, isa.MemWidth(in.Op), mc.Regs[in.Rs2])
 
 	case isa.ClassBranch:
@@ -94,7 +93,7 @@ func (mc *Machine) Step(prog isa.Program) (halted bool, err error) {
 		if in.Op == isa.JAL {
 			next = in.Imm
 		} else {
-			next = int64(mc.Regs[in.Rs1] + uint64(in.Imm))
+			next = int64(in.EffectiveAddr(mc.Regs[in.Rs1]))
 		}
 		mc.write(in.Rd, link)
 

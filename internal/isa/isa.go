@@ -304,6 +304,37 @@ func (in Inst) String() string {
 // Program is a sequence of instructions addressed by index.
 type Program []Inst
 
+// Operands returns the two execute-stage operand values for an ALU-family
+// instruction, performing the immediate substitution: register-immediate
+// forms replace the second register value with Imm. Both the emulator and
+// the pipeline issue stage go through this helper so operand selection
+// cannot drift between the two models (the taint engine mirrors the same
+// rule).
+func (in Inst) Operands(rs1v, rs2v uint64) (a, b uint64) {
+	if HasImm(in.Op) {
+		return rs1v, uint64(in.Imm)
+	}
+	return rs1v, rs2v
+}
+
+// EffectiveAddr computes the memory address of a load, store, or JALR
+// target from the base register value: base + Imm.
+func (in Inst) EffectiveAddr(base uint64) uint64 {
+	return base + uint64(in.Imm)
+}
+
+// LoadExtend applies op's extension rule to the raw little-endian value
+// read from memory: LB/LH/LW sign-extend from the access width, the
+// unsigned forms and LD return the value unchanged.
+func LoadExtend(op Op, v uint64) uint64 {
+	switch op {
+	case LB, LH, LW:
+		shift := 64 - 8*uint(MemWidth(op))
+		return uint64(int64(v<<shift) >> shift)
+	}
+	return v
+}
+
 // EvalALU computes the architectural result of a non-memory, non-control
 // instruction given its (already immediate-substituted) operand values.
 // It is shared by the emulator and the pipeline so the two cannot diverge.

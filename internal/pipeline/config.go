@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"pandora/internal/cache"
+	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
 
@@ -138,6 +139,14 @@ type Config struct {
 	// reduction, it creates no data-dependent observable: the safe end of
 	// the continuous-optimization spectrum.
 	FuseAddiLoad bool
+
+	// Taint, when non-nil, attaches the secret-label shadow engine: µops
+	// carry label sets alongside their values, shadow registers/memory
+	// are updated in program order at retire/store-perform, and each
+	// enabled optimization's trigger condition reports to the taint
+	// observers when it reads labeled state (`pandora scan`). The shadow
+	// is passive — it never changes timing or architectural results.
+	Taint *taint.State
 
 	// CoTenant models an SMT sibling thread sharing the execution ports
 	// (Section IV-B3's active attacker: "a receiver in a sibling SMT

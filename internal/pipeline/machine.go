@@ -7,6 +7,7 @@ import (
 	"pandora/internal/emu"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
 
@@ -195,6 +196,12 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 		}
 		m.committedTaint[r] = false
 	}
+	if m.cfg.Taint != nil {
+		// Architectural shadow resets with the architectural registers;
+		// shadow memory and the predictor-table shadow persist like their
+		// counterparts.
+		m.cfg.Taint.ResetRun()
+	}
 	m.err = nil
 
 	startCycle := m.cycle
@@ -240,15 +247,22 @@ func (m *Machine) event(kind EventKind, u *uop, detail string) {
 // readWithForward reads width bytes at addr, patching in store data from
 // in-flight stores older than seq (store-to-load forwarding). It reports
 // whether the whole access was covered by forwarding, whether any byte
-// was, and whether any byte carries RDCYCLE taint.
-func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint64, full, any, tainted bool) {
+// was, whether any byte carries RDCYCLE taint, and (when Config.Taint is
+// set) the union of the bytes' secret labels — shadow memory for bytes
+// read from memory, the store µop's labels for forwarded bytes.
+func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint64, full, any, tainted bool, labels taint.LabelSet) {
 	var b [8]byte
 	var covered [8]bool
+	var byteLabels [8]taint.LabelSet
+	st := m.cfg.Taint
 	for i := 0; i < width; i++ {
 		a := addr + uint64(i)
 		b[i] = m.mem.LoadByte(a)
 		if len(m.taintedMem) > 0 && m.taintedMem[a] {
 			tainted = true
+		}
+		if st != nil {
+			byteLabels[i] = st.Mem.Get(a)
 		}
 	}
 	for _, e := range m.sq {
@@ -268,7 +282,15 @@ func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint6
 				if e.u.tainted {
 					tainted = true
 				}
+				// A forwarded byte takes the store's labels, exactly as
+				// shadow memory will once that store performs.
+				byteLabels[i] = e.u.labels
 			}
+		}
+	}
+	if st != nil {
+		for i := 0; i < width; i++ {
+			labels |= byteLabels[i]
 		}
 	}
 	full, any = true, false
@@ -285,7 +307,7 @@ func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint6
 	if m.cfg.CheckInvariants {
 		m.checkForwardConsistency(addr, width, seq, val, full && any, any)
 	}
-	return val, full && any, any, tainted
+	return val, full && any, any, tainted, labels
 }
 
 // RegTainted reports whether r's committed value derives from RDCYCLE.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pandora/internal/isa"
+	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
 
@@ -28,6 +29,10 @@ func (m *Machine) retire() {
 		m.rob = m.rob[1:]
 		m.Stats.Retired++
 		m.event(EvRetire, u, "")
+
+		if st := m.cfg.Taint; st != nil {
+			m.retireShadow(st, u)
+		}
 
 		if u.writesReg() {
 			r := u.inst.Writes()
@@ -61,6 +66,38 @@ func (m *Machine) retire() {
 	}
 }
 
+// retireShadow commits one µop's secret labels in program order,
+// mirroring the emulator-side rules in taint.State.StepEmu. Retire is the
+// only in-order point the pipeline has, so it is where the sticky control
+// set is both grown (branch/JALR predicates) and folded into writes.
+func (m *Machine) retireShadow(st *taint.State, u *uop) {
+	switch u.class {
+	case isa.ClassBranch:
+		if u.labels.Any() {
+			st.ObserveControlFlow(m.cycle, u.pc, u.labels)
+			st.Control |= u.labels
+		}
+	case isa.ClassJump:
+		if u.inst.Op == isa.JALR && u.labels.Any() {
+			st.ObserveControlFlow(m.cycle, u.pc, u.labels)
+			st.Control |= u.labels
+		}
+		u.labels = st.Control // the link value reflects only the path
+	default:
+		u.labels |= st.Control
+	}
+	if u.writesReg() {
+		st.Regs[u.inst.Writes()] = u.labels
+	}
+	if u.class == isa.ClassLoad && m.cfg.Predictor != nil {
+		// The predictor trains on this value at commit: its table now
+		// holds secret-derived state, and future predictions of this PC
+		// carry these labels (State.Pred).
+		st.ObserveValuePred(m.cycle, u.pc, u.labels)
+		st.Pred[u.pc] = u.labels
+	}
+}
+
 // complete applies writeback effects for µops whose execution finishes at
 // or before this cycle: result availability, RFC early register release,
 // reuse-buffer update, value-prediction verification (and squash), and
@@ -75,6 +112,11 @@ func (m *Machine) complete() {
 
 		if u.writesReg() {
 			u.wroteback = true
+			if m.cfg.RFC != uopt.RFCOff {
+				// The compressor tests the (possibly secret) result value
+				// against every value at rest in the physical file.
+				m.cfg.Taint.ObserveRFC(m.cycle, u.pc, u.labels)
+			}
 			if m.vf.Produce(u.result) {
 				u.sharedReg = true
 				m.prfFree++
@@ -119,7 +161,7 @@ func (m *Machine) complete() {
 			}
 		case isa.ClassJump:
 			if u.inst.Op == isa.JALR {
-				target := int64(u.srcVals[0] + uint64(u.inst.Imm))
+				target := int64(u.inst.EffectiveAddr(u.srcVals[0]))
 				if target != u.nextPC {
 					m.fail("indirect jump divergence at pc=%d (pipeline target=%d oracle=%d)",
 						u.pc, target, u.nextPC)
@@ -214,6 +256,8 @@ func (m *Machine) resetForReplay(v *uop) {
 	v.addr = 0
 	v.storeVal = 0
 	v.tainted = false
+	v.labels = 0
+	v.obsMask = 0
 	v.predicted = false
 	v.wasPredicted = false
 	v.predictedVal = 0
@@ -237,6 +281,10 @@ func (m *Machine) sqTick() {
 		if e.ss == ssPending && m.cycle >= e.ssReturnC {
 			e.ss = ssReturned
 			e.ssMatch = e.ssValue == e.u.storeVal
+			// The elision check compares old value against new: if either
+			// side is secret, whether the store dequeues silently — and
+			// hence its timing and cache footprint — depends on a secret.
+			m.cfg.Taint.ObserveSilentStore(m.cycle, e.u.pc, false, e.u.labels|e.ssLabels)
 			if e.ssMatch {
 				m.event(EvSSLoadReturn, e.u, "match (silent candidate)")
 			} else {
@@ -277,7 +325,13 @@ func (m *Machine) sqTick() {
 				if e.ssMatch {
 					// Case A: silent store — dequeue without touching
 					// memory or the cache; consecutive silent stores
-					// dequeue in the same cycle.
+					// dequeue in the same cycle. The shadow write still
+					// happens: eliding the write is a timing decision,
+					// not an architectural one, and the location now
+					// provably holds the (equal) store value.
+					if st := m.cfg.Taint; st != nil {
+						st.Mem.Write(e.u.addr, e.u.memWidth, e.u.labels)
+					}
 					m.Stats.SilentStores++
 					m.event(EvDequeueSilent, e.u, "")
 					m.sq = m.sq[1:]
@@ -327,7 +381,9 @@ func (m *Machine) lsqCompare(e *sqEntry) {
 	}
 	e.ss = ssReturned
 	e.ssValue = prev.u.storeVal
+	e.ssLabels = prev.u.labels
 	e.ssMatch = prev.u.storeVal == e.u.storeVal
+	m.cfg.Taint.ObserveSilentStore(m.cycle, e.u.pc, true, e.u.labels|e.ssLabels)
 	if e.ssMatch {
 		m.event(EvSSLoadReturn, e.u, "lsq match (silent candidate)")
 	} else {
@@ -358,6 +414,9 @@ func (m *Machine) dequeuePastBlockedHead() {
 			if !overlaps {
 				switch {
 				case e.ss == ssReturned && e.ssMatch:
+					if st := m.cfg.Taint; st != nil {
+						st.Mem.Write(e.u.addr, e.u.memWidth, e.u.labels)
+					}
 					m.Stats.SilentStores++
 					m.event(EvDequeueSilent, e.u, "out-of-order")
 					removed = true
@@ -381,6 +440,9 @@ func (m *Machine) dequeuePastBlockedHead() {
 func (m *Machine) performStore(e *sqEntry) {
 	u := e.u
 	m.mem.Write(u.addr, u.memWidth, u.storeVal)
+	if st := m.cfg.Taint; st != nil {
+		st.Mem.Write(u.addr, u.memWidth, u.labels)
+	}
 	for i := 0; i < u.memWidth; i++ {
 		a := u.addr + uint64(i)
 		if u.tainted {
@@ -476,6 +538,9 @@ func (m *Machine) issue() {
 			lat := m.cfg.ALULat
 			if m.cfg.Simplifier != nil {
 				lat, _ = m.cfg.Simplifier.SimplifiedLatency(uopt.KindSimple, u.srcVals[0], u.srcVals[1], lat)
+				m.observeIssue(u, obsSimplify, func(st *taint.State) {
+					st.ObserveSimplify(m.cycle, u.pc, "trivial_alu", u.labels)
+				})
 			}
 			if alu > 0 {
 				alu--
@@ -495,6 +560,12 @@ func (m *Machine) issue() {
 					if s.packed || s.u.class != isa.ClassALU {
 						continue
 					}
+					// The narrowness test reads both µops' operands; if
+					// either side is secret, co-issue (and thus both
+					// µops' timing) depends on it.
+					m.observeIssue(u, obsPack, func(st *taint.State) {
+						st.ObservePack(m.cycle, u.pc, s.u.labels|u.labels)
+					})
 					if m.cfg.Packer.CanPack(s.u.srcVals[0], s.u.srcVals[1], u.srcVals[0], u.srcVals[1]) {
 						s.packed = true
 						packed = true
@@ -503,6 +574,9 @@ func (m *Machine) issue() {
 				}
 				if !packed && coOps > 0 {
 					ct := m.cfg.CoTenant
+					m.observeIssue(u, obsPack, func(st *taint.State) {
+						st.ObservePack(m.cycle, u.pc, u.labels)
+					})
 					if m.cfg.Packer.CanPack(ct.OperandA, ct.OperandB, u.srcVals[0], u.srcVals[1]) {
 						coOps--
 						packed = true
@@ -533,6 +607,13 @@ func (m *Machine) issue() {
 				}
 				if m.cfg.Simplifier != nil {
 					lat, _ = m.cfg.Simplifier.SimplifiedLatency(kind, u.srcVals[0], u.srcVals[1], lat)
+					ref := "zero_skip_mul"
+					if kind == uopt.KindDiv {
+						ref = "early_exit_div"
+					}
+					m.observeIssue(u, obsSimplify, func(st *taint.State) {
+						st.ObserveSimplify(m.cycle, u.pc, ref, u.labels)
+					})
 				}
 				md--
 				m.startExec(u, lat)
@@ -576,7 +657,7 @@ func (m *Machine) issue() {
 			if st > 0 {
 				st--
 				m.readSources(u)
-				u.addr = u.srcVals[0] + uint64(u.inst.Imm)
+				u.addr = u.inst.EffectiveAddr(u.srcVals[0])
 				u.storeVal = u.srcVals[1]
 				u.memWidth = isa.MemWidth(u.inst.Op)
 				m.startExec(u, 1) // AGU
@@ -609,10 +690,11 @@ func (m *Machine) issue() {
 			}
 			ld--
 			lat := m.hier.AccessSilent(e.u.addr).Latency
-			val, _, _, _ := m.readWithForward(e.u.addr, e.u.memWidth, e.u.seq)
+			val, _, _, _, lbl := m.readWithForward(e.u.addr, e.u.memWidth, e.u.seq)
 			e.ss = ssPending
 			e.ssReturnC = m.cycle + int64(lat)
 			e.ssValue = val
+			e.ssLabels = lbl
 			m.Stats.SSLoadsIssued++
 			m.event(EvSSLoadIssue, e.u, fmt.Sprintf("returns at %d", e.ssReturnC))
 		}
@@ -623,13 +705,10 @@ func (m *Machine) issue() {
 // prediction bookkeeping. Returns true if a port was consumed.
 func (m *Machine) lqReadyLoad(u *uop) bool {
 	m.readSources(u)
-	u.addr = u.srcVals[0] + uint64(u.inst.Imm)
+	u.addr = u.inst.EffectiveAddr(u.srcVals[0])
 	u.memWidth = isa.MemWidth(u.inst.Op)
-	val, full, _, memTaint := m.readWithForward(u.addr, u.memWidth, u.seq)
-	switch u.inst.Op {
-	case isa.LB, isa.LH, isa.LW:
-		val = signExtend(val, u.memWidth)
-	}
+	val, full, _, memTaint, memLabels := m.readWithForward(u.addr, u.memWidth, u.seq)
+	val = isa.LoadExtend(u.inst.Op, val)
 	var lat int
 	if full {
 		lat = m.cfg.ForwardLat
@@ -644,12 +723,8 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 	if memTaint {
 		u.tainted = true
 	}
+	u.labels |= memLabels
 	return true
-}
-
-func signExtend(v uint64, width int) uint64 {
-	shift := 64 - 8*width
-	return uint64(int64(v<<shift) >> shift)
 }
 
 // readSources latches operand values and taint at issue time.
@@ -661,6 +736,27 @@ func (m *Machine) readSources(u *uop) {
 		u.srcVals[1] = uint64(u.inst.Imm)
 	}
 	u.tainted = u.srcTainted(0, &m.committedTaint) || u.srcTainted(1, &m.committedTaint)
+	if st := m.cfg.Taint; st != nil {
+		// Uses() maps immediate operands to X0, whose labels are always
+		// empty, so the plain union is the immediate-substitution rule.
+		u.labels = u.srcLabels(0, st) | u.srcLabels(1, st)
+		if st.BreakALU &&
+			(u.class == isa.ClassALU || u.class == isa.ClassMul || u.class == isa.ClassDiv) {
+			u.labels = 0
+		}
+	}
+}
+
+// observeIssue fires one issue-loop observer at most once per µop (the
+// trigger conditions are re-evaluated every cycle the µop waits for a
+// port, but the dependence on the secret is a per-instance fact).
+func (m *Machine) observeIssue(u *uop, bit uint8, fire func(st *taint.State)) {
+	st := m.cfg.Taint
+	if st == nil || u.obsMask&bit != 0 {
+		return
+	}
+	u.obsMask |= bit
+	fire(st)
 }
 
 // aluResult computes the result of an ALU-family µop from latched sources.
@@ -675,6 +771,14 @@ func (m *Machine) tryReuse(u *uop) bool {
 		return false
 	}
 	r1, r2 := u.inst.Uses()
+	if m.cfg.Reuse.Scheme == uopt.SchemeSv {
+		// Sv keys lookups on operand *values*; Sn compares only register
+		// names and never observes the secret (Section VI-A3's safe tweak),
+		// so it deliberately has no observer.
+		m.observeIssue(u, obsReuse, func(st *taint.State) {
+			st.ObserveReuse(m.cycle, u.pc, u.labels)
+		})
+	}
 	if _, ok := m.cfg.Reuse.Lookup(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2)); ok {
 		u.reused = true
 		m.Stats.ReuseHits++

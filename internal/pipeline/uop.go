@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"pandora/internal/isa"
+	"pandora/internal/taint"
 )
 
 // uopStage is a µop's position in its lifecycle.
@@ -50,6 +51,14 @@ type uop struct {
 	// unverifiable against the oracle.
 	tainted bool
 
+	// labels is the secret-label set of this µop's value (Config.Taint):
+	// the union of its source labels, latched at issue like srcVals, plus
+	// memory labels for loads and the sticky control set at retire.
+	labels taint.LabelSet
+	// obsMask dedupes per-class leak events for trigger conditions that
+	// are re-evaluated every cycle the µop waits to issue.
+	obsMask uint8
+
 	stage   uopStage
 	fetchC  int64
 	issueC  int64
@@ -81,6 +90,14 @@ type uop struct {
 	// replayed counts how many times this µop was squashed and replayed.
 	replayed int
 }
+
+// obsMask bits: one per issue-loop observer that would otherwise fire
+// again every cycle the µop retries issue.
+const (
+	obsSimplify uint8 = 1 << iota
+	obsPack
+	obsReuse
+)
 
 // writesReg reports whether the µop produces a register result.
 func (u *uop) writesReg() bool {
@@ -133,6 +150,31 @@ func (u *uop) srcValue(i int, committed *[isa.NumRegs]uint64) uint64 {
 	return p.predictedVal
 }
 
+// srcLabels returns the secret labels of source i, mirroring srcValue's
+// resolution: committed shadow register, in-flight producer labels, or —
+// for a value-predicted producer whose real result is not available —
+// the shadow of the predictor's table entry for that load PC.
+func (u *uop) srcLabels(i int, st *taint.State) taint.LabelSet {
+	p := u.prod[i]
+	if p == nil {
+		var r isa.Reg
+		r1, r2 := u.inst.Uses()
+		if i == 0 {
+			r = r1
+		} else {
+			r = r2
+		}
+		return st.Regs[r]
+	}
+	if p.stage == stDone || p.stage == stRetired {
+		return p.labels
+	}
+	if p == u.fusedProd && p.stage == stExecuting {
+		return p.labels
+	}
+	return st.Pred[p.pc]
+}
+
 // srcTainted reports whether source i carries a RDCYCLE-derived value.
 func (u *uop) srcTainted(i int, committedTaint *[isa.NumRegs]bool) bool {
 	p := u.prod[i]
@@ -171,6 +213,9 @@ type sqEntry struct {
 	ssReturnC int64
 	ssValue   uint64 // value the SS-Load read
 	ssMatch   bool
+	// ssLabels is the secret-label set of the bytes the SS-Load read —
+	// the "old value" side of the silent-store trigger condition.
+	ssLabels taint.LabelSet
 
 	// Dequeue-in-progress state: the store was sent to the cache and
 	// completes (writes memory, releases the slot) at dequeueDoneC.

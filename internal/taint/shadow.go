@@ -1,0 +1,57 @@
+package taint
+
+// ShadowMemory mirrors internal/mem's sparse byte-addressed memory with a
+// label set per byte. Untainted bytes occupy no space, so shadowing a
+// 64-bit address space costs only as much as the secrets actually touch.
+type ShadowMemory struct {
+	m map[uint64]LabelSet
+}
+
+// NewShadowMemory returns an empty shadow.
+func NewShadowMemory() *ShadowMemory {
+	return &ShadowMemory{m: make(map[uint64]LabelSet)}
+}
+
+// Get returns the labels of one byte.
+func (s *ShadowMemory) Get(addr uint64) LabelSet { return s.m[addr] }
+
+// Read returns the union of the labels of width bytes starting at addr —
+// the label set of a load's value.
+func (s *ShadowMemory) Read(addr uint64, width int) LabelSet {
+	var l LabelSet
+	for i := 0; i < width; i++ {
+		l |= s.m[addr+uint64(i)]
+	}
+	return l
+}
+
+// Write sets the labels of width bytes starting at addr, deleting map
+// entries when the set is empty (stores of untainted data scrub taint).
+func (s *ShadowMemory) Write(addr uint64, width int, l LabelSet) {
+	for i := 0; i < width; i++ {
+		a := addr + uint64(i)
+		if l == 0 {
+			delete(s.m, a)
+		} else {
+			s.m[a] = l
+		}
+	}
+}
+
+// TaintRange ORs l into n bytes starting at base (marking a secret region
+// without disturbing labels already present).
+func (s *ShadowMemory) TaintRange(base, n uint64, l LabelSet) {
+	for i := uint64(0); i < n; i++ {
+		s.m[base+i] |= l
+	}
+}
+
+// Labeled returns the number of bytes currently carrying any label.
+func (s *ShadowMemory) Labeled() int { return len(s.m) }
+
+// Each calls f for every labeled byte, in no particular order.
+func (s *ShadowMemory) Each(f func(addr uint64, l LabelSet)) {
+	for a, l := range s.m {
+		f(a, l)
+	}
+}
