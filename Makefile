@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick scan bench clean
+.PHONY: build test race ci check check-quick scan fault fault-quick bench clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ check-quick: build
 # Leakage scanner: taint-based leak assertions (AES, eBPF, self-test).
 scan: build
 	$(GO) run ./cmd/pandora scan -quick
+
+# Fault-injection campaign: full sweep (8 trials per site class).
+fault: build
+	$(GO) run ./cmd/pandora fault
+
+# Bounded campaign used by CI, under the race detector.
+fault-quick: build
+	$(GO) run -race ./cmd/pandora fault -quick
 
 # Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
 bench: build

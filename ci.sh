@@ -24,6 +24,12 @@ go run ./cmd/pandora check -quick -inject >/dev/null
 go run ./cmd/pandora scan -quick
 go run ./cmd/pandora scan -inject >/dev/null
 
+# Fault campaign: seeded structural faults at every site class under the
+# supervision layer (watchdog + invariants + oracle + state diff +
+# timing). The gate requires at least one detector to fire per site class
+# and zero false positives on the no-fault control arm.
+go run -race ./cmd/pandora fault -quick
+
 # Fuzz smoke: a few seconds per target, same oracle as the sweep.
 go test ./internal/diffcheck -fuzz FuzzDifferential -fuzztime 5s -run '^$'
 go test ./internal/diffcheck -fuzz FuzzCacheHierarchy -fuzztime 5s -run '^$'

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"pandora/internal/diffcheck"
+	"pandora/internal/faults"
 )
 
 // runCheck implements `pandora check`: the differential-oracle sweep that
@@ -38,7 +39,9 @@ func runCheck(args []string) int {
 		opts.MasksPerProgram = 1
 	}
 	if *inject {
-		opts.Subject = diffcheck.BugSRAAsSRL
+		// The injected bug is the SiteMiscompile fault plan — the same
+		// injector `pandora fault` sweeps, applied here as a Subject.
+		opts.Subject = diffcheck.SubjectFromPlan(&faults.Plan{Site: faults.SiteMiscompile})
 	}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {

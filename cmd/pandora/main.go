@@ -51,6 +51,9 @@ func main() {
 	if cmd == "scan" {
 		os.Exit(runScan(os.Args[2:]))
 	}
+	if cmd == "fault" {
+		os.Exit(runFault(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
@@ -226,4 +229,6 @@ func usage() {
 	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
 	fmt.Println("       pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
 	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf | -quick | -inject")
+	fmt.Println("       pandora fault [-seed S] [-trials N] [-sites a,b] [-quick] [-journal path [-resume]]")
+	fmt.Println("                     [-dump-dir dir] [-json] [-parallel N] [-v]")
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"pandora/internal/core"
+	"pandora/internal/faults"
 	"pandora/internal/taint"
 )
 
@@ -31,8 +32,9 @@ func runScan(args []string) int {
 
 	if *inject {
 		// Inverted expectation: the propagation checker validates itself
-		// by catching a deliberately broken ALU rule.
-		if err := taint.SelfTest(true); err != nil {
+		// by catching the SiteTaintALU fault plan — the same injector
+		// `pandora fault` uses — breaking the ALU propagation rule.
+		if err := taint.SelfTestPlan(&faults.Plan{Site: faults.SiteTaintALU}); err != nil {
 			fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", err)
 			fmt.Println("[INJECTED TAINT BUG NOT CAUGHT]")
 			return 1
@@ -167,8 +169,10 @@ func runScanQuick() int {
 	assert("ebpf-prefetcher-leak", ebpf.HasLeak("prefetcher", "kernel"),
 		fmt.Sprintf("%d prefetcher events", ebpf.Count("prefetcher")))
 
-	assert("selftest-clean", taint.SelfTest(false) == nil, "intact rules verify")
-	assert("selftest-inject", taint.SelfTest(true) == nil, "broken ALU rule caught")
+	assert("selftest-clean", taint.SelfTestPlan(nil) == nil, "intact rules verify")
+	assert("selftest-inject",
+		taint.SelfTestPlan(&faults.Plan{Site: faults.SiteTaintALU}) == nil,
+		"broken ALU rule caught")
 
 	if failed > 0 {
 		fmt.Printf("[%d SCAN ASSERTION(S) FAILED]\n", failed)

@@ -352,6 +352,71 @@ func (c *Cache) CheckReplacementState() error {
 	return nil
 }
 
+// CorruptLineTag flips a high tag bit of one valid line, chosen
+// deterministically by seed — a seeded structural fault for the
+// fault-injection campaign. The flipped bit is far above any address the
+// simulator touches, so in a hierarchy the corrupted line is guaranteed
+// absent from the other level and CheckInclusive must object. Returns
+// false when the cache holds no valid line to corrupt (the injector
+// retries later).
+func (c *Cache) CorruptLineTag(seed int64) bool {
+	target := c.nthValidLine(seed)
+	if target == nil {
+		return false
+	}
+	target.tag ^= 1 << 40
+	return true
+}
+
+// CorruptReplacementState corrupts replacement metadata for one set,
+// chosen deterministically by seed. For LRU/Random a valid line's
+// timestamp is pushed ahead of the access tick — illegal state that
+// CheckReplacementState must flag. For TreePLRU one tree bit is flipped:
+// the state stays structurally legal but the victim choice changes, a
+// pure timing fault only a reference-run comparison can see. Returns
+// false when there is nothing to corrupt yet.
+func (c *Cache) CorruptReplacementState(seed int64) bool {
+	if c.cfg.Policy == TreePLRU {
+		bits := c.plru[int(uint64(seed)%uint64(len(c.plru)))]
+		bit := int(uint64(seed) >> 16 % uint64(len(bits)))
+		bits[bit] = !bits[bit]
+		return true
+	}
+	target := c.nthValidLine(seed)
+	if target == nil {
+		return false
+	}
+	target.lastUse = c.tick + 1_000_000
+	return true
+}
+
+// nthValidLine returns the seed-selected valid line, or nil if none.
+func (c *Cache) nthValidLine(seed int64) *line {
+	valid := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				valid++
+			}
+		}
+	}
+	if valid == 0 {
+		return nil
+	}
+	n := int(uint64(seed) % uint64(valid))
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				if n == 0 {
+					return &c.sets[s][w]
+				}
+				n--
+			}
+		}
+	}
+	return nil
+}
+
 func (c *Cache) victimWay(set int) int {
 	switch c.cfg.Policy {
 	case Random:

@@ -264,6 +264,19 @@ func (h *Hierarchy) selfCheck(op string, addr uint64) {
 	}
 }
 
+// CorruptL1Line flips a tag bit of one valid L1 line (fault injection):
+// the corrupted line is no longer backed by L2, so inclusivity checking
+// must object. Returns false when L1 is still empty.
+func (h *Hierarchy) CorruptL1Line(seed int64) bool {
+	return h.L1.CorruptLineTag(seed)
+}
+
+// CorruptL1Replacement corrupts L1 replacement metadata (fault
+// injection). Returns false when there is nothing to corrupt yet.
+func (h *Hierarchy) CorruptL1Replacement(seed int64) bool {
+	return h.L1.CorruptReplacementState(seed)
+}
+
 // EvictAll removes the line containing addr from every level.
 func (h *Hierarchy) EvictAll(addr uint64) {
 	h.L1.Evict(addr)

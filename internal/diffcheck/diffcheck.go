@@ -27,6 +27,7 @@ import (
 	"pandora/internal/cache"
 	"pandora/internal/dmp"
 	"pandora/internal/emu"
+	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
 	"pandora/internal/pipeline"
@@ -176,21 +177,27 @@ type Case struct {
 // and model bugs so the harness can prove it detects them.
 type Subject func(isa.Program) isa.Program
 
-// BugSRAAsSRL is the canonical injected bug: every arithmetic right shift
-// becomes a logical one. It only diverges when a shifted value is
-// negative, so catching it requires real data-dependent coverage.
-func BugSRAAsSRL(p isa.Program) isa.Program {
-	out := make(isa.Program, len(p))
-	copy(out, p)
-	for i := range out {
-		switch out[i].Op {
-		case isa.SRA:
-			out[i].Op = isa.SRL
-		case isa.SRAI:
-			out[i].Op = isa.SRLI
-		}
+// SubjectFromPlan builds a Subject that applies a program-level fault
+// plan (internal/faults) to each program before the pipeline runs it —
+// the same mechanism the fault campaign uses, so `pandora check -inject`
+// and `pandora fault` exercise one injector. A nil or inert plan yields a
+// nil Subject. Each invocation uses a fresh Injector: a Subject is called
+// once per run, and injector firing state is single-run.
+func SubjectFromPlan(plan *faults.Plan) Subject {
+	if faults.NewInjector(plan) == nil {
+		return nil
 	}
-	return out
+	return func(p isa.Program) isa.Program {
+		return faults.NewInjector(plan).Rewrite(p)
+	}
+}
+
+// BugSRAAsSRL is the canonical injected bug — every arithmetic right
+// shift becomes a logical one, diverging only when a shifted value is
+// negative, so catching it requires real data-dependent coverage. It is
+// the SiteMiscompile fault plan applied as a Subject.
+func BugSRAAsSRL(p isa.Program) isa.Program {
+	return SubjectFromPlan(&faults.Plan{Site: faults.SiteMiscompile})(p)
 }
 
 // Divergence describes one disagreement between pipeline and emulator.

@@ -1,0 +1,43 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"pandora/internal/cache"
+	"pandora/internal/mem"
+	"pandora/internal/pipeline"
+)
+
+// TestWatchdogNeverTripsOnCleanPrograms arms the forward-progress
+// watchdog on a generated program under every optimization-toggle
+// combination: a fault-free run must never be declared livelocked, and
+// supervision must not perturb the result. This pins the false-positive
+// rate of the retire-rate window at zero across the whole toggle space.
+func TestWatchdogNeverTripsOnCleanPrograms(t *testing.T) {
+	prog := Generate(rand.New(rand.NewSource(7)))
+	for mask := ToggleMask(0); mask < AllMasks; mask++ {
+		run := func(supervised bool) pipeline.Result {
+			cfg := PipeConfig(mask)
+			if supervised {
+				cfg.Watchdog = &pipeline.WatchdogConfig{}
+			}
+			m := mem.New()
+			InitMemory(m)
+			pipe, err := pipeline.New(cfg, m, cache.MustNewHierarchy(cache.DefaultHierConfig()))
+			if err != nil {
+				t.Fatalf("mask %v: New: %v", mask, err)
+			}
+			res, err := pipe.Run(prog)
+			if err != nil {
+				t.Fatalf("mask %v (supervised=%v): %v", mask, supervised, err)
+			}
+			return res
+		}
+		plain := run(false)
+		watched := run(true)
+		if plain != watched {
+			t.Errorf("mask %v: supervised result %+v differs from plain %+v", mask, watched, plain)
+		}
+	}
+}

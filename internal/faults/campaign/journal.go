@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+
+	"pandora/internal/diffcheck"
+	"pandora/internal/mem"
+)
+
+// journalVersion guards the journal line format.
+const journalVersion = 1
+
+// journalHeader is the journal's first line: it fingerprints the campaign
+// so Resume refuses to mix trials from incompatible runs. Image digests
+// the memory snapshot every trial starts from — if the generator's
+// initial image ever changes, old journal entries are meaningless.
+type journalHeader struct {
+	Version int      `json:"version"`
+	Seed    int64    `json:"seed"`
+	Trials  int      `json:"trials"`
+	Control int      `json:"control"`
+	Sites   []string `json:"sites"`
+	Image   string   `json:"image"`
+}
+
+func headerFor(opts *Options) journalHeader {
+	h := journalHeader{
+		Version: journalVersion,
+		Seed:    opts.Seed,
+		Trials:  opts.trials(),
+		Control: opts.control(),
+		Image:   imageDigest(),
+	}
+	for _, s := range opts.sites() {
+		h.Sites = append(h.Sites, s.String())
+	}
+	return h
+}
+
+func (h journalHeader) equal(o journalHeader) bool {
+	if h.Version != o.Version || h.Seed != o.Seed || h.Trials != o.Trials ||
+		h.Control != o.Control || h.Image != o.Image || len(h.Sites) != len(o.Sites) {
+		return false
+	}
+	for i := range h.Sites {
+		if h.Sites[i] != o.Sites[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// imageDigest fingerprints the initial memory image trials run against:
+// an FNV-64a over a snapshot of the generator's scratch regions.
+func imageDigest() string {
+	m := mem.New()
+	diffcheck.InitMemory(m)
+	snap := m.Snapshot()
+	h := fnv.New64a()
+	bases, span := diffcheck.ScratchRegions()
+	for _, b := range bases {
+		h.Write(snap.LoadBytes(b, int(span)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func trialKey(site string, index int) string {
+	return fmt.Sprintf("%s/%d", site, index)
+}
+
+// journal is the append side of the checkpoint file. Appends are
+// serialized: trial workers finish concurrently.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (j *journal) append(t Trial) error {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	// One fsync per trial keeps the checkpoint crash-consistent; trials
+	// cost millions of simulated cycles, so the sync is noise.
+	return j.f.Sync()
+}
+
+func (j *journal) close() {
+	if j != nil && j.f != nil {
+		j.f.Close()
+	}
+}
+
+// openJournal creates (or, under Resume, reopens and replays) the
+// campaign journal. It returns the append handle and the trials already
+// completed, keyed by trialKey.
+func openJournal(opts *Options) (*journal, map[string]Trial, error) {
+	want := headerFor(opts)
+	done := map[string]Trial{}
+
+	if opts.Resume {
+		data, err := os.ReadFile(opts.Journal)
+		switch {
+		case os.IsNotExist(err):
+			// Nothing to resume; fall through to a fresh journal.
+		case err != nil:
+			return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+		default:
+			sc := bufio.NewScanner(bytes.NewReader(data))
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			if !sc.Scan() {
+				return nil, nil, fmt.Errorf("campaign: journal %s: empty", opts.Journal)
+			}
+			var got journalHeader
+			if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+				return nil, nil, fmt.Errorf("campaign: journal %s: bad header: %w", opts.Journal, err)
+			}
+			if !got.equal(want) {
+				return nil, nil, fmt.Errorf(
+					"campaign: journal %s was written by a different campaign (seed/sites/trials/image differ); delete it or drop -resume",
+					opts.Journal)
+			}
+			for sc.Scan() {
+				var t Trial
+				// A torn final line from an interrupted append is not an
+				// error — that trial simply reruns.
+				if err := json.Unmarshal(sc.Bytes(), &t); err != nil {
+					continue
+				}
+				key := trialKey(t.Site, t.Index)
+				if _, dup := done[key]; !dup {
+					done[key] = t
+				}
+			}
+			f, err := os.OpenFile(opts.Journal, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+			}
+			return &journal{f: f}, done, nil
+		}
+	}
+
+	f, err := os.Create(opts.Journal)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	hb, err := json.Marshal(want)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if _, err := f.Write(append(hb, '\n')); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	return &journal{f: f}, done, nil
+}

@@ -1,0 +1,143 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"pandora/internal/isa"
+)
+
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for s := SitePRF; s < numSites; s++ {
+		got, err := ParseSite(s.String())
+		if err != nil {
+			t.Fatalf("ParseSite(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseSite(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := ParseSite("none"); err == nil {
+		t.Fatalf("ParseSite(\"none\") should be rejected")
+	}
+	if _, err := ParseSite("nonsense"); err == nil || !strings.Contains(err.Error(), "unknown site") {
+		t.Fatalf("ParseSite(\"nonsense\") = %v, want unknown-site error", err)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	for _, in := range []*Injector{nil, NewInjector(nil), NewInjector(&Plan{})} {
+		if in != nil {
+			t.Fatalf("inert plans must yield a nil injector, got %+v", in)
+		}
+		if v, flipped := in.FlipValue(SitePRF, 10, 42); flipped || v != 42 {
+			t.Fatalf("nil FlipValue = (%d, %v), want (42, false)", v, flipped)
+		}
+		if in.DropWakeup(10) {
+			t.Fatalf("nil DropWakeup fired")
+		}
+		if in.FenceRequiresEmptySQ(10, 3) {
+			t.Fatalf("nil FenceRequiresEmptySQ fired")
+		}
+		if d, ok := in.FillDelay(10); ok || d != 0 {
+			t.Fatalf("nil FillDelay = (%d, %v)", d, ok)
+		}
+		if _, ok := in.CacheFaultDue(10); ok {
+			t.Fatalf("nil CacheFaultDue fired")
+		}
+		if in.Fired() || in.FiredCycle() != 0 || in.BreaksTaintALU() {
+			t.Fatalf("nil injector reports state")
+		}
+		prog := isa.Program{{Op: isa.SRA, Rd: 1, Rs1: 2, Rs2: 3}}
+		if got := in.Rewrite(prog); got[0].Op != isa.SRA {
+			t.Fatalf("nil Rewrite changed the program")
+		}
+	}
+}
+
+func TestFlipValueTriggerAndCount(t *testing.T) {
+	in := NewInjector(&Plan{Site: SitePRF, TriggerCycle: 100, Count: 2, Payload: 0b1000})
+	if _, flipped := in.FlipValue(SitePRF, 99, 7); flipped {
+		t.Fatalf("fired before TriggerCycle")
+	}
+	if _, flipped := in.FlipValue(SiteLSQ, 100, 7); flipped {
+		t.Fatalf("fired at the wrong site")
+	}
+	v, flipped := in.FlipValue(SitePRF, 100, 7)
+	if !flipped || v != 7^0b1000 {
+		t.Fatalf("first flip = (%#x, %v), want (%#x, true)", v, flipped, 7^0b1000)
+	}
+	if !in.Fired() || in.FiredCycle() != 100 {
+		t.Fatalf("Fired/FiredCycle = %v/%d after first flip", in.Fired(), in.FiredCycle())
+	}
+	if _, flipped := in.FlipValue(SitePRF, 150, 7); !flipped {
+		t.Fatalf("second flip within Count did not fire")
+	}
+	if _, flipped := in.FlipValue(SitePRF, 200, 7); flipped {
+		t.Fatalf("flip fired past Count")
+	}
+	if in.FiredCycle() != 100 {
+		t.Fatalf("FiredCycle moved to %d; must stay at the first firing", in.FiredCycle())
+	}
+}
+
+func TestZeroPayloadDerivesMaskFromSeed(t *testing.T) {
+	in := NewInjector(&Plan{Site: SitePRF, Seed: 7})
+	v, flipped := in.FlipValue(SitePRF, 0, 0)
+	if !flipped || v == 0 {
+		t.Fatalf("seed-derived mask must change the value, got %#x", v)
+	}
+	again := NewInjector(&Plan{Site: SitePRF, Seed: 7})
+	v2, _ := again.FlipValue(SitePRF, 0, 0)
+	if v != v2 {
+		t.Fatalf("same seed produced different masks: %#x vs %#x", v, v2)
+	}
+}
+
+func TestFenceStuckCommitsOnFirstBlockedCycle(t *testing.T) {
+	in := NewInjector(&Plan{Site: SiteFenceStuck})
+	if !in.FenceRequiresEmptySQ(5, 0) {
+		t.Fatalf("structural site must be active regardless of occupancy")
+	}
+	if in.Fired() {
+		t.Fatalf("an empty queue does not block the fence; nothing fired yet")
+	}
+	if !in.FenceRequiresEmptySQ(9, 2) || !in.Fired() || in.FiredCycle() != 9 {
+		t.Fatalf("first blocking cycle must count as the firing (fired=%v cycle=%d)",
+			in.Fired(), in.FiredCycle())
+	}
+}
+
+func TestRewriteMiscompile(t *testing.T) {
+	prog := isa.Program{
+		{Op: isa.SRA, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.SRAI, Rd: 4, Rs1: 5, Imm: 7},
+		{Op: isa.ADD, Rd: 6, Rs1: 7, Rs2: 8},
+		{Op: isa.HALT},
+	}
+	in := NewInjector(&Plan{Site: SiteMiscompile})
+	out := in.Rewrite(prog)
+	if out[0].Op != isa.SRL || out[1].Op != isa.SRLI || out[2].Op != isa.ADD {
+		t.Fatalf("rewrite produced %v %v %v", out[0].Op, out[1].Op, out[2].Op)
+	}
+	if prog[0].Op != isa.SRA {
+		t.Fatalf("rewrite mutated the input program")
+	}
+	if !in.Fired() {
+		t.Fatalf("a rewrite that changed instructions must count as fired")
+	}
+	// A program with no arithmetic shifts is not a firing.
+	in2 := NewInjector(&Plan{Site: SiteMiscompile})
+	in2.Rewrite(isa.Program{{Op: isa.ADD}, {Op: isa.HALT}})
+	if in2.Fired() {
+		t.Fatalf("rewrite with nothing to change must not count as fired")
+	}
+}
+
+func TestCampaignSitesExcludeDetectorFaults(t *testing.T) {
+	for _, s := range CampaignSites() {
+		if s == SiteTaintALU || s == SiteNone {
+			t.Fatalf("campaign sites must not include %v", s)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -42,14 +43,23 @@ func Seed(base int64, i int) int64 {
 
 // PanicError wraps a panic recovered inside a worker so it propagates to
 // the caller as an ordinary error instead of killing the process from a
-// goroutine.
+// goroutine. It carries everything a crash artifact needs: the item
+// index, the per-item seed when the sweep is seeded (MapSeeded), and the
+// goroutine stack captured at recovery — without these, a crashed
+// campaign item could not be reproduced in isolation.
 type PanicError struct {
-	Index int // item index whose function panicked
-	Value any // the recovered panic value
+	Index int    // item index whose function panicked
+	Seed  int64  // per-item seed (0 when the sweep is unseeded)
+	Value any    // the recovered panic value
+	Stack string // goroutine stack captured at recover time
 }
 
 func (p *PanicError) Error() string {
-	return fmt.Sprintf("parallel: item %d panicked: %v", p.Index, p.Value)
+	s := fmt.Sprintf("parallel: item %d panicked: %v", p.Index, p.Value)
+	if p.Seed != 0 {
+		s += fmt.Sprintf(" (repro seed %d)", p.Seed)
+	}
+	return s
 }
 
 // Map runs fn over every item with at most workers concurrent
@@ -85,7 +95,7 @@ func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx cont
 	runOne := func(i int) {
 		defer func() {
 			if v := recover(); v != nil {
-				errs[i] = &PanicError{Index: i, Value: v}
+				errs[i] = &PanicError{Index: i, Value: v, Stack: string(debug.Stack())}
 				cancel()
 			}
 		}()
@@ -127,6 +137,26 @@ feed:
 		return out, err
 	}
 	return out, nil
+}
+
+// MapSeeded is Map for seeded sweeps: seedOf derives each item's seed
+// (callers that resume a partial sweep derive it from a stable global
+// index, not the position in the remaining work list), fn receives that
+// seed alongside the item, and a panic inside fn is recovered into a
+// PanicError annotated with the item's seed and stack — so a crashed item
+// can be re-run in isolation from the error alone.
+func MapSeeded[T, R any](ctx context.Context, workers int, items []T,
+	seedOf func(i int, item T) int64,
+	fn func(ctx context.Context, i int, seed int64, item T) (R, error)) ([]R, error) {
+	return Map(ctx, workers, items, func(ctx context.Context, i int, item T) (r R, err error) {
+		seed := seedOf(i, item)
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Index: i, Seed: seed, Value: v, Stack: string(debug.Stack())}
+			}
+		}()
+		return fn(ctx, i, seed, item)
+	})
 }
 
 // Sweep is Map over the index range [0, n): the items are the indices

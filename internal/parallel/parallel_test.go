@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -195,5 +196,30 @@ func TestSeedDistinctAcrossGrid(t *testing.T) {
 			}
 			seen[s] = [2]int64{base, int64(i)}
 		}
+	}
+}
+
+func TestMapSeededPanicCarriesSeedAndStack(t *testing.T) {
+	items := []string{"a", "b", "c"}
+	_, err := MapSeeded(context.Background(), 2, items,
+		func(i int, _ string) int64 { return Seed(9, i) },
+		func(_ context.Context, i int, _ int64, item string) (int, error) {
+			if item == "b" {
+				panic("trial crashed")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 1 || pe.Seed != Seed(9, 1) || pe.Value != "trial crashed" {
+		t.Errorf("PanicError = index %d seed %d value %v", pe.Index, pe.Seed, pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Errorf("PanicError carries no stack")
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "repro seed") {
+		t.Errorf("error %q does not advertise the repro seed", msg)
 	}
 }

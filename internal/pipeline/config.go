@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"pandora/internal/cache"
+	"pandora/internal/faults"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
@@ -104,6 +105,20 @@ type Config struct {
 	// RecordEvents enables the per-µop event log used to render the
 	// Figure 4 timelines.
 	RecordEvents bool
+
+	// Watchdog, when non-nil, enables the forward-progress supervisor: a
+	// run that stops retiring for the configured window aborts with a
+	// StallError carrying a structured CoreDump, and every other failure
+	// (invariant violation, oracle mismatch, MaxCycles) is wrapped with
+	// the same post-mortem. Nil preserves the bare legacy errors.
+	Watchdog *WatchdogConfig
+
+	// Faults, when non-nil, attaches a deterministic fault injector
+	// (internal/faults): its plan decides which single structural fault —
+	// a PRF/LSQ/forwarding bit flip, a dropped issue wakeup, a stuck
+	// fence, a delayed fill, corrupted cache state — fires, and when. The
+	// injector is single-run state; nil changes nothing.
+	Faults *faults.Injector
 
 	// CheckInvariants enables per-cycle structural self-checks: ROB
 	// program order and in-order retire, store-queue ordering and dequeue

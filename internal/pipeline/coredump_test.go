@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"pandora/internal/asm"
+	"pandora/internal/faults"
+)
+
+// fenceLivelockProg is the crafted livelock fixture: the fence-stuck
+// structural fault makes FENCE wait for an *empty* store queue, but the
+// younger SB's slot is allocated at rename and cannot drain until the
+// fence retires — a circular wait the watchdog must name.
+const fenceLivelockProg = `
+	addi x1, x0, 1
+	addi x2, x0, 0x700
+	fence
+	sb   x1, 0(x2)
+	halt
+`
+
+func TestWatchdogLivelockDumpNamesStoreQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Watchdog = &WatchdogConfig{Window: 2000}
+	cfg.Faults = faults.NewInjector(&faults.Plan{Site: faults.SiteFenceStuck})
+	m := newTestMachine(t, cfg)
+
+	res, err := m.Run(asm.MustAssemble(fenceLivelockProg))
+	if err == nil {
+		t.Fatalf("livelocked run returned no error")
+	}
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *StallError", err, err)
+	}
+	if se.Reason != ReasonWatchdog {
+		t.Fatalf("Reason = %q, want %q", se.Reason, ReasonWatchdog)
+	}
+	if se.Dump == nil {
+		t.Fatalf("StallError carries no CoreDump")
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("partial Result not returned alongside the error: %+v", res)
+	}
+	d := se.Dump
+	if d.Cycle != res.Cycles {
+		t.Errorf("dump cycle %d != partial result cycles %d", d.Cycle, res.Cycles)
+	}
+	if d.WatchdogWindow != 2000 {
+		t.Errorf("WatchdogWindow = %d, want 2000", d.WatchdogWindow)
+	}
+	if d.Oldest == nil {
+		t.Fatalf("dump has no oldest µop")
+	}
+	if !strings.Contains(d.Oldest.WaitReason, "store queue") {
+		t.Errorf("oldest wait reason %q does not name the store queue", d.Oldest.WaitReason)
+	}
+	if d.SQ.Used == 0 {
+		t.Errorf("dump shows an empty store queue; the blocking store must appear")
+	}
+	if len(d.StoreQueue) == 0 {
+		t.Errorf("dump carries no store-queue entries")
+	}
+	if len(d.LastRetired) == 0 {
+		t.Errorf("dump carries no retire history (the two ADDIs retired)")
+	}
+	// The rendered error names the stalled resource too.
+	if !strings.Contains(err.Error(), "store queue") {
+		t.Errorf("error %q does not name the stalled resource", err)
+	}
+	// The dump serializes to valid JSON for artifact capture.
+	var decoded map[string]any
+	if uerr := json.Unmarshal(d.JSON(), &decoded); uerr != nil {
+		t.Fatalf("CoreDump.JSON is not valid JSON: %v", uerr)
+	}
+	if decoded["reason"] != ReasonWatchdog {
+		t.Errorf("JSON reason = %v, want %q", decoded["reason"], ReasonWatchdog)
+	}
+}
+
+func TestWatchdogIssueDropDump(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Watchdog = &WatchdogConfig{Window: 1500}
+	cfg.Faults = faults.NewInjector(&faults.Plan{Site: faults.SiteIssueDrop, TriggerCycle: 1, Count: 1})
+	m := newTestMachine(t, cfg)
+
+	_, err := m.Run(asm.MustAssemble("addi x1, x0, 5\nhalt\n"))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *StallError", err, err)
+	}
+	if se.Reason != ReasonWatchdog || se.Dump == nil || se.Dump.Oldest == nil {
+		t.Fatalf("unexpected stall shape: %+v", se)
+	}
+	if !strings.Contains(se.Dump.Oldest.WaitReason, "wakeup dropped") {
+		t.Errorf("wait reason %q does not name the dropped wakeup", se.Dump.Oldest.WaitReason)
+	}
+}
+
+func TestMaxCyclesReturnsPartialResult(t *testing.T) {
+	// Legacy path: no watchdog configured, so the error message is the
+	// bare MaxCycles diagnostic — but the partial Result must still come
+	// back so callers can see how far the run got.
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3000
+	cfg.Faults = faults.NewInjector(&faults.Plan{Site: faults.SiteFenceStuck})
+	m := newTestMachine(t, cfg)
+
+	res, err := m.Run(asm.MustAssemble(fenceLivelockProg))
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("err = %v, want MaxCycles diagnostic", err)
+	}
+	var se *StallError
+	if errors.As(err, &se) {
+		t.Fatalf("legacy path (nil Watchdog) must not wrap in StallError, got %+v", se)
+	}
+	if res.Cycles <= 3000 || res.Retired == 0 {
+		t.Errorf("partial result %+v, want >3000 cycles and the pre-fence retires", res)
+	}
+}
+
+func TestMaxCyclesWrappedWhenSupervised(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 3000
+	cfg.Watchdog = &WatchdogConfig{Window: 1 << 30} // never trips; MaxCycles first
+	cfg.Faults = faults.NewInjector(&faults.Plan{Site: faults.SiteFenceStuck})
+	m := newTestMachine(t, cfg)
+
+	_, err := m.Run(asm.MustAssemble(fenceLivelockProg))
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("supervised MaxCycles not wrapped: %T (%v)", err, err)
+	}
+	if se.Reason != ReasonMaxCycles || se.Cause == nil || se.Dump == nil {
+		t.Fatalf("stall = reason %q cause %v dump %v, want max-cycles with cause and dump",
+			se.Reason, se.Cause, se.Dump != nil)
+	}
+	if !strings.Contains(se.Cause.Error(), "MaxCycles") {
+		t.Errorf("wrapped cause %q lost the MaxCycles diagnostic", se.Cause)
+	}
+}
+
+func TestWatchdogSilentOnCleanRun(t *testing.T) {
+	// The same program must produce identical results with and without
+	// the supervisor: the watchdog observes, it never perturbs.
+	src := `
+		addi x1, x0, 0
+		addi x2, x0, 50
+	loop:
+		addi x1, x1, 3
+		sd   x1, 0x200(x0)
+		ld   x3, 0x200(x0)
+		addi x2, x2, -1
+		bne  x2, x0, loop
+		halt
+	`
+	plain := newTestMachine(t, DefaultConfig())
+	want, err := plain.Run(asm.MustAssemble(src))
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Watchdog = &WatchdogConfig{}
+	m := newTestMachine(t, cfg)
+	got, err := m.Run(asm.MustAssemble(src))
+	if err != nil {
+		t.Fatalf("supervised clean run failed: %v", err)
+	}
+	if got != want {
+		t.Errorf("supervised result %+v differs from baseline %+v", got, want)
+	}
+	if m.Reg(1) != plain.Reg(1) || m.Reg(3) != plain.Reg(3) {
+		t.Errorf("architectural state diverged under supervision")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pandora/internal/cache"
 	"pandora/internal/emu"
+	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
 	"pandora/internal/taint"
@@ -52,6 +53,10 @@ type Machine struct {
 	haltRetired bool
 
 	taintedMem map[uint64]bool // byte-granular RDCYCLE-derived memory
+
+	// lastRetired is the CoreDump retirement history, maintained only
+	// when a watchdog is configured (bounded ring, oldest first).
+	lastRetired []UopDump
 
 	Stats  Stats
 	Events []Event
@@ -206,8 +211,26 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 
 	startCycle := m.cycle
 	startRetired := m.Stats.Retired
+	// Error paths return the partial Result alongside the error: cycle
+	// count and stats are exactly what a post-mortem needs, and discarding
+	// them on MaxCycles was hiding how far a livelocked run got.
+	partial := func() Result {
+		elapsed := m.cycle - startCycle
+		m.Stats.Cycles += elapsed
+		return Result{Cycles: elapsed, Retired: m.Stats.Retired - startRetired, Stats: m.Stats}
+	}
+	wd := m.cfg.Watchdog
+	wdMark := m.Stats.Retired
+	var wdNext int64
+	if wd != nil {
+		m.lastRetired = m.lastRetired[:0]
+		wdNext = m.cycle + wd.window()
+	}
 	for {
 		m.cycle++
+		if m.cfg.Faults != nil {
+			m.faultTick()
+		}
 		m.retire()
 		m.complete()
 		m.sqTick()
@@ -217,18 +240,58 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 			m.checkInvariants()
 		}
 		if m.err != nil {
-			return Result{}, m.err
+			return partial(), m.supervised(ReasonPipelineError, m.err)
 		}
 		if m.haltRetired && len(m.sq) == 0 {
 			break
 		}
+		if wd != nil {
+			if m.Stats.Retired != wdMark {
+				wdMark = m.Stats.Retired
+				wdNext = m.cycle + wd.window()
+			} else if m.cycle >= wdNext {
+				return partial(), &StallError{Reason: ReasonWatchdog, Dump: m.coreDump(ReasonWatchdog)}
+			}
+		}
 		if m.cycle-startCycle > m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("pipeline: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
+			err := fmt.Errorf("pipeline: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
+			return partial(), m.supervised(ReasonMaxCycles, err)
 		}
 	}
-	elapsed := m.cycle - startCycle
-	m.Stats.Cycles += elapsed
-	return Result{Cycles: elapsed, Retired: m.Stats.Retired - startRetired, Stats: m.Stats}, nil
+	return partial(), nil
+}
+
+// supervised wraps an error into a StallError with a CoreDump when the
+// watchdog supervisor is configured; with no watchdog the legacy error is
+// returned untouched (same messages, no dump cost).
+func (m *Machine) supervised(reason string, err error) error {
+	if m.cfg.Watchdog == nil {
+		return err
+	}
+	return &StallError{Reason: reason, Cause: err, Dump: m.coreDump(reason)}
+}
+
+// faultTick applies cycle-granular cache-state faults (tag and
+// replacement-metadata corruption). Value and scheduling faults hook the
+// stages directly.
+func (m *Machine) faultTick() {
+	f := m.cfg.Faults
+	site, ok := f.CacheFaultDue(m.cycle)
+	if !ok {
+		return
+	}
+	corrupted := false
+	switch site {
+	case faults.SiteCacheLine:
+		corrupted = m.hier.CorruptL1Line(f.CorruptionSeed())
+	case faults.SiteReplacement:
+		corrupted = m.hier.CorruptL1Replacement(f.CorruptionSeed())
+	}
+	// An empty cache has nothing to corrupt; the fault retries until a
+	// valid line exists.
+	if corrupted {
+		f.CommitCacheFault(m.cycle)
+	}
 }
 
 func (m *Machine) fail(format string, args ...any) {
@@ -303,6 +366,14 @@ func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint6
 	}
 	for i := width - 1; i >= 0; i-- {
 		val = val<<8 | uint64(b[i])
+	}
+	// Fault site: mis-forwarded store data. Only fires on an access that
+	// actually used forwarding; the independent recomputation below (or,
+	// without invariant checking, retire verification) is the detector.
+	if any {
+		if fv, flipped := m.cfg.Faults.FlipValue(faults.SiteForward, m.cycle, val); flipped {
+			val = fv
+		}
 	}
 	if m.cfg.CheckInvariants {
 		m.checkForwardConsistency(addr, width, seq, val, full && any, any)

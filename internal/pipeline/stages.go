@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
@@ -29,6 +30,13 @@ func (m *Machine) retire() {
 		m.rob = m.rob[1:]
 		m.Stats.Retired++
 		m.event(EvRetire, u, "")
+		if m.cfg.Watchdog != nil {
+			if depth := m.cfg.Watchdog.depth(); len(m.lastRetired) >= depth {
+				copy(m.lastRetired, m.lastRetired[1:])
+				m.lastRetired = m.lastRetired[:depth-1]
+			}
+			m.lastRetired = append(m.lastRetired, m.uopDump(u, false))
+		}
 
 		if st := m.cfg.Taint; st != nil {
 			m.retireShadow(st, u)
@@ -48,6 +56,12 @@ func (m *Machine) retire() {
 			}
 			m.committed[r] = u.result
 			m.committedTaint[r] = u.tainted
+			// Fault site: a bit flip at rest in the committed register
+			// file, landing just after retire verification accepted the
+			// value — only later readers can expose it.
+			if fv, flipped := m.cfg.Faults.FlipValue(faults.SitePRF, m.cycle, u.result); flipped {
+				m.committed[r] = fv
+			}
 			if m.producer[r] == u {
 				m.producer[r] = nil
 			}
@@ -267,6 +281,7 @@ func (m *Machine) resetForReplay(v *uop) {
 	v.sharedReg = false
 	v.renamed = false
 	v.wroteback = false
+	v.stuck = false // a squash clears a dropped wakeup: replay re-arms issue
 	v.replayed++
 	if v.replayed > 64 {
 		m.fail("µop #%d replayed %d times (livelock)", v.seq, v.replayed)
@@ -315,6 +330,12 @@ func (m *Machine) sqTick() {
 		if e.u.stage != stRetired {
 			return
 		}
+		// Fault site: store-queue data corrupted while the retired store
+		// waits at the head — after younger loads may already have
+		// forwarded the correct value.
+		if fv, flipped := m.cfg.Faults.FlipValue(faults.SiteLSQ, m.cycle, e.u.storeVal); flipped {
+			e.u.storeVal = fv
+		}
 		if !e.headSeen {
 			e.headSeen = true
 			m.event(EvSQHead, e.u, "")
@@ -351,6 +372,10 @@ func (m *Machine) sqTick() {
 		lat := int64(res.Latency)
 		if res.L1Hit {
 			lat = 1
+		}
+		// Fault site: one late fill/access on the store path.
+		if d, delayed := m.cfg.Faults.FillDelay(m.cycle); delayed {
+			lat += d
 		}
 		e.dequeuing = true
 		e.dequeueDoneC = m.cycle + lat
@@ -501,11 +526,21 @@ func (m *Machine) issue() {
 			noteFence(u)
 			continue
 		}
+		// A µop whose issue wakeup was dropped (fault injection) is never
+		// scheduled again; once oldest it livelocks the machine.
+		if u.stuck {
+			continue
+		}
 		if fencePending && (u.class == isa.ClassLoad || u.class == isa.ClassStore) {
 			continue
 		}
 		if !u.srcReady(0, m.cycle) || !u.srcReady(1, m.cycle) {
 			noteFence(u)
+			continue
+		}
+		// Fault site: drop this ready µop's issue wakeup, permanently.
+		if m.cfg.Faults.DropWakeup(m.cycle) {
+			u.stuck = true
 			continue
 		}
 
@@ -516,6 +551,15 @@ func (m *Machine) issue() {
 			// window already occupy entries — requiring a fully empty queue
 			// deadlocks against them (they cannot issue past the fence).
 			// The SQ is in program order: checking the head suffices.
+			//
+			// Fault site: re-introduce the pre-fix rule (wait for a fully
+			// empty queue), which deadlocks against those younger slots.
+			if m.cfg.Faults.FenceRequiresEmptySQ(m.cycle, len(m.sq)) {
+				if m.rob[0] == u && len(m.sq) == 0 {
+					m.startExec(u, 1)
+				}
+				break
+			}
 			if m.rob[0] == u && (len(m.sq) == 0 || m.sq[0].u.seq > u.seq) {
 				m.startExec(u, 1)
 			}
@@ -716,6 +760,10 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 	} else {
 		res := m.hier.Access(u.addr, val, false)
 		lat = res.Latency
+		// Fault site: one late fill/access on the load path.
+		if d, delayed := m.cfg.Faults.FillDelay(m.cycle); delayed {
+			lat += int(d)
+		}
 		m.Stats.LoadsFromCache++
 	}
 	m.startExec(u, lat)

@@ -87,6 +87,11 @@ type uop struct {
 	renamed   bool
 	wroteback bool
 
+	// stuck marks a µop whose issue wakeup was dropped by fault injection:
+	// the scheduler never reconsiders it, so once it is oldest the machine
+	// livelocks (the watchdog's canonical prey). Cleared on replay.
+	stuck bool
+
 	// replayed counts how many times this µop was squashed and replayed.
 	replayed int
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pandora/internal/emu"
+	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
 )
@@ -110,12 +111,14 @@ func selfTestProg() (isa.Program, func(*mem.Memory), []Secret) {
 	return prog, init, []Secret{{Name: "secret", Base: 0x1000, Len: 8}}
 }
 
-// SelfTest proves the propagation checker has teeth. With broken=false it
-// runs the probe program under intact rules and expects a clean result;
-// with broken=true it breaks the ALU propagation rule and expects
-// VerifyPropagation to report under-tainting. The returned error is
+// SelfTestPlan proves the propagation checker has teeth against a fault
+// plan from internal/faults — the same injection mechanism `pandora
+// fault` uses. A SiteTaintALU plan breaks the ALU propagation rule, and
+// VerifyPropagation must report under-tainting; under a nil (or inert)
+// plan the probe program must verify cleanly. The returned error is
 // non-nil whenever the expectation does not hold.
-func SelfTest(broken bool) error {
+func SelfTestPlan(plan *faults.Plan) error {
+	broken := faults.NewInjector(plan).BreaksTaintALU()
 	prog, init, secrets := selfTestProg()
 	err := VerifyPropagation(prog, init, secrets, VerifyOptions{BreakALU: broken})
 	if broken {
@@ -125,4 +128,13 @@ func SelfTest(broken bool) error {
 		return nil
 	}
 	return err
+}
+
+// SelfTest is SelfTestPlan with the SiteTaintALU plan (broken=true) or no
+// plan at all (broken=false).
+func SelfTest(broken bool) error {
+	if broken {
+		return SelfTestPlan(&faults.Plan{Site: faults.SiteTaintALU})
+	}
+	return SelfTestPlan(nil)
 }
