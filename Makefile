@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick scan fault fault-quick bench clean
+.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick statscheck bench clean
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ fault: build
 # Bounded campaign used by CI, under the race detector.
 fault-quick: build
 	$(GO) run -race ./cmd/pandora fault -quick
+
+# Cycle-accurate trace of the aes scenario, Chrome trace-event format
+# (load TRACE_aes.json in Perfetto or chrome://tracing).
+trace: build
+	$(GO) run ./cmd/pandora trace -scenario aes -format chrome -o TRACE_aes.json
+
+# Trace validation suite used by CI, under the race detector.
+trace-quick: build
+	$(GO) run -race ./cmd/pandora trace -quick
+
+# Stats-encapsulation lint: no cross-package raw Stats writes.
+statscheck:
+	$(GO) run ./tools/statscheck internal cmd
 
 # Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
 bench: build

@@ -9,6 +9,11 @@ go vet ./...
 go build ./...
 go test -race -short ./...
 
+# Stats encapsulation: no package writes through another package's
+# exported Stats value — counters are owned where they are declared and
+# read through getters or obs.Registry snapshots.
+go run ./tools/statscheck internal cmd
+
 # Differential oracle: pipeline vs emulator over a bounded seeded corpus,
 # all optimization-toggle extremes plus rotating coverage, invariant
 # checks on. The -inject leg proves the oracle can actually catch a
@@ -23,6 +28,13 @@ go run ./cmd/pandora check -quick -inject >/dev/null
 # object.
 go run ./cmd/pandora scan -quick
 go run ./cmd/pandora scan -inject >/dev/null
+
+# Observability: the Chrome export of the aes scenario is valid JSON
+# agreeing with the simulated cycle count, and the sweep scenario's
+# JSONL is byte-identical across repeats and worker counts {1,8} —
+# under the race detector, since the sweep exercises the parallel
+# engine.
+go run -race ./cmd/pandora trace -quick
 
 # Fault campaign: seeded structural faults at every site class under the
 # supervision layer (watchdog + invariants + oracle + state diff +

@@ -2,13 +2,14 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/core"
+	"pandora/internal/parallel"
 )
 
 // benchReport is the JSON artifact written by `pandora bench`. Speedups
@@ -33,12 +34,13 @@ type benchReport struct {
 // the full experiment suite serially and with the parallel engine, and
 // write the comparison to a JSON file.
 func runBench(args []string) int {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	jsonPath := fs.String("json", "BENCH_parallel.json", "output path for the JSON report")
-	workers := fs.Int("parallel", 4, "worker count for the parallel runs")
-	if err := fs.Parse(args); err != nil {
+	c := cli.New("bench", cli.WithParallel())
+	jsonPath := c.Flags().String("json", "BENCH_parallel.json", "output path for the JSON report")
+	if err := c.Parse(args); err != nil {
 		return 2
 	}
+	defer c.Close()
+	workers := parallel.Workers(*c.Parallel)
 
 	timeExp := func(name string, opts core.Options) (float64, error) {
 		e, ok := core.Get(name)
@@ -66,21 +68,21 @@ func runBench(args []string) int {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    *workers,
+		Workers:    workers,
 	}
 	var err error
 	fmt.Fprintf(os.Stderr, "bench: keyrec serial...\n")
 	if rep.KeyrecSerialSec, err = timeExp("keyrec", core.Options{Parallel: 1}); err == nil {
-		fmt.Fprintf(os.Stderr, "bench: keyrec parallel=%d...\n", *workers)
-		rep.KeyrecParallelSec, err = timeExp("keyrec", core.Options{Parallel: *workers})
+		fmt.Fprintf(os.Stderr, "bench: keyrec parallel=%d...\n", workers)
+		rep.KeyrecParallelSec, err = timeExp("keyrec", core.Options{Parallel: workers})
 	}
 	if err == nil {
 		fmt.Fprintf(os.Stderr, "bench: all experiments serial...\n")
 		rep.AllSerialSec, err = timeAll(core.Options{Parallel: 1})
 	}
 	if err == nil {
-		fmt.Fprintf(os.Stderr, "bench: all experiments parallel=%d...\n", *workers)
-		rep.AllParallelSec, err = timeAll(core.Options{Parallel: *workers})
+		fmt.Fprintf(os.Stderr, "bench: all experiments parallel=%d...\n", workers)
+		rep.AllParallelSec, err = timeAll(core.Options{Parallel: workers})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora bench: %v\n", err)
@@ -104,9 +106,9 @@ func runBench(args []string) int {
 		return 1
 	}
 	fmt.Printf("keyrec: %.2fs serial, %.2fs at %d workers (%.2fx)\n",
-		rep.KeyrecSerialSec, rep.KeyrecParallelSec, *workers, rep.KeyrecSpeedup)
+		rep.KeyrecSerialSec, rep.KeyrecParallelSec, workers, rep.KeyrecSpeedup)
 	fmt.Printf("all:    %.2fs serial, %.2fs at %d workers (%.2fx)\n",
-		rep.AllSerialSec, rep.AllParallelSec, *workers, rep.AllSpeedup)
+		rep.AllSerialSec, rep.AllParallelSec, workers, rep.AllSpeedup)
 	fmt.Printf("wrote %s\n", *jsonPath)
 	return 0
 }

@@ -2,10 +2,9 @@ package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
-	"os"
 
+	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/diffcheck"
 	"pandora/internal/faults"
 )
@@ -16,25 +15,28 @@ import (
 // program, covered in full across the corpus) and a spread of cache
 // variants, with runtime invariant checking enabled throughout.
 func runCheck(args []string) int {
-	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	n := fs.Int("n", 500, "generated program count")
-	seed := fs.Int64("seed", 1, "corpus seed")
-	masks := fs.Int("masks", 3, "extra random toggle masks per program")
-	quick := fs.Bool("quick", false, "bounded CI sweep (64 programs, 1 extra mask)")
-	workers := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
-	inject := fs.Bool("inject", false, "inject a deliberate pipeline bug (SRA executed as SRL); the sweep must catch it")
-	verbose := fs.Bool("v", false, "progress tracing")
-	if err := fs.Parse(args); err != nil {
+	c := cli.New("check",
+		cli.WithSeed(1, "corpus seed"),
+		cli.WithParallel(),
+		cli.WithQuick("bounded CI sweep (64 programs, 1 extra mask)"),
+		cli.WithVerbose(),
+	)
+	n := c.Flags().Int("n", 500, "generated program count")
+	masks := c.Flags().Int("masks", 3, "extra random toggle masks per program")
+	inject := c.Flags().Bool("inject", false, "inject a deliberate pipeline bug (SRA executed as SRL); the sweep must catch it")
+	if err := c.Parse(args); err != nil {
 		return 2
 	}
+	defer c.Close()
 
 	opts := diffcheck.Options{
 		Programs:        *n,
-		Seed:            *seed,
+		Seed:            *c.Seed,
 		MasksPerProgram: *masks,
-		Workers:         *workers,
+		Workers:         *c.Parallel,
+		Log:             c.LogFunc(),
 	}
-	if *quick {
+	if *c.Quick {
 		opts.Programs = 64
 		opts.MasksPerProgram = 1
 	}
@@ -43,16 +45,10 @@ func runCheck(args []string) int {
 		// injector `pandora fault` sweeps, applied here as a Subject.
 		opts.Subject = diffcheck.SubjectFromPlan(&faults.Plan{Site: faults.SiteMiscompile})
 	}
-	if *verbose {
-		opts.Log = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
 
 	rep, err := diffcheck.Check(context.Background(), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pandora: check: %v\n", err)
-		return 1
+		return c.Errorf(1, "%v", err)
 	}
 	fmt.Print(rep)
 

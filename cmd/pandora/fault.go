@@ -3,11 +3,11 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/faults"
 	"pandora/internal/faults/campaign"
 )
@@ -19,64 +19,59 @@ import (
 // campaign checkpoints after every trial and -resume continues an
 // interrupted run, producing the same report byte for byte.
 func runFault(args []string) int {
-	fs := flag.NewFlagSet("fault", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "campaign master seed")
+	c := cli.New("fault",
+		cli.WithSeed(1, "campaign master seed"),
+		cli.WithParallel(),
+		cli.WithJSON("emit the full report as JSON"),
+		cli.WithQuick("bounded CI campaign (4 trials/site) with acceptance gates"),
+		cli.WithVerbose(),
+	)
+	fs := c.Flags()
 	trials := fs.Int("trials", 0, "trials per fault site (0 = default)")
 	sitesFlag := fs.String("sites", "", "comma-separated fault sites (default: all campaign sites)")
-	workers := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
-	quick := fs.Bool("quick", false, "bounded CI campaign (4 trials/site) with acceptance gates")
 	journalPath := fs.String("journal", "", "checkpoint journal file (enables resume)")
 	resume := fs.Bool("resume", false, "resume a journaled campaign instead of restarting")
 	dumpDir := fs.String("dump-dir", "", "write CoreDump JSON artifacts of supervised aborts here")
-	jsonOut := fs.Bool("json", false, "emit the full report as JSON")
-	verbose := fs.Bool("v", false, "progress tracing")
-	if err := fs.Parse(args); err != nil {
+	if err := c.Parse(args); err != nil {
 		return 2
 	}
+	defer c.Close()
 
 	opts := campaign.Options{
-		Seed:    *seed,
+		Seed:    *c.Seed,
 		Trials:  *trials,
-		Workers: *workers,
+		Workers: *c.Parallel,
 		Journal: *journalPath,
 		Resume:  *resume,
 		DumpDir: *dumpDir,
+		Log:     c.LogFunc(),
 	}
-	if *quick && opts.Trials == 0 {
+	if *c.Quick && opts.Trials == 0 {
 		opts.Trials = 4
 	}
 	if *sitesFlag != "" {
 		for _, name := range strings.Split(*sitesFlag, ",") {
 			s, err := faults.ParseSite(strings.TrimSpace(name))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "pandora: fault: %v\n", err)
-				return 2
+				return c.Errorf(2, "%v", err)
 			}
 			opts.Sites = append(opts.Sites, s)
 		}
 	}
-	if *verbose {
-		opts.Log = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
 	if *resume && *journalPath == "" {
-		fmt.Fprintln(os.Stderr, "pandora: fault: -resume needs -journal")
-		return 2
+		return c.Errorf(2, "-resume needs -journal")
 	}
 
 	rep, err := campaign.Run(context.Background(), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pandora: fault: %v\n", err)
-		return 1
+		return c.Errorf(1, "%v", err)
 	}
 
-	if *jsonOut {
+	if *c.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "pandora: fault: %v\n", err)
-			return 1
+			return c.Errorf(1, "%v", err)
 		}
 	} else {
 		printFaultReport(rep)

@@ -54,6 +54,9 @@ func main() {
 	if cmd == "fault" {
 		os.Exit(runFault(os.Args[2:]))
 	}
+	if cmd == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
@@ -198,7 +201,7 @@ func runAssembly(args []string) int {
 	}
 	fmt.Printf("cycles:  %d\nretired: %d\nIPC:     %.3f\n", res.Cycles, res.Retired,
 		float64(res.Retired)/float64(res.Cycles))
-	fmt.Printf("stats:   %+v\n", m.Stats)
+	fmt.Printf("stats:   %+v\n", m.Stats())
 	if *regs {
 		for r := isa.Reg(1); r < isa.NumRegs; r++ {
 			if v := m.Reg(r); v != 0 {
@@ -231,4 +234,6 @@ func usage() {
 	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf | -quick | -inject")
 	fmt.Println("       pandora fault [-seed S] [-trials N] [-sites a,b] [-quick] [-journal path [-resume]]")
 	fmt.Println("                     [-dump-dir dir] [-json] [-parallel N] [-v]")
+	fmt.Println("       pandora trace [-scenario aes|aes-baseline|ebpf|sweep] [-format jsonl|chrome|report]")
+	fmt.Println("                     [-window lo:hi] [-o path] [-seed S] [-parallel N] | -quick")
 }

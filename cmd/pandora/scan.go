@@ -2,12 +2,12 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/core"
 	"pandora/internal/faults"
 	"pandora/internal/taint"
@@ -19,16 +19,20 @@ import (
 // condition depended on a secret. Like a linter, it exits non-zero when
 // leaks are found; `-quick` instead runs the CI assertion suite.
 func runScan(args []string) int {
-	fs := flag.NewFlagSet("scan", flag.ExitOnError)
-	quick := fs.Bool("quick", false, "CI assertions: AES baseline clean, AES+silent-stores and eBPF dirty, propagation self-test")
+	c := cli.New("scan",
+		cli.WithJSON("emit the report as JSON"),
+		cli.WithQuick("CI assertions: AES baseline clean, AES+silent-stores and eBPF dirty, propagation self-test"),
+	)
+	fs := c.Flags()
 	inject := fs.Bool("inject", false, "break the ALU propagation rule; the self-test must catch it")
-	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	scenario := fs.String("scenario", "", "built-in scenario: aes | aes-baseline | ebpf")
 	machine := fs.String("machine", "", "machine features for source scans: "+core.MachineFeatures())
 	secretFlag := fs.String("secret", "", "extra secret region base:len[:name] for source scans")
-	if err := fs.Parse(args); err != nil {
+	if err := c.Parse(args); err != nil {
 		return 2
 	}
+	defer c.Close()
+	quick, jsonOut := c.Quick, c.JSON
 
 	if *inject {
 		// Inverted expectation: the propagation checker validates itself

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pandora/cmd/pandora/internal/cli"
+	"pandora/internal/core"
+	"pandora/internal/obs"
+)
+
+// runTrace implements `pandora trace`: run a built-in scenario under
+// the cycle-accurate probe and export the event trace as deterministic
+// JSONL, Chrome trace-event JSON (load in Perfetto or chrome://tracing)
+// or a text report with per-track activity and cycle attribution.
+// `-quick` instead runs the CI validation suite.
+func runTrace(args []string) int {
+	c := cli.New("trace",
+		cli.WithSeed(1, "sweep scenario corpus seed"),
+		cli.WithParallel(),
+		cli.WithQuick("CI validation: chrome export consistent with Cycles, JSONL byte-identical across worker counts"),
+	)
+	scenario := c.Flags().String("scenario", "aes", "built-in scenario: "+strings.Join(core.TraceScenarios(), " | "))
+	format := c.Flags().String("format", "report", "export format: jsonl | chrome | report")
+	window := c.Flags().String("window", "", "restrict export to cycles lo:hi (hi empty = unbounded)")
+	outPath := c.Flags().String("o", "", "output path (default stdout)")
+	if err := c.Parse(args); err != nil {
+		return 2
+	}
+	defer c.Close()
+
+	if *c.Quick {
+		return traceQuick(c)
+	}
+
+	res, err := core.RunTrace(*scenario, *c.Seed, *c.Parallel)
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	tr := res.Trace
+	if *window != "" {
+		lo, hi, err := parseWindow(*window)
+		if err != nil {
+			return c.Errorf(2, "%v", err)
+		}
+		tr = tr.Window(lo, hi)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return c.Errorf(1, "%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	switch *format {
+	case "jsonl":
+		err = tr.WriteJSONL(out)
+	case "chrome":
+		err = tr.WriteChrome(out)
+	case "report":
+		fmt.Fprintf(out, "scenario %s: %d cycles, %d retired, %d events\n",
+			res.Scenario, res.Cycles, res.Retired, res.Trace.Len())
+		err = tr.WriteReport(out)
+	default:
+		return c.Errorf(2, "unknown format %q (want jsonl, chrome or report)", *format)
+	}
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	if *outPath != "" {
+		fmt.Printf("wrote %s (%s, %d events)\n", *outPath, *format, tr.Len())
+	}
+	return 0
+}
+
+// parseWindow parses "lo:hi"; an empty hi means unbounded.
+func parseWindow(s string) (lo, hi int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -window %q: want lo:hi", s)
+	}
+	if lo, err = strconv.ParseInt(parts[0], 0, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad -window lo %q: %v", parts[0], err)
+	}
+	hi = -1
+	if parts[1] != "" {
+		if hi, err = strconv.ParseInt(parts[1], 0, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad -window hi %q: %v", parts[1], err)
+		}
+	}
+	return lo, hi, nil
+}
+
+// traceQuick is the CI suite: end-to-end properties of the trace
+// pipeline (ISSUE acceptance criteria — the Chrome export of the aes
+// scenario is valid JSON whose retire track agrees with the simulated
+// cycle count, and the sweep JSONL is byte-identical across repeats and
+// worker counts).
+func traceQuick(c *cli.Command) int {
+	failed := 0
+	assert := func(name string, ok bool, detail string) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-28s %s\n", status, name, detail)
+	}
+
+	aes, err := core.RunTrace("aes", *c.Seed, *c.Parallel)
+	if err != nil {
+		return c.Errorf(1, "aes: %v", err)
+	}
+	var chrome bytes.Buffer
+	if err := aes.Trace.WriteChrome(&chrome); err != nil {
+		return c.Errorf(1, "aes chrome export: %v", err)
+	}
+	retireTs, parseErr := chromeRetireMax(chrome.Bytes())
+	assert("chrome-valid-json", parseErr == nil, fmt.Sprintf("%d bytes", chrome.Len()))
+	assert("chrome-retire-cycles", parseErr == nil && retireTs == aes.Cycles,
+		fmt.Sprintf("retire ts %d, cycles %d", retireTs, aes.Cycles))
+	assert("aes-taint-events", aes.Trace.CountKind(obs.KindTaintLeak) > 0,
+		fmt.Sprintf("%d taint-leak events", aes.Trace.CountKind(obs.KindTaintLeak)))
+
+	var report bytes.Buffer
+	if err := aes.Trace.WriteReport(&report); err != nil {
+		return c.Errorf(1, "aes report export: %v", err)
+	}
+	assert("report-renders", report.Len() > 0, fmt.Sprintf("%d bytes", report.Len()))
+
+	jsonl := func(workers int) ([]byte, error) {
+		res, err := core.RunTrace("sweep", *c.Seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := res.Trace.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	s1a, err := jsonl(1)
+	if err != nil {
+		return c.Errorf(1, "sweep workers=1: %v", err)
+	}
+	s1b, err := jsonl(1)
+	if err != nil {
+		return c.Errorf(1, "sweep workers=1 repeat: %v", err)
+	}
+	s8, err := jsonl(8)
+	if err != nil {
+		return c.Errorf(1, "sweep workers=8: %v", err)
+	}
+	assert("sweep-jsonl-repeatable", bytes.Equal(s1a, s1b), fmt.Sprintf("%d bytes", len(s1a)))
+	assert("sweep-jsonl-workers", bytes.Equal(s1a, s8), "workers 1 vs 8 byte-identical")
+
+	if failed > 0 {
+		fmt.Printf("[%d TRACE ASSERTION(S) FAILED]\n", failed)
+		return 1
+	}
+	fmt.Println("[TRACE OK]")
+	return 0
+}
+
+// chromeRetireMax re-parses a Chrome trace-event export and returns the
+// maximum timestamp on the retire track (slice ends included), i.e. the
+// simulated cycle count the export claims.
+func chromeRetireMax(data []byte) (int64, error) {
+	var file struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Ts  int64  `json:"ts"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return 0, err
+	}
+	max := int64(-1)
+	for _, e := range file.TraceEvents {
+		if e.Ph == "M" || e.Tid != int(obs.TrackRetire) {
+			continue
+		}
+		if e.Ts > max {
+			max = e.Ts
+		}
+	}
+	return max, nil
+}

@@ -18,6 +18,7 @@ import (
 	"pandora/internal/ebpf"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/obs"
 	"pandora/internal/parallel"
 	"pandora/internal/pipeline"
 	"pandora/internal/taint"
@@ -61,6 +62,10 @@ type URGConfig struct {
 	Taint *taint.State
 	// Trace receives narrative progress lines when non-nil.
 	Trace func(format string, args ...any)
+	// Probe, when non-nil, attaches the observability layer to the
+	// scenario's pipeline and caches (cycle-accurate event traces of the
+	// prefetcher attack; `pandora trace -scenario ebpf`).
+	Probe obs.Probe
 }
 
 // DefaultURGConfig returns the Figure 1 configuration.
@@ -155,6 +160,7 @@ func NewURG(cfg URGConfig, secret []byte) (*URG, error) {
 
 	pcfg := pipeline.DefaultConfig()
 	pcfg.Taint = cfg.Taint
+	pcfg.Probe = cfg.Probe
 	machine, err := pipeline.New(pcfg, m, hier)
 	if err != nil {
 		return nil, err
@@ -371,18 +377,8 @@ func (u *URG) LeakRangeParallel(workers, n int) (got []byte, correct int, err er
 		return nil, 0, perr
 	}
 	got = make([]byte, n)
-	merge := func(s dmp.Stats) {
-		t := &u.IMP.Stats
-		t.StreamsDetected += s.StreamsDetected
-		t.IndirectConfirmed += s.IndirectConfirmed
-		t.Level2Confirmed += s.Level2Confirmed
-		t.Prefetches += s.Prefetches
-		t.LinesFetched += s.LinesFetched
-		t.OutOfBoundsReads += s.OutOfBoundsReads
-		t.ProtectedReads += s.ProtectedReads
-	}
 	for i, r := range res {
-		merge(r.stats)
+		u.IMP.Stats.Merge(r.stats)
 		if r.err != nil {
 			// Mirror the serial contract: stop at the first failed offset.
 			return got[:i], correct, r.err

@@ -10,6 +10,8 @@ package cache
 import (
 	"fmt"
 	"math/rand"
+
+	"pandora/internal/obs"
 )
 
 // Policy selects a replacement policy.
@@ -63,7 +65,8 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats counts cache events.
+// Stats counts cache events. Counters live behind the Stats() getter and
+// the obs registry (RegisterMetrics); only this package increments them.
 type Stats struct {
 	Hits          uint64
 	Misses        uint64
@@ -86,10 +89,48 @@ type Cache struct {
 	plru  [][]bool // tree bits per set, len ways-1 (TreePLRU)
 	rng   *rand.Rand
 	tick  uint64
-	Stats Stats
+	stats Stats
+
+	probe obs.Probe
+	clock func() int64
+	track obs.Track
 
 	lineShift uint
 	setMask   uint64
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetProbe attaches an event probe. clock supplies the current simulated
+// cycle (the cache has no clock of its own); track labels this level's
+// events. A nil probe keeps the hot path allocation- and branch-cheap.
+func (c *Cache) SetProbe(p obs.Probe, clock func() int64, track obs.Track) {
+	c.probe = p
+	c.clock = clock
+	c.track = track
+}
+
+// RegisterMetrics registers this level's counters under prefix.
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	r.CounterUint64(prefix+".hits", &c.stats.Hits)
+	r.CounterUint64(prefix+".misses", &c.stats.Misses)
+	r.CounterUint64(prefix+".evictions", &c.stats.Evictions)
+	r.CounterUint64(prefix+".prefetch_fills", &c.stats.PrefetchFills)
+	r.CounterUint64(prefix+".prefetch_hits", &c.stats.PrefetchHits)
+}
+
+// emit publishes one cache event; no-op (and allocation-free) when no
+// probe is attached.
+func (c *Cache) emit(k obs.Kind, addr uint64, detail string) {
+	if c.probe == nil {
+		return
+	}
+	var cyc int64
+	if c.clock != nil {
+		cyc = c.clock()
+	}
+	c.probe.Emit(obs.Event{Cycle: cyc, Kind: k, Track: c.track, Addr: addr, Detail: detail})
 }
 
 // New builds a cache from cfg.
@@ -173,16 +214,20 @@ func (c *Cache) Lookup(addr uint64) bool {
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
-			c.Stats.Hits++
+			c.stats.Hits++
 			if ln.prefetched {
-				c.Stats.PrefetchHits++
+				c.stats.PrefetchHits++
 				ln.prefetched = false
+				c.emit(obs.KindCacheHit, addr, "prefetched")
+			} else {
+				c.emit(obs.KindCacheHit, addr, "")
 			}
 			c.touch(set, i)
 			return true
 		}
 	}
-	c.Stats.Misses++
+	c.stats.Misses++
+	c.emit(obs.KindCacheMiss, addr, "")
 	return false
 }
 
@@ -192,17 +237,24 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Fill(addr uint64, prefetched bool) (victim uint64, evicted bool) {
 	c.tick++
 	set, tag := c.SetOf(addr), c.tagOf(addr)
-	// Already present: refresh. The prefetched mark must track the most
-	// recent fill — a demand re-fill of a prefetch-filled line (or the
-	// reverse) that kept the stale mark would make a later Lookup
-	// miscount Stats.PrefetchHits.
+	// Already present: refresh. A demand re-fill clears the prefetched
+	// mark (the line is demand-touched now), but a prefetch re-fill of a
+	// demand-resident line must NOT set it: the line's presence was
+	// already earned by demand, and marking it would let a later Lookup
+	// invent a PrefetchHit for a line no prefetch brought in —
+	// PrefetchHits could exceed PrefetchFills, since the refresh path
+	// never counts a fill.
 	for i := range c.sets[set] {
 		ln := &c.sets[set][i]
 		if ln.valid && ln.tag == tag {
-			ln.prefetched = prefetched
+			ln.prefetched = ln.prefetched && prefetched
 			c.touch(set, i)
 			return 0, false
 		}
+	}
+	fillDetail := ""
+	if prefetched {
+		fillDetail = "prefetch"
 	}
 	// Free way?
 	for i := range c.sets[set] {
@@ -210,8 +262,9 @@ func (c *Cache) Fill(addr uint64, prefetched bool) (victim uint64, evicted bool)
 			c.sets[set][i] = line{valid: true, tag: tag, prefetched: prefetched}
 			c.touch(set, i)
 			if prefetched {
-				c.Stats.PrefetchFills++
+				c.stats.PrefetchFills++
 			}
+			c.emit(obs.KindCacheFill, c.LineAddr(addr), fillDetail)
 			return 0, false
 		}
 	}
@@ -220,11 +273,14 @@ func (c *Cache) Fill(addr uint64, prefetched bool) (victim uint64, evicted bool)
 	old := c.sets[set][w]
 	c.sets[set][w] = line{valid: true, tag: tag, prefetched: prefetched}
 	c.touch(set, w)
-	c.Stats.Evictions++
+	c.stats.Evictions++
 	if prefetched {
-		c.Stats.PrefetchFills++
+		c.stats.PrefetchFills++
 	}
-	return c.addrOf(set, old.tag), true
+	victim = c.addrOf(set, old.tag)
+	c.emit(obs.KindCacheEvict, victim, "")
+	c.emit(obs.KindCacheFill, c.LineAddr(addr), fillDetail)
+	return victim, true
 }
 
 // Evict removes the line containing addr if present, returning whether it
@@ -234,6 +290,7 @@ func (c *Cache) Evict(addr uint64) bool {
 	for i := range c.sets[set] {
 		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
 			c.sets[set][i] = line{}
+			c.emit(obs.KindCacheEvict, c.LineAddr(addr), "invalidate")
 			return true
 		}
 	}

@@ -139,24 +139,24 @@ func TestStats(t *testing.T) {
 	c.Lookup(0x40) // hit
 	c.Fill(0x40+0x100, false)
 	c.Fill(0x40+0x200, false) // evicts
-	if c.Stats.Hits != 1 || c.Stats.Misses != 1 || c.Stats.Evictions != 1 {
-		t.Errorf("stats = %+v", c.Stats)
+	if c.Stats().Hits != 1 || c.Stats().Misses != 1 || c.Stats().Evictions != 1 {
+		t.Errorf("stats = %+v", c.Stats())
 	}
 }
 
 func TestPrefetchedStats(t *testing.T) {
 	c := MustNew(smallCfg())
 	c.Fill(0x40, true)
-	if c.Stats.PrefetchFills != 1 {
-		t.Errorf("PrefetchFills = %d", c.Stats.PrefetchFills)
+	if c.Stats().PrefetchFills != 1 {
+		t.Errorf("PrefetchFills = %d", c.Stats().PrefetchFills)
 	}
 	c.Lookup(0x40)
-	if c.Stats.PrefetchHits != 1 {
-		t.Errorf("PrefetchHits = %d", c.Stats.PrefetchHits)
+	if c.Stats().PrefetchHits != 1 {
+		t.Errorf("PrefetchHits = %d", c.Stats().PrefetchHits)
 	}
 	c.Lookup(0x40)
-	if c.Stats.PrefetchHits != 1 {
-		t.Errorf("PrefetchHits counted twice: %d", c.Stats.PrefetchHits)
+	if c.Stats().PrefetchHits != 1 {
+		t.Errorf("PrefetchHits counted twice: %d", c.Stats().PrefetchHits)
 	}
 }
 
@@ -215,25 +215,59 @@ func TestFlushAll(t *testing.T) {
 	}
 }
 
-// Regression: Fill's refresh path must update the prefetched mark to match
-// the most recent fill. A stale mark miscounts Stats.PrefetchHits on the
-// next Lookup — hiding a prefetch hit after a demand re-fill, or
-// inventing one after a prefetch re-fill of demand-resident data.
+// Regression: Fill's refresh path must keep the prefetched mark honest.
+// A demand refresh clears it (the line is demand-touched); a prefetch
+// refresh of a demand-resident line must NOT set it — the refresh path
+// counts no PrefetchFill, so a later Lookup would invent a PrefetchHit
+// and PrefetchHits could exceed PrefetchFills.
 func TestFillRefreshUpdatesPrefetchedMark(t *testing.T) {
 	c := MustNew(smallCfg())
 	c.Fill(0x40, true)
 	c.Fill(0x40, false) // demand refresh clears the mark
 	c.Lookup(0x40)
-	if c.Stats.PrefetchHits != 0 {
-		t.Errorf("demand-refreshed line counted as prefetch hit: %+v", c.Stats)
+	if c.Stats().PrefetchHits != 0 {
+		t.Errorf("demand-refreshed line counted as prefetch hit: %+v", c.Stats())
 	}
 
 	c = MustNew(smallCfg())
 	c.Fill(0x80, false)
-	c.Fill(0x80, true) // prefetch refresh sets the mark
+	c.Fill(0x80, true) // prefetch refresh of a demand-resident line
 	c.Lookup(0x80)
-	if c.Stats.PrefetchHits != 1 {
-		t.Errorf("prefetch-refreshed line not counted: %+v", c.Stats)
+	if got := c.Stats(); got.PrefetchHits != 0 {
+		t.Errorf("prefetch refresh of a demand line invented a hit: %+v", got)
+	}
+
+	// A genuinely prefetch-filled line refreshed by another prefetch still
+	// counts its (single) hit, and the books balance.
+	c = MustNew(smallCfg())
+	c.Fill(0xc0, true)
+	c.Fill(0xc0, true)
+	c.Lookup(0xc0)
+	got := c.Stats()
+	if got.PrefetchHits != 1 {
+		t.Errorf("prefetch-filled line lost its hit: %+v", got)
+	}
+	if got.PrefetchHits > got.PrefetchFills {
+		t.Errorf("PrefetchHits %d exceeds PrefetchFills %d", got.PrefetchHits, got.PrefetchFills)
+	}
+}
+
+// Regression for the accounting invariant directly: no fill/refresh
+// sequence may drive PrefetchHits above PrefetchFills.
+func TestPrefetchHitsNeverExceedFills(t *testing.T) {
+	c := MustNew(smallCfg())
+	for i := 0; i < 4; i++ {
+		c.Fill(0x40, false) // demand fill
+		c.Fill(0x40, true)  // prefetch refresh (the old bug set the mark here)
+		c.Lookup(0x40)
+	}
+	got := c.Stats()
+	if got.PrefetchHits > got.PrefetchFills {
+		t.Errorf("PrefetchHits %d exceeds PrefetchFills %d after refresh loop",
+			got.PrefetchHits, got.PrefetchFills)
+	}
+	if got.PrefetchHits != 0 {
+		t.Errorf("no prefetch ever filled this line, yet PrefetchHits = %d", got.PrefetchHits)
 	}
 }
 

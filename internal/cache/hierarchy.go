@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"pandora/internal/obs"
+)
 
 // HierConfig describes a two-level inclusive hierarchy with a flat memory
 // latency behind L2.
@@ -61,8 +65,35 @@ type Hierarchy struct {
 	// invErr latches the first invariant violation found by SelfCheck.
 	invErr error
 
-	DemandAccesses   uint64
-	PrefetchRequests uint64
+	probe obs.Probe
+	clock func() int64
+
+	demandAccesses   uint64
+	prefetchRequests uint64
+}
+
+// DemandAccesses returns the total demand accesses made through Access.
+func (h *Hierarchy) DemandAccesses() uint64 { return h.demandAccesses }
+
+// PrefetchRequests returns the total prefetch requests.
+func (h *Hierarchy) PrefetchRequests() uint64 { return h.prefetchRequests }
+
+// SetProbe attaches an event probe to both levels (tracks L1/L2) and to
+// the prefetch path. clock supplies the current simulated cycle.
+func (h *Hierarchy) SetProbe(p obs.Probe, clock func() int64) {
+	h.probe = p
+	h.clock = clock
+	h.L1.SetProbe(p, clock, obs.TrackL1)
+	h.L2.SetProbe(p, clock, obs.TrackL2)
+}
+
+// RegisterMetrics registers both levels' counters plus the hierarchy's
+// own under "l1.", "l2." and "hier.".
+func (h *Hierarchy) RegisterMetrics(r *obs.Registry) {
+	h.L1.RegisterMetrics(r, "l1")
+	h.L2.RegisterMetrics(r, "l2")
+	r.CounterUint64("hier.demand_accesses", &h.demandAccesses)
+	r.CounterUint64("hier.prefetch_requests", &h.prefetchRequests)
 }
 
 // AccessListener observes every demand access made through the hierarchy.
@@ -117,7 +148,7 @@ func (h *Hierarchy) AddListener(l AccessListener) {
 // mem). data is the value read or written, forwarded to listeners so the
 // IMP can train. Fills are inclusive: an L2 miss fills both levels.
 func (h *Hierarchy) Access(addr uint64, data uint64, isWrite bool) AccessResult {
-	h.DemandAccesses++
+	h.demandAccesses++
 	res := h.accessTiming(addr)
 	for _, l := range h.listeners {
 		l.OnAccess(addr, data, isWrite)
@@ -185,7 +216,14 @@ func (h *Hierarchy) fillL1(addr uint64) {
 // Prefetch inserts the line holding addr as a prefetch. With a prefetch
 // buffer configured, L1 is bypassed but L2 still fills.
 func (h *Hierarchy) Prefetch(addr uint64) {
-	h.PrefetchRequests++
+	h.prefetchRequests++
+	if h.probe != nil {
+		var cyc int64
+		if h.clock != nil {
+			cyc = h.clock()
+		}
+		h.probe.Emit(obs.Event{Cycle: cyc, Kind: obs.KindCachePrefetch, Track: obs.TrackPrefetch, Addr: h.L1.LineAddr(addr)})
+	}
 	if h.cfg.SelfCheck {
 		defer h.selfCheck("prefetch", addr)
 	}

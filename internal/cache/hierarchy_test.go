@@ -52,8 +52,8 @@ func TestPrefetchFillsBothLevels(t *testing.T) {
 	if !h.L1.Contains(0x2000) || !h.L2.Contains(0x2000) {
 		t.Error("prefetch did not fill both levels")
 	}
-	if h.PrefetchRequests != 1 {
-		t.Errorf("PrefetchRequests = %d", h.PrefetchRequests)
+	if h.PrefetchRequests() != 1 {
+		t.Errorf("PrefetchRequests = %d", h.PrefetchRequests())
 	}
 }
 
@@ -106,14 +106,14 @@ func TestInclusiveFill(t *testing.T) {
 func TestLatencyProbeDoesNotPerturb(t *testing.T) {
 	h := testHier(t, false)
 	h.Access(0x40, 0, false)
-	before := h.L1.Stats
+	before := h.L1.Stats()
 	if got := h.Latency(0x40); got != h.Config().L1.HitLatency {
 		t.Errorf("Latency = %d", got)
 	}
 	if got := h.Latency(0x123456); got != h.Config().MemLatency {
 		t.Errorf("Latency cold = %d", got)
 	}
-	if h.L1.Stats != before {
+	if h.L1.Stats() != before {
 		t.Error("Latency probe changed stats")
 	}
 }

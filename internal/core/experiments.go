@@ -174,7 +174,7 @@ func fig4Case(name string, cfg pipeline.Config, warm bool, src string) (string, 
 			fmt.Fprintf(&b, "  %v\n", e)
 		}
 	}
-	return b.String(), m.Stats, nil
+	return b.String(), m.Stats(), nil
 }
 
 func runFig4(Options) (Result, error) {

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pandora/internal/asm"
+	"pandora/internal/attack"
+	"pandora/internal/bsaes"
+	"pandora/internal/cache"
+	"pandora/internal/mem"
+	"pandora/internal/obs"
+	"pandora/internal/parallel"
+	"pandora/internal/pipeline"
+	"pandora/internal/taint"
+)
+
+// This file is the orchestration layer of `pandora trace`: it runs a
+// scenario with the observability probe attached and returns the
+// cycle-accurate event trace for export (JSONL, Chrome trace-event, or
+// the text report). Traces are deterministic: the same scenario, seed
+// and machine configuration produce byte-identical exports at every
+// worker count.
+
+// TraceResult is one traced scenario run.
+type TraceResult struct {
+	Scenario string
+	Seed     int64
+	Workers  int
+	// Cycles is the scenario's total simulated cycle count — the cycle
+	// stamp of the last run-end marker on the retire track. For
+	// multi-run scenarios (aes runs the victim then the attacker on one
+	// machine) this accumulates across runs, matching the absolute
+	// cycle stamps in the trace.
+	Cycles  int64
+	Retired uint64
+	Trace   *obs.Trace
+}
+
+// TraceScenarios names the built-in scenarios in display order.
+func TraceScenarios() []string {
+	return []string{"aes", "aes-baseline", "ebpf", "sweep"}
+}
+
+// RunTrace runs one built-in scenario under the probe. workers only
+// affects the sweep scenario's execution schedule, never its output.
+func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
+	switch scenario {
+	case "aes":
+		return traceAES(true)
+	case "aes-baseline":
+		return traceAES(false)
+	case "ebpf":
+		return traceEBPF()
+	case "sweep":
+		return traceSweep(seed, workers)
+	default:
+		return nil, fmt.Errorf("core: unknown trace scenario %q (want %s)",
+			scenario, strings.Join(TraceScenarios(), ", "))
+	}
+}
+
+// traceAES is the ScanAES scenario with the probe attached: the victim
+// encryption warms the spill slots, the slots are labeled key-derived,
+// and the attacker encryption runs over them. With silent stores the
+// trace carries uopt silent-store activations and taint-leak events —
+// the Figure 6 precondition, visible per cycle.
+func traceAES(silentStores bool) (*TraceResult, error) {
+	var victimKey, victimPlain [16]byte
+	for i := range victimKey {
+		victimKey[i] = byte(0x0f ^ i*0x11)
+	}
+	tr, err := bsaes.EncryptTrace(victimPlain[:], victimKey[:])
+	if err != nil {
+		return nil, err
+	}
+
+	trace := obs.NewTrace()
+	st := taint.NewState()
+	hier, err := cache.NewHierarchy(cache.DefaultHierConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Taint = st
+	cfg.Probe = trace
+	scenario := "aes-baseline"
+	if silentStores {
+		cfg.SilentStores = &pipeline.SilentStoreConfig{}
+		cfg.SQSize = 5
+		scenario = "aes"
+	}
+	machine, err := pipeline.New(cfg, mem.New(), hier)
+	if err != nil {
+		return nil, err
+	}
+
+	var retired uint64
+	res, err := machine.Run(attack.EncryptKernel(tr.FinalSlices, -1, false))
+	if err != nil {
+		return nil, err
+	}
+	retired += res.Retired
+	lbl, err := st.Names.Define("key")
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < 8; k++ {
+		st.Mem.TaintRange(attack.SpillSlotAddr(k), 2, lbl)
+	}
+	var att bsaes.State
+	for i := range att {
+		att[i] = uint16(0xA5A5 ^ i*0x0101)
+	}
+	if res, err = machine.Run(attack.EncryptKernel(att, -1, false)); err != nil {
+		return nil, err
+	}
+	retired += res.Retired
+
+	return &TraceResult{
+		Scenario: scenario,
+		Workers:  1,
+		Cycles:   machine.Cycle(),
+		Retired:  retired,
+		Trace:    trace,
+	}, nil
+}
+
+// traceEBPF is the ScanEBPF scenario with the probe attached: one run
+// of the verified sandbox program on the three-level-IMP machine. The
+// trace shows the prefetch cascade on the prefetch track and the taint
+// leaks where the IMP's addresses derive from labeled kernel bytes.
+func traceEBPF() (*TraceResult, error) {
+	secret := []byte("pandora-scan-secret-byte")
+	trace := obs.NewTrace()
+	st := taint.NewState()
+	cfg := attack.DefaultURGConfig()
+	cfg.Taint = st
+	cfg.Probe = trace
+	u, err := attack.NewURG(cfg, secret)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.DefineSecret(taint.Secret{Name: "kernel", Base: u.SecretBase(), Len: uint64(len(secret))}); err != nil {
+		return nil, err
+	}
+	if err := u.RunOnce(0); err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Scenario: "ebpf",
+		Workers:  1,
+		Cycles:   trace.MaxCycle(obs.TrackRetire),
+		Retired:  uint64(trace.CountKind(obs.KindRetire)),
+		Trace:    trace,
+	}, nil
+}
+
+// sweepPrograms is the sweep scenario's corpus size.
+const sweepPrograms = 12
+
+// traceSweep traces a corpus of seeded straight-line programs, each on
+// a fresh machine, and concatenates the per-program traces in corpus
+// order with their cycle stamps shifted to follow one another. The
+// parallel engine only changes which worker runs which program — the
+// merged trace is byte-identical at every worker count.
+func traceSweep(seed int64, workers int) (*TraceResult, error) {
+	type part struct {
+		trace  *obs.Trace
+		cycles int64
+		ret    uint64
+	}
+	idx := make([]int, sweepPrograms)
+	for i := range idx {
+		idx[i] = i
+	}
+	parts, err := parallel.Map(context.Background(), workers, idx,
+		func(_ context.Context, _ int, i int) (part, error) {
+			prog, err := asm.Assemble(sweepProgram(seed, i))
+			if err != nil {
+				return part{}, fmt.Errorf("sweep program %d: %w", i, err)
+			}
+			tr := obs.NewTrace()
+			cfg := pipeline.DefaultConfig()
+			cfg.Probe = tr
+			m, err := pipeline.New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
+			if err != nil {
+				return part{}, err
+			}
+			res, err := m.Run(prog)
+			if err != nil {
+				return part{}, fmt.Errorf("sweep program %d: %w", i, err)
+			}
+			return part{trace: tr, cycles: res.Cycles, ret: res.Retired}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var offset int64
+	var retired uint64
+	traces := make([]*obs.Trace, 0, len(parts))
+	for _, p := range parts {
+		p.trace.ShiftCycles(offset)
+		traces = append(traces, p.trace)
+		offset += p.cycles + 1
+		retired += p.ret
+	}
+	merged := obs.Merge(traces...)
+	return &TraceResult{
+		Scenario: "sweep",
+		Seed:     seed,
+		Workers:  parallel.Workers(workers),
+		Cycles:   merged.MaxCycle(obs.TrackRetire),
+		Retired:  retired,
+		Trace:    merged,
+	}, nil
+}
+
+// sweepProgram generates the i-th seeded straight-line program: a block
+// of register initialization, a mix of ALU work and store/load pairs
+// over a private scratch region, and a halt. Generation is a pure
+// function of (seed, i).
+func sweepProgram(seed int64, i int) string {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(i)))
+	var b strings.Builder
+	b.WriteString("addi x1, x0, 0x400\n")
+	for r := 2; r <= 8; r++ {
+		fmt.Fprintf(&b, "addi x%d, x0, %d\n", r, rng.Intn(2048)-1024)
+	}
+	ops := []string{"add", "sub", "and", "or", "xor", "mul"}
+	for n := 0; n < 24+rng.Intn(16); n++ {
+		switch rng.Intn(8) {
+		case 0: // store then load back: exercises forwarding and the SQ
+			off := 8 * rng.Intn(16)
+			src := 2 + rng.Intn(7)
+			dst := 2 + rng.Intn(7)
+			fmt.Fprintf(&b, "sd x%d, %d(x1)\nld x%d, %d(x1)\n", src, off, dst, off)
+		case 1: // cold load: exercises the cache hierarchy
+			fmt.Fprintf(&b, "ld x%d, %d(x1)\n", 2+rng.Intn(7), 8*rng.Intn(32))
+		default:
+			op := ops[rng.Intn(len(ops))]
+			fmt.Fprintf(&b, "%s x%d, x%d, x%d\n",
+				op, 2+rng.Intn(7), 2+rng.Intn(7), 2+rng.Intn(7))
+		}
+	}
+	b.WriteString("halt\n")
+	return b.String()
+}

@@ -64,6 +64,19 @@ type Stats struct {
 	ProtectedReads    uint64 // prefetcher data reads inside Protected regions (diagnostic)
 }
 
+// Merge folds o's counts into s — the supported way for callers (e.g. the
+// parallel URG sweep) to aggregate per-clone prefetcher stats without
+// writing this package's fields one by one.
+func (s *Stats) Merge(o Stats) {
+	s.StreamsDetected += o.StreamsDetected
+	s.IndirectConfirmed += o.IndirectConfirmed
+	s.Level2Confirmed += o.Level2Confirmed
+	s.Prefetches += o.Prefetches
+	s.LinesFetched += o.LinesFetched
+	s.OutOfBoundsReads += o.OutOfBoundsReads
+	s.ProtectedReads += o.ProtectedReads
+}
+
 // streamEntry tracks a candidate streaming (index) array.
 type streamEntry struct {
 	lastAddr  uint64

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"pandora/internal/isa"
+	"pandora/internal/obs"
 )
 
 // Site identifies one class of injectable fault.
@@ -183,6 +184,16 @@ type Injector struct {
 	plan  Plan
 	fired int
 	first int64 // cycle of the first firing
+	probe obs.Probe
+}
+
+// SetProbe attaches an event probe; every fault firing emits an
+// obs.KindFault event naming the site. Nil-safe on a nil injector.
+func (in *Injector) SetProbe(p obs.Probe) {
+	if in == nil {
+		return
+	}
+	in.probe = p
 }
 
 // NewInjector builds an injector for plan; nil plan yields a nil (inert)
@@ -231,6 +242,12 @@ func (in *Injector) commit(cycle int64) {
 		in.first = cycle
 	}
 	in.fired++
+	if in.probe != nil {
+		in.probe.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.KindFault, Track: obs.TrackFaults,
+			PC: -1, Arg: int64(in.fired), Detail: in.plan.Site.String(),
+		})
+	}
 }
 
 // FlipValue XORs the plan's payload mask into v when a bit-flip fault at

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export. One simulated cycle maps to one
+// microsecond of trace time (ts is in µs); each Track becomes a thread
+// so Perfetto / chrome://tracing renders the pipeline structures as
+// parallel timelines. KindIssue events carry a duration (the µop's
+// execution latency) and render as complete "X" slices; everything else
+// is an instant "i" event on its track.
+
+type chromeArgs struct {
+	Seq    uint64 `json:"seq,omitempty"`
+	PC     int64  `json:"pc,omitempty"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Ts   int64       `json:"ts"`
+	Dur  *int64      `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+type chromeMetaArgs struct {
+	Name string `json:"name"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the trace in Chrome trace-event JSON format. The
+// output is deterministic for a given event sequence: metadata records
+// come first in track order, then events in emission order.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	const pid = 1
+	events := make([]chromeEvent, 0, len(t.Events)+int(NumTracks)+1)
+
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: chromeMetaArgs{Name: "pandora"},
+	})
+	for _, tr := range t.Tracks() {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: int(tr),
+			Args: chromeMetaArgs{Name: tr.String()},
+		})
+	}
+
+	for _, e := range t.Events {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Ts:   e.Cycle,
+			Pid:  pid,
+			Tid:  int(e.Track),
+		}
+		if e.Detail != "" {
+			ce.Name = e.Kind.String() + ":" + e.Detail
+		}
+		if e.Seq != 0 || e.PC != 0 || e.Addr != 0 || e.Arg != 0 || e.Detail != "" {
+			ce.Args = chromeArgs{Seq: e.Seq, PC: e.PC, Addr: e.Addr, Arg: e.Arg, Detail: e.Detail}
+		}
+		if e.Kind == KindIssue {
+			ce.Ph = "X"
+			dur := e.Arg
+			if dur < 1 {
+				dur = 1
+			}
+			ce.Dur = &dur
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		events = append(events, ce)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(chromeFile{DisplayTimeUnit: "ms", TraceEvents: events}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

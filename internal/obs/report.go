@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders a text cycle-attribution report: per-track activity
+// (event counts and the share of cycles on which the track was active,
+// drawn as a bar), per-kind totals, and a flamegraph-style ranking of
+// PCs by summed issue latency — where the simulated cycles actually
+// went. Deterministic for a given event sequence.
+func (t *Trace) WriteReport(w io.Writer) error {
+	if len(t.Events) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no events")
+		return err
+	}
+
+	minC, maxC := t.Events[0].Cycle, t.Events[0].Cycle
+	var kindCount [numKinds]int
+	trackCount := make([]int, NumTracks)
+	trackCycles := make([]map[int64]struct{}, NumTracks)
+	issueByPC := map[int64]int64{}
+	issueCountByPC := map[int64]int{}
+	for _, e := range t.Events {
+		if e.Cycle < minC {
+			minC = e.Cycle
+		}
+		if e.Cycle > maxC {
+			maxC = e.Cycle
+		}
+		kindCount[e.Kind]++
+		trackCount[e.Track]++
+		if trackCycles[e.Track] == nil {
+			trackCycles[e.Track] = map[int64]struct{}{}
+		}
+		trackCycles[e.Track][e.Cycle] = struct{}{}
+		if e.Kind == KindIssue {
+			issueByPC[e.PC] += e.Arg
+			issueCountByPC[e.PC]++
+		}
+	}
+	span := maxC - minC + 1
+
+	fmt.Fprintf(w, "trace report: %d events over cycles [%d, %d] (%d cycles)\n\n",
+		len(t.Events), minC, maxC, span)
+
+	fmt.Fprintf(w, "%-10s %10s %10s  %s\n", "track", "events", "active", "active-cycle share")
+	for tr := Track(0); tr < NumTracks; tr++ {
+		if trackCount[tr] == 0 {
+			continue
+		}
+		active := int64(len(trackCycles[tr]))
+		share := float64(active) / float64(span)
+		fmt.Fprintf(w, "%-10s %10d %10d  %s %5.1f%%\n",
+			tr.String(), trackCount[tr], active, bar(share, 30), share*100)
+	}
+
+	fmt.Fprintf(w, "\n%-16s %10s\n", "kind", "events")
+	for k := Kind(0); k < numKinds; k++ {
+		if kindCount[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %10d\n", k.String(), kindCount[k])
+	}
+
+	if len(issueByPC) > 0 {
+		type pcCost struct {
+			pc     int64
+			cycles int64
+			n      int
+		}
+		var costs []pcCost
+		var total int64
+		for pc, c := range issueByPC {
+			costs = append(costs, pcCost{pc, c, issueCountByPC[pc]})
+			total += c
+		}
+		sort.Slice(costs, func(i, j int) bool {
+			if costs[i].cycles != costs[j].cycles {
+				return costs[i].cycles > costs[j].cycles
+			}
+			return costs[i].pc < costs[j].pc
+		})
+		if len(costs) > 20 {
+			costs = costs[:20]
+		}
+		fmt.Fprintf(w, "\ncycle attribution by PC (issue latency, top %d):\n", len(costs))
+		fmt.Fprintf(w, "%-8s %10s %8s  %s\n", "pc", "cycles", "issues", "share of issued cycles")
+		for _, c := range costs {
+			share := float64(c.cycles) / float64(total)
+			fmt.Fprintf(w, "%-8d %10d %8d  %s %5.1f%%\n",
+				c.pc, c.cycles, c.n, bar(share, 30), share*100)
+		}
+	}
+	return nil
+}
+
+func bar(share float64, width int) string {
+	n := int(share * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

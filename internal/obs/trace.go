@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Trace is the standard in-memory Probe: it records every event in
+// emission order. Emission order is deterministic for a deterministic
+// simulation, so two traces of the same seed compare byte-identical
+// through WriteJSONL regardless of how many workers ran *other* items.
+type Trace struct {
+	Events []Event
+}
+
+// NewTrace returns an empty trace probe.
+func NewTrace() *Trace { return &Trace{} }
+
+// Emit implements Probe.
+func (t *Trace) Emit(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Window returns a new trace holding only events with lo <= Cycle < hi.
+// hi < 0 means no upper bound.
+func (t *Trace) Window(lo, hi int64) *Trace {
+	out := &Trace{}
+	for _, e := range t.Events {
+		if e.Cycle < lo || (hi >= 0 && e.Cycle >= hi) {
+			continue
+		}
+		out.Events = append(out.Events, e)
+	}
+	return out
+}
+
+// ShiftCycles adds delta to every event's cycle stamp — used when
+// concatenating per-item traces from a parallel sweep onto one timeline.
+func (t *Trace) ShiftCycles(delta int64) {
+	for i := range t.Events {
+		t.Events[i].Cycle += delta
+	}
+}
+
+// MaxCycle returns the largest cycle stamp on the given track, or -1 if
+// the track has no events.
+func (t *Trace) MaxCycle(track Track) int64 {
+	max := int64(-1)
+	for _, e := range t.Events {
+		if e.Track == track && e.Cycle > max {
+			max = e.Cycle
+		}
+	}
+	return max
+}
+
+// CountKind returns how many events of kind k the trace holds.
+func (t *Trace) CountKind(k Kind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge concatenates parts into one trace in argument order. Cycle
+// stamps are taken as-is; callers shift first if they want one timeline.
+func Merge(parts ...*Trace) *Trace {
+	out := &Trace{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Events = append(out.Events, p.Events...)
+	}
+	return out
+}
+
+// jsonlEvent fixes the field order of the JSONL export. encoding/json
+// marshals struct fields in declaration order, so the byte stream is a
+// pure function of the event sequence.
+type jsonlEvent struct {
+	Cycle  int64  `json:"cycle"`
+	Kind   string `json:"kind"`
+	Track  string `json:"track"`
+	Seq    uint64 `json:"seq,omitempty"`
+	PC     int64  `json:"pc,omitempty"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per event, in emission order. The
+// output is deterministic: same event sequence, same bytes.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events {
+		je := jsonlEvent{
+			Cycle:  e.Cycle,
+			Kind:   e.Kind.String(),
+			Track:  e.Track.String(),
+			Seq:    e.Seq,
+			PC:     e.PC,
+			Addr:   e.Addr,
+			Arg:    e.Arg,
+			Detail: e.Detail,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Tracks returns the sorted set of tracks that appear in the trace.
+func (t *Trace) Tracks() []Track {
+	var seen [NumTracks]bool
+	for _, e := range t.Events {
+		seen[e.Track] = true
+	}
+	var out []Track
+	for i, ok := range seen {
+		if ok {
+			out = append(out, Track(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -24,6 +24,7 @@ import (
 
 	"pandora/internal/cache"
 	"pandora/internal/faults"
+	"pandora/internal/obs"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
@@ -105,6 +106,13 @@ type Config struct {
 	// RecordEvents enables the per-µop event log used to render the
 	// Figure 4 timelines.
 	RecordEvents bool
+
+	// Probe, when non-nil, receives a typed obs.Event for every pipeline,
+	// cache, optimization, taint and fault occurrence (the observability
+	// layer; see internal/obs). New wires the same probe into the cache
+	// hierarchy, the taint engine and the fault injector. Nil costs
+	// nothing: every emission site is guarded by a single nil check.
+	Probe obs.Probe
 
 	// Watchdog, when non-nil, enables the forward-progress supervisor: a
 	// run that stops retiring for the configured window aborts with a
@@ -239,7 +247,11 @@ func (c Config) validate(h *cache.Hierarchy) error {
 	return nil
 }
 
-// Stats aggregates run statistics.
+// Stats aggregates run statistics. It stays a plain comparable struct —
+// the fault campaign and diffcheck compare whole Stats values — but
+// direct field writes are confined to this package: external readers use
+// Machine.Stats() (a compatibility getter returning a copy) or the named
+// counters on Machine.Metrics().
 type Stats struct {
 	Cycles  int64
 	Retired uint64

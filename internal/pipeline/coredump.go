@@ -280,7 +280,7 @@ func (m *Machine) coreDump(reason string) *CoreDump {
 		PRFFree:          m.prfFree,
 		FetchBlocked:     m.fetchBlocked != nil,
 		FetchResumeCycle: m.fetchResumeC,
-		Stats:            m.Stats,
+		Stats:            m.stats,
 	}
 	if wd := m.cfg.Watchdog; wd != nil {
 		d.WatchdogWindow = wd.window()
@@ -310,10 +310,10 @@ func (m *Machine) coreDump(reason string) *CoreDump {
 	d.LastRetired = append([]UopDump(nil), m.lastRetired...)
 	if m.hier != nil {
 		cd := &CacheDump{
-			L1:               m.hier.L1.Stats,
-			L2:               m.hier.L2.Stats,
-			DemandAccesses:   m.hier.DemandAccesses,
-			PrefetchRequests: m.hier.PrefetchRequests,
+			L1:               m.hier.L1.Stats(),
+			L2:               m.hier.L2.Stats(),
+			DemandAccesses:   m.hier.DemandAccesses(),
+			PrefetchRequests: m.hier.PrefetchRequests(),
 		}
 		if err := m.hier.InvariantError(); err != nil {
 			cd.InvariantError = err.Error()

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"pandora/internal/isa"
+	"pandora/internal/obs"
 )
 
 // fetchAndDispatch brings up to FetchWidth µops into the backend per
@@ -73,24 +74,24 @@ func (m *Machine) fetchAndDispatch() {
 // this shape right now, counting stall causes.
 func (m *Machine) resourcesFor(in isa.Inst) bool {
 	if len(m.rob) >= m.cfg.ROBSize {
-		m.Stats.RenameStallROB++
+		m.stats.RenameStallROB++
 		return false
 	}
 	cl := isa.ClassOf(in.Op)
 	if cl != isa.ClassHalt && m.iqCount >= m.cfg.IQSize {
-		m.Stats.RenameStallIQ++
+		m.stats.RenameStallIQ++
 		return false
 	}
 	if cl == isa.ClassLoad && m.lqCount >= m.cfg.LQSize {
-		m.Stats.RenameStallLQ++
+		m.stats.RenameStallLQ++
 		return false
 	}
 	if cl == isa.ClassStore && len(m.sq) >= m.cfg.SQSize {
-		m.Stats.RenameStallSQ++
+		m.stats.RenameStallSQ++
 		return false
 	}
 	if in.Writes() != isa.X0 && m.prfFree <= 0 {
-		m.Stats.RenameStallPRF++
+		m.stats.RenameStallPRF++
 		return false
 	}
 	return true
@@ -146,9 +147,15 @@ func (m *Machine) dispatch(u *uop) {
 	u.seq = m.seq
 	u.fetchC = m.cycle
 	u.stage = stDispatched
-	m.Stats.Fetched++
+	m.stats.Fetched++
+	if u.replayed == 0 {
+		// Replayed µops re-dispatch from the replay queue without passing
+		// through fetch again.
+		m.emit(obs.KindFetch, obs.TrackFetch, u, 0, "")
+	}
+	m.emit(obs.KindRename, obs.TrackRename, u, 0, "")
 	if u.mispredicted && u.class == isa.ClassBranch {
-		m.Stats.BranchMispredicts++
+		m.stats.BranchMispredicts++
 	}
 
 	// Capture producers for the source registers before installing this
@@ -190,6 +197,7 @@ func (m *Machine) dispatch(u *uop) {
 				u.predicted = true
 				u.wasPredicted = true
 				u.predictedVal = v
+				m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "value-predict")
 			}
 		}
 	case isa.ClassStore:

@@ -8,6 +8,7 @@ import (
 	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
+	"pandora/internal/obs"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
@@ -58,10 +59,77 @@ type Machine struct {
 	// when a watchdog is configured (bounded ring, oldest first).
 	lastRetired []UopDump
 
-	Stats  Stats
+	// stats holds the raw counters; only this package increments them.
+	// External readers go through Stats() or the Metrics() registry.
+	stats Stats
+	// probe is Config.Probe, cached for the per-event nil check.
+	probe obs.Probe
+	// reg names every counter (pipeline, cache hierarchy); Run diffs it
+	// via the three reusable scratch snapshots below instead of copying
+	// stats fields by hand.
+	reg                       *obs.Registry
+	runStart, runEnd, runDiff obs.Snapshot
+
 	Events []Event
 
 	err error
+}
+
+// Stats returns a copy of the accumulated counters — the compatibility
+// getter for code (diffcheck, the fault campaign) that compares whole
+// Stats values; new code prefers the named Metrics() registry.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Metrics returns the machine's counter registry: every pipeline.* field
+// plus the attached hierarchy's l1.*/l2.*/hier.* counters, behind
+// Snapshot/Delta.
+func (m *Machine) Metrics() *obs.Registry { return m.reg }
+
+// Cycle returns the current simulated cycle (monotone across Runs).
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// registerMetrics names every counter in the registry. The hot path
+// keeps its raw field increments; the registry reads them at snapshot
+// time through these closures.
+func (m *Machine) registerMetrics() {
+	r := obs.NewRegistry()
+	r.CounterInt64("pipeline.cycles", &m.stats.Cycles)
+	r.CounterUint64("pipeline.retired", &m.stats.Retired)
+	r.CounterUint64("pipeline.fetched", &m.stats.Fetched)
+	r.CounterUint64("pipeline.branch_mispredicts", &m.stats.BranchMispredicts)
+	r.CounterUint64("pipeline.value_squashes", &m.stats.ValueSquashes)
+	r.CounterUint64("pipeline.squashed_uops", &m.stats.SquashedUops)
+	r.CounterUint64("pipeline.loads_forwarded", &m.stats.LoadsForwarded)
+	r.CounterUint64("pipeline.loads_from_cache", &m.stats.LoadsFromCache)
+	r.CounterUint64("pipeline.silent_stores", &m.stats.SilentStores)
+	r.CounterUint64("pipeline.non_silent_checks", &m.stats.NonSilentChecks)
+	r.CounterUint64("pipeline.ssload_no_port", &m.stats.SSLoadNoPort)
+	r.CounterUint64("pipeline.ssload_late", &m.stats.SSLoadLate)
+	r.CounterUint64("pipeline.ssloads_issued", &m.stats.SSLoadsIssued)
+	r.CounterUint64("pipeline.reuse_hits", &m.stats.ReuseHits)
+	r.CounterUint64("pipeline.packed", &m.stats.Packed)
+	r.CounterUint64("pipeline.rename_stall.prf", &m.stats.RenameStallPRF)
+	r.CounterUint64("pipeline.rename_stall.sq", &m.stats.RenameStallSQ)
+	r.CounterUint64("pipeline.rename_stall.rob", &m.stats.RenameStallROB)
+	r.CounterUint64("pipeline.rename_stall.iq", &m.stats.RenameStallIQ)
+	r.CounterUint64("pipeline.rename_stall.lq", &m.stats.RenameStallLQ)
+	m.hier.RegisterMetrics(r)
+	m.reg = r
+}
+
+// emit publishes one probe event for µop u (nil for machine-level
+// events). The nil-probe path is a single branch and allocation-free.
+func (m *Machine) emit(k obs.Kind, tr obs.Track, u *uop, arg int64, detail string) {
+	if m.probe == nil {
+		return
+	}
+	ev := obs.Event{Cycle: m.cycle, Kind: k, Track: tr, Arg: arg, Detail: detail, PC: -1}
+	if u != nil {
+		ev.Seq = u.seq
+		ev.PC = u.pc
+		ev.Addr = u.addr
+	}
+	m.probe.Emit(ev)
 }
 
 // Event is one entry of the µop event log (Figure 4 timelines).
@@ -116,7 +184,21 @@ func New(cfg Config, memory *mem.Memory, hier *cache.Hierarchy) (*Machine, error
 		cfg:        cfg,
 		mem:        memory,
 		hier:       hier,
+		probe:      cfg.Probe,
 		taintedMem: make(map[uint64]bool),
+	}
+	m.registerMetrics()
+	if cfg.Probe != nil {
+		// One probe observes everything attached to this core: both cache
+		// levels and the prefetch path (stamped with the core's clock),
+		// taint leak events, and fault firings.
+		hier.SetProbe(cfg.Probe, m.Cycle)
+		if cfg.Taint != nil {
+			cfg.Taint.Probe = cfg.Probe
+		}
+		if cfg.Faults != nil {
+			cfg.Faults.SetProbe(cfg.Probe)
+		}
 	}
 	m.vf = uopt.NewValueFile(cfg.RFC)
 	// Seed the physical register file: the 32 architectural registers hold
@@ -210,17 +292,24 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 	m.err = nil
 
 	startCycle := m.cycle
-	startRetired := m.Stats.Retired
+	// Per-run deltas come from the registry: snapshot every counter here,
+	// diff at the end. The scratch snapshots are reused across Runs, so
+	// steady-state sweeps allocate nothing for this.
+	m.reg.SnapshotInto(&m.runStart)
+	m.emit(obs.KindRunStart, obs.TrackRetire, nil, 0, "")
 	// Error paths return the partial Result alongside the error: cycle
 	// count and stats are exactly what a post-mortem needs, and discarding
 	// them on MaxCycles was hiding how far a livelocked run got.
 	partial := func() Result {
-		elapsed := m.cycle - startCycle
-		m.Stats.Cycles += elapsed
-		return Result{Cycles: elapsed, Retired: m.Stats.Retired - startRetired, Stats: m.Stats}
+		m.stats.Cycles += m.cycle - startCycle
+		m.reg.SnapshotInto(&m.runEnd)
+		m.runEnd.DeltaInto(m.runStart, &m.runDiff)
+		elapsed := m.runDiff.GetInt64("pipeline.cycles")
+		m.emit(obs.KindRunEnd, obs.TrackRetire, nil, elapsed, "")
+		return Result{Cycles: elapsed, Retired: m.runDiff.Get("pipeline.retired"), Stats: m.stats}
 	}
 	wd := m.cfg.Watchdog
-	wdMark := m.Stats.Retired
+	wdMark := m.stats.Retired
 	var wdNext int64
 	if wd != nil {
 		m.lastRetired = m.lastRetired[:0]
@@ -246,8 +335,8 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 			break
 		}
 		if wd != nil {
-			if m.Stats.Retired != wdMark {
-				wdMark = m.Stats.Retired
+			if m.stats.Retired != wdMark {
+				wdMark = m.stats.Retired
 				wdNext = m.cycle + wd.window()
 			} else if m.cycle >= wdNext {
 				return partial(), &StallError{Reason: ReasonWatchdog, Dump: m.coreDump(ReasonWatchdog)}

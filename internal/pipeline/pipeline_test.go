@@ -87,8 +87,8 @@ func TestStoreLoadForwarding(t *testing.T) {
 	if got := m.Reg(4); got != 1235 {
 		t.Errorf("x4 = %d, want 1235", got)
 	}
-	if m.Stats.LoadsForwarded == 0 {
-		t.Errorf("expected store-to-load forwarding, got %+v", m.Stats)
+	if m.Stats().LoadsForwarded == 0 {
+		t.Errorf("expected store-to-load forwarding, got %+v", m.Stats())
 	}
 	if got := m.Memory().Read(0x100, 8); got != 1234 {
 		t.Errorf("mem[0x100] = %d, want 1234 (store must drain)", got)
@@ -222,7 +222,7 @@ func TestFenceDrainsSQ(t *testing.T) {
 	if got := m.Reg(3); got != 7 {
 		t.Errorf("x3 = %d, want 7", got)
 	}
-	if m.Stats.LoadsForwarded != 0 {
+	if m.Stats().LoadsForwarded != 0 {
 		t.Errorf("load after fence should not forward: %+v", res.Stats)
 	}
 }
@@ -436,8 +436,8 @@ func TestSQFullStallsRename(t *testing.T) {
 		sd x0, 320(x1)
 		halt
 	`)
-	if m.Stats.RenameStallSQ == 0 {
-		t.Errorf("expected SQ-full rename stalls, got %+v", m.Stats)
+	if m.Stats().RenameStallSQ == 0 {
+		t.Errorf("expected SQ-full rename stalls, got %+v", m.Stats())
 	}
 }
 

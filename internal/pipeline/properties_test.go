@@ -27,7 +27,7 @@ func TestDeterminism(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					return res, m.Stats
+					return res, m.Stats()
 				}
 				r1, s1 := runOnce()
 				r2, s2 := runOnce()
@@ -139,7 +139,7 @@ func TestValueSquashRecovery(t *testing.T) {
 	if got := m.Reg(2); got != 16*17/2 {
 		t.Errorf("sum = %d, want %d", got, 16*17/2)
 	}
-	if m.Stats.ValueSquashes == 0 {
+	if m.Stats().ValueSquashes == 0 {
 		t.Error("eager predictor on changing values must squash")
 	}
 	if res.Cycles <= 0 {
@@ -246,8 +246,8 @@ func TestResourceStallCounters(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			m := newTestMachine(t, c.cfg())
 			run(t, m, c.src)
-			if c.stat(m.Stats) == 0 {
-				t.Errorf("expected %s stalls: %+v", c.name, m.Stats)
+			if c.stat(m.Stats()) == 0 {
+				t.Errorf("expected %s stalls: %+v", c.name, m.Stats())
 			}
 		})
 	}

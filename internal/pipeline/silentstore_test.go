@@ -42,8 +42,8 @@ func TestSilentStoreCaseA(t *testing.T) {
 	if _, err := m.Run(asm.MustAssemble(caseASrc)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.SilentStores != 1 {
-		t.Errorf("SilentStores = %d, want 1 (stats: %+v)", m.Stats.SilentStores, m.Stats)
+	if m.Stats().SilentStores != 1 {
+		t.Errorf("SilentStores = %d, want 1 (stats: %+v)", m.Stats().SilentStores, m.Stats())
 	}
 	if got := mm.Read(0x800, 8); got != 7 {
 		t.Errorf("mem = %d", got)
@@ -65,11 +65,11 @@ func TestSilentStoreCaseBValueMismatch(t *testing.T) {
 	if _, err := m.Run(asm.MustAssemble(src)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.SilentStores != 0 {
-		t.Errorf("SilentStores = %d, want 0", m.Stats.SilentStores)
+	if m.Stats().SilentStores != 0 {
+		t.Errorf("SilentStores = %d, want 0", m.Stats().SilentStores)
 	}
-	if m.Stats.NonSilentChecks != 1 {
-		t.Errorf("NonSilentChecks = %d, want 1", m.Stats.NonSilentChecks)
+	if m.Stats().NonSilentChecks != 1 {
+		t.Errorf("NonSilentChecks = %d, want 1", m.Stats().NonSilentChecks)
 	}
 	if got := mm.Read(0x800, 8); got != 8 {
 		t.Errorf("mem = %d, want 8 (store must still perform)", got)
@@ -101,11 +101,11 @@ func TestSilentStoreCaseCNoPort(t *testing.T) {
 	if _, err := m.Run(asm.MustAssemble(src)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.SSLoadNoPort == 0 {
-		t.Skipf("load port free at resolve cycle; stats: %+v", m.Stats)
+	if m.Stats().SSLoadNoPort == 0 {
+		t.Skipf("load port free at resolve cycle; stats: %+v", m.Stats())
 	}
-	if m.Stats.SilentStores != 0 {
-		t.Errorf("store marked silent despite Case C: %+v", m.Stats)
+	if m.Stats().SilentStores != 0 {
+		t.Errorf("store marked silent despite Case C: %+v", m.Stats())
 	}
 }
 
@@ -131,10 +131,10 @@ func TestSilentStoreCaseDLateReturn(t *testing.T) {
 	if _, err := m.Run(asm.MustAssemble(src)); err != nil {
 		t.Fatal(err)
 	}
-	if m.Stats.SSLoadLate != 1 {
-		t.Errorf("SSLoadLate = %d, want 1 (stats: %+v)", m.Stats.SSLoadLate, m.Stats)
+	if m.Stats().SSLoadLate != 1 {
+		t.Errorf("SSLoadLate = %d, want 1 (stats: %+v)", m.Stats().SSLoadLate, m.Stats())
 	}
-	if m.Stats.SilentStores != 0 {
+	if m.Stats().SilentStores != 0 {
 		t.Errorf("late SS-Load must not mark the store silent")
 	}
 }
@@ -216,8 +216,8 @@ func TestAmplificationGadgetShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if storeVal == 7 && m.Stats.SilentStores != 1 {
-			t.Fatalf("matching store not silent: %+v", m.Stats)
+		if storeVal == 7 && m.Stats().SilentStores != 1 {
+			t.Fatalf("matching store not silent: %+v", m.Stats())
 		}
 		return res.Cycles
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pandora/internal/faults"
+	"pandora/internal/obs"
 	"pandora/internal/isa"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
@@ -28,7 +29,8 @@ func (m *Machine) retire() {
 		u.stage = stRetired
 		u.retireC = m.cycle
 		m.rob = m.rob[1:]
-		m.Stats.Retired++
+		m.stats.Retired++
+		m.emit(obs.KindRetire, obs.TrackRetire, u, m.cycle-u.fetchC, "")
 		m.event(EvRetire, u, "")
 		if m.cfg.Watchdog != nil {
 			if depth := m.cfg.Watchdog.depth(); len(m.lastRetired) >= depth {
@@ -134,6 +136,7 @@ func (m *Machine) complete() {
 			if m.vf.Produce(u.result) {
 				u.sharedReg = true
 				m.prfFree++
+				m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "rfc-share")
 			}
 			if m.cfg.Reuse != nil {
 				m.cfg.Reuse.InvalidateReg(uint8(u.inst.Writes()))
@@ -191,7 +194,7 @@ func (m *Machine) complete() {
 // squashYounger removes every µop younger than u from the pipeline and
 // queues it for replay — the value-misprediction recovery path.
 func (m *Machine) squashYounger(u *uop) {
-	m.Stats.ValueSquashes++
+	m.stats.ValueSquashes++
 	if m.cfg.Predictor != nil {
 		m.cfg.Predictor.Squash()
 	}
@@ -207,7 +210,8 @@ func (m *Machine) squashYounger(u *uop) {
 	m.rob = keep
 
 	for _, v := range squashed {
-		m.Stats.SquashedUops++
+		m.stats.SquashedUops++
+		m.emit(obs.KindSquash, obs.TrackIssue, v, 0, "")
 		m.event(EvSquash, v, "")
 		if v.writesReg() {
 			if v.wroteback {
@@ -303,7 +307,7 @@ func (m *Machine) sqTick() {
 			if e.ssMatch {
 				m.event(EvSSLoadReturn, e.u, "match (silent candidate)")
 			} else {
-				m.Stats.NonSilentChecks++
+				m.stats.NonSilentChecks++
 				m.event(EvSSLoadReturn, e.u, fmt.Sprintf("mismatch (read %#x, storing %#x)", e.ssValue, e.u.storeVal))
 			}
 		}
@@ -321,6 +325,7 @@ func (m *Machine) sqTick() {
 				return
 			}
 			m.performStore(e)
+			m.emit(obs.KindDequeue, obs.TrackMem, e.u, 0, "")
 			m.event(EvMemResponse, e.u, "")
 			m.event(EvStoreToCache, e.u, "")
 			m.event(EvDequeue, e.u, "")
@@ -353,7 +358,9 @@ func (m *Machine) sqTick() {
 					if st := m.cfg.Taint; st != nil {
 						st.Mem.Write(e.u.addr, e.u.memWidth, e.u.labels)
 					}
-					m.Stats.SilentStores++
+					m.stats.SilentStores++
+					m.emit(obs.KindUopt, obs.TrackUopt, e.u, 0, "silent-store")
+					m.emit(obs.KindDequeue, obs.TrackMem, e.u, 0, "silent")
 					m.event(EvDequeueSilent, e.u, "")
 					m.sq = m.sq[1:]
 					continue
@@ -361,7 +368,7 @@ func (m *Machine) sqTick() {
 				// Case B: value mismatch — perform normally.
 			case ssPending:
 				// Case D: SS-Load has not returned by perform time.
-				m.Stats.SSLoadLate++
+				m.stats.SSLoadLate++
 				m.event(EvSSLoadLate, e.u, "")
 				e.ss = ssFailed
 			}
@@ -412,7 +419,7 @@ func (m *Machine) lsqCompare(e *sqEntry) {
 	if e.ssMatch {
 		m.event(EvSSLoadReturn, e.u, "lsq match (silent candidate)")
 	} else {
-		m.Stats.NonSilentChecks++
+		m.stats.NonSilentChecks++
 		m.event(EvSSLoadReturn, e.u, "lsq mismatch")
 	}
 }
@@ -442,12 +449,15 @@ func (m *Machine) dequeuePastBlockedHead() {
 					if st := m.cfg.Taint; st != nil {
 						st.Mem.Write(e.u.addr, e.u.memWidth, e.u.labels)
 					}
-					m.Stats.SilentStores++
+					m.stats.SilentStores++
+					m.emit(obs.KindUopt, obs.TrackUopt, e.u, 0, "silent-store")
+					m.emit(obs.KindDequeue, obs.TrackMem, e.u, 0, "silent")
 					m.event(EvDequeueSilent, e.u, "out-of-order")
 					removed = true
 				case !performed && m.hier.L1.Contains(e.u.addr):
 					m.hier.Access(e.u.addr, e.u.storeVal, true)
 					m.performStore(e)
+					m.emit(obs.KindDequeue, obs.TrackMem, e.u, 0, "out-of-order")
 					m.event(EvDequeue, e.u, "out-of-order")
 					performed = true
 					removed = true
@@ -580,8 +590,9 @@ func (m *Machine) issue() {
 				break
 			}
 			lat := m.cfg.ALULat
+			simplified := false
 			if m.cfg.Simplifier != nil {
-				lat, _ = m.cfg.Simplifier.SimplifiedLatency(uopt.KindSimple, u.srcVals[0], u.srcVals[1], lat)
+				lat, simplified = m.cfg.Simplifier.SimplifiedLatency(uopt.KindSimple, u.srcVals[0], u.srcVals[1], lat)
 				m.observeIssue(u, obsSimplify, func(st *taint.State) {
 					st.ObserveSimplify(m.cycle, u.pc, "trivial_alu", u.labels)
 				})
@@ -589,6 +600,9 @@ func (m *Machine) issue() {
 			if alu > 0 {
 				alu--
 				m.startExec(u, lat)
+				if simplified {
+					m.emit(obs.KindUopt, obs.TrackUopt, u, int64(lat), "simplify")
+				}
 				u.result = m.aluResult(u)
 				aluIssued = append(aluIssued, aluSlot{u: u})
 				break
@@ -629,8 +643,12 @@ func (m *Machine) issue() {
 				if packed {
 					u.packed = true
 					m.cfg.Packer.NotePacked()
-					m.Stats.Packed++
+					m.stats.Packed++
+					m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "pack")
 					m.startExec(u, lat)
+					if simplified {
+						m.emit(obs.KindUopt, obs.TrackUopt, u, int64(lat), "simplify")
+					}
 					u.result = m.aluResult(u)
 				}
 			}
@@ -650,7 +668,11 @@ func (m *Machine) issue() {
 					kind = uopt.KindDiv
 				}
 				if m.cfg.Simplifier != nil {
-					lat, _ = m.cfg.Simplifier.SimplifiedLatency(kind, u.srcVals[0], u.srcVals[1], lat)
+					var simplified bool
+					lat, simplified = m.cfg.Simplifier.SimplifiedLatency(kind, u.srcVals[0], u.srcVals[1], lat)
+					if simplified {
+						m.emit(obs.KindUopt, obs.TrackUopt, u, int64(lat), "simplify")
+					}
 					ref := "zero_skip_mul"
 					if kind == uopt.KindDiv {
 						ref = "early_exit_div"
@@ -727,7 +749,7 @@ func (m *Machine) issue() {
 			if ld == 0 {
 				if !m.cfg.SilentStores.Retry {
 					e.ss = ssFailed
-					m.Stats.SSLoadNoPort++
+					m.stats.SSLoadNoPort++
 					m.event(EvSSLoadNoPort, e.u, "")
 				}
 				continue
@@ -739,7 +761,8 @@ func (m *Machine) issue() {
 			e.ssReturnC = m.cycle + int64(lat)
 			e.ssValue = val
 			e.ssLabels = lbl
-			m.Stats.SSLoadsIssued++
+			m.stats.SSLoadsIssued++
+			m.emit(obs.KindUopt, obs.TrackUopt, e.u, int64(lat), "ss-load")
 			m.event(EvSSLoadIssue, e.u, fmt.Sprintf("returns at %d", e.ssReturnC))
 		}
 	}
@@ -756,7 +779,8 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 	var lat int
 	if full {
 		lat = m.cfg.ForwardLat
-		m.Stats.LoadsForwarded++
+		m.stats.LoadsForwarded++
+		m.emit(obs.KindForward, obs.TrackMem, u, int64(lat), "")
 	} else {
 		res := m.hier.Access(u.addr, val, false)
 		lat = res.Latency
@@ -764,7 +788,7 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 		if d, delayed := m.cfg.Faults.FillDelay(m.cycle); delayed {
 			lat += int(d)
 		}
-		m.Stats.LoadsFromCache++
+		m.stats.LoadsFromCache++
 	}
 	m.startExec(u, lat)
 	u.result = val
@@ -829,7 +853,8 @@ func (m *Machine) tryReuse(u *uop) bool {
 	}
 	if _, ok := m.cfg.Reuse.Lookup(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2)); ok {
 		u.reused = true
-		m.Stats.ReuseHits++
+		m.stats.ReuseHits++
+		m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "reuse")
 		return true
 	}
 	return false
@@ -843,6 +868,7 @@ func (m *Machine) startExec(u *uop, latency int) {
 	u.issueC = m.cycle
 	u.doneC = m.cycle + int64(latency)
 	m.iqCount--
+	m.emit(obs.KindIssue, obs.TrackIssue, u, int64(latency), "")
 	m.event(EvIssue, u, fmt.Sprintf("latency=%d", latency))
 }
 

@@ -37,11 +37,11 @@ func TestLSQCompareSilentPair(t *testing.T) {
 		sd   x2, 0(x1)
 		halt
 	`)
-	if m.Stats.SilentStores != 1 {
-		t.Errorf("SilentStores = %d, want 1 (stats %+v)", m.Stats.SilentStores, m.Stats)
+	if m.Stats().SilentStores != 1 {
+		t.Errorf("SilentStores = %d, want 1 (stats %+v)", m.Stats().SilentStores, m.Stats())
 	}
-	if m.Stats.SSLoadsIssued != 0 {
-		t.Errorf("LSQ scheme must not issue SS-Loads: %d", m.Stats.SSLoadsIssued)
+	if m.Stats().SSLoadsIssued != 0 {
+		t.Errorf("LSQ scheme must not issue SS-Loads: %d", m.Stats().SSLoadsIssued)
 	}
 	if got := m.Memory().Read(0x800, 8); got != 7 {
 		t.Errorf("mem = %d", got)
@@ -60,11 +60,11 @@ func TestLSQCompareMismatchPerforms(t *testing.T) {
 		sd   x4, 0(x1)       # different value: must perform
 		halt
 	`)
-	if m.Stats.SilentStores != 0 {
-		t.Errorf("mismatched pair marked silent: %+v", m.Stats)
+	if m.Stats().SilentStores != 0 {
+		t.Errorf("mismatched pair marked silent: %+v", m.Stats())
 	}
-	if m.Stats.NonSilentChecks != 1 {
-		t.Errorf("NonSilentChecks = %d, want 1", m.Stats.NonSilentChecks)
+	if m.Stats().NonSilentChecks != 1 {
+		t.Errorf("NonSilentChecks = %d, want 1", m.Stats().NonSilentChecks)
 	}
 	if got := m.Memory().Read(0x800, 8); got != 8 {
 		t.Errorf("mem = %d, want 8", got)
@@ -86,8 +86,8 @@ func TestLSQCompareMissesMemoryMatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	run(t, m, caseASrc) // stores 7 over 7, but no in-flight predecessor
-	if m.Stats.SilentStores != 0 {
-		t.Errorf("LSQ scheme detected a memory-only match: %+v", m.Stats)
+	if m.Stats().SilentStores != 0 {
+		t.Errorf("LSQ scheme detected a memory-only match: %+v", m.Stats())
 	}
 }
 

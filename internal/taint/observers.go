@@ -1,6 +1,10 @@
 package taint
 
-import "fmt"
+import (
+	"fmt"
+
+	"pandora/internal/obs"
+)
 
 // Leakage observers: one entry point per optimization class. Each is
 // called from the point in the pipeline (or prefetcher) where the
@@ -16,6 +20,12 @@ func (st *State) observe(c OptClass, cycle, pc int64, mldRef, detail string, lab
 		mldRef = c.MLDRef()
 	}
 	st.Rec.Record(LeakEvent{Cycle: cycle, PC: pc, Opt: c, Labels: labels, MLDRef: mldRef, Detail: detail})
+	if st.Probe != nil {
+		st.Probe.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.KindTaintLeak, Track: obs.TrackTaint,
+			PC: pc, Arg: int64(labels), Detail: c.String(),
+		})
+	}
 }
 
 // ObserveSilentStore reports a store-elision comparison ("new value equals

@@ -23,6 +23,7 @@ import (
 
 	"pandora/internal/emu"
 	"pandora/internal/isa"
+	"pandora/internal/obs"
 )
 
 // LabelSet is a set of secret labels, one bit per label defined in a
@@ -117,6 +118,12 @@ type State struct {
 	Pred map[int64]LabelSet
 
 	Rec *Recorder
+
+	// Probe, when non-nil, receives an obs.KindTaintLeak event for every
+	// recorded leak — the taint track of the observability layer.
+	// pipeline.New wires it from Config.Probe; it never affects what the
+	// Recorder stores.
+	Probe obs.Probe
 
 	// BreakALU, when set, deliberately drops operand labels across ALU
 	// results. It exists only so the self-test (`pandora scan -inject`)

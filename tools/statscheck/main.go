@@ -1,0 +1,141 @@
+// Command statscheck enforces the stats-encapsulation rule introduced
+// with the observability layer: no package may write through another
+// package's exported Stats value. Counters are owned by the package
+// that declares them; external readers go through getters
+// (Machine.Stats(), Cache.Stats()) or the obs.Registry snapshots.
+//
+// The check is syntactic: it walks every non-test Go file under the
+// given roots (default internal/ and cmd/) and flags assignment or
+// increment statements whose left-hand side selects through a field or
+// value named Stats — unless the file's package declares `type Stats`
+// itself, in which case the writes are the owner maintaining its own
+// counters.
+//
+// Exit status is non-zero when any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			files = append(files, path)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	parsed := make(map[string]*ast.File, len(files))
+	// A package owns Stats writes if any of its files declares the type;
+	// group ownership by directory (one package per directory here).
+	ownsStats := make(map[string]bool)
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statscheck: %v\n", err)
+			os.Exit(2)
+		}
+		parsed[path] = f
+		if declaresStatsType(f) {
+			ownsStats[filepath.Dir(path)] = true
+		}
+	}
+
+	violations := 0
+	for _, path := range files {
+		if ownsStats[filepath.Dir(path)] {
+			continue
+		}
+		ast.Inspect(parsed[path], func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if sel := statsSelector(lhs); sel != nil {
+						report(fset, sel, &violations)
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel := statsSelector(s.X); sel != nil {
+					report(fset, sel, &violations)
+				}
+			}
+			return true
+		})
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "statscheck: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("statscheck: ok")
+}
+
+// declaresStatsType reports whether the file declares `type Stats`.
+func declaresStatsType(f *ast.File) bool {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == "Stats" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// statsSelector returns the Stats selector inside an lvalue expression,
+// if the write goes through one: `x.Stats = ...`, `x.Stats.Field++`,
+// `a.b.Stats.Field += n`.
+func statsSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Stats" {
+				return x
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func report(fset *token.FileSet, sel *ast.SelectorExpr, violations *int) {
+	pos := fset.Position(sel.Sel.Pos())
+	fmt.Fprintf(os.Stderr, "%s: write through exported Stats field from outside its package\n", pos)
+	*violations++
+}
