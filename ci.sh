@@ -42,6 +42,13 @@ go run -race ./cmd/pandora trace -quick
 # and zero false positives on the no-fault control arm.
 go run -race ./cmd/pandora fault -quick
 
+# Cycle-loop throughput gate: re-measure single-core cycles/sec and fail
+# if it regressed more than 10% below the committed BENCH_cycles.json
+# baseline. The check self-skips (exit 0, warning) when the baseline was
+# recorded with a different CPU count, so a laptop baseline does not
+# fail a wider CI box or vice versa.
+go run ./cmd/pandora bench -cycles -check -json BENCH_cycles.json
+
 # Fuzz smoke: a few seconds per target, same oracle as the sweep.
 go test ./internal/diffcheck -fuzz FuzzDifferential -fuzztime 5s -run '^$'
 go test ./internal/diffcheck -fuzz FuzzCacheHierarchy -fuzztime 5s -run '^$'

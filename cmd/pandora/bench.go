@@ -34,12 +34,23 @@ type benchReport struct {
 // the full experiment suite serially and with the parallel engine, and
 // write the comparison to a JSON file.
 func runBench(args []string) int {
-	c := cli.New("bench", cli.WithParallel())
-	jsonPath := c.Flags().String("json", "BENCH_parallel.json", "output path for the JSON report")
+	c := cli.New("bench", cli.WithParallel(), cli.WithSeed(1, "workload seed for -cycles"))
+	jsonPath := c.Flags().String("json", "", "output path for the JSON report (default BENCH_parallel.json, or BENCH_cycles.json with -cycles)")
+	cf := registerCyclesFlags(c)
 	if err := c.Parse(args); err != nil {
 		return 2
 	}
 	defer c.Close()
+	if *cf.enabled {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_cycles.json"
+		}
+		return runBenchCycles(c, cf, path, *c.Seed)
+	}
+	if *jsonPath == "" {
+		*jsonPath = "BENCH_parallel.json"
+	}
 	workers := parallel.Workers(*c.Parallel)
 
 	timeExp := func(name string, opts core.Options) (float64, error) {

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pandora/cmd/pandora/internal/cli"
+	"pandora/internal/cyclebench"
+)
+
+// cyclesFlags are the `pandora bench -cycles` knobs, registered alongside
+// the parallel-bench flags on the shared bench command.
+type cyclesFlags struct {
+	enabled   *bool
+	check     *bool
+	force     *bool
+	tolerance *float64
+	programs  *int
+	reps      *int
+}
+
+func registerCyclesFlags(c *cli.Command) cyclesFlags {
+	fs := c.Flags()
+	return cyclesFlags{
+		enabled:   fs.Bool("cycles", false, "measure single-core cycles/sec instead of parallel speedup"),
+		check:     fs.Bool("check", false, "with -cycles: compare against the committed baseline instead of writing (CI gate)"),
+		force:     fs.Bool("force", false, "with -cycles: overwrite a baseline recorded under a different CPU configuration"),
+		tolerance: fs.Float64("tolerance", cyclebench.DefaultTolerance, "with -cycles -check: fractional regression allowed before failing"),
+		programs:  fs.Int("programs", 0, "with -cycles: workload program count (0 = default)"),
+		reps:      fs.Int("reps", 0, "with -cycles: repetitions of the program set per mask (0 = default)"),
+	}
+}
+
+// runBenchCycles implements `pandora bench -cycles`: measure cycles
+// simulated per second over the fixed seeded workload and either write
+// BENCH_cycles.json (default) or gate against the committed one (-check).
+func runBenchCycles(c *cli.Command, f cyclesFlags, jsonPath string, seed int64) int {
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := cyclebench.Measure(cyclebench.Options{
+		Seed:     seed,
+		Programs: *f.programs,
+		Reps:     *f.reps,
+		Progress: progress,
+	})
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+
+	if *f.check {
+		baseline, err := cyclebench.ReadFile(jsonPath)
+		if err != nil {
+			return c.Errorf(1, "baseline: %v", err)
+		}
+		comparable, err := cyclebench.Compare(rep, baseline, *f.tolerance)
+		if !comparable {
+			fmt.Fprintf(os.Stderr,
+				"pandora bench: baseline %s was measured at num_cpu=%d gomaxprocs=%d, this host has %d/%d; "+
+					"wall-clock throughput is not comparable, gate skipped\n",
+				jsonPath, baseline.NumCPU, baseline.GOMAXPROCS, rep.NumCPU, rep.GOMAXPROCS)
+			return 0
+		}
+		if err != nil {
+			return c.Errorf(1, "%v", err)
+		}
+		fmt.Printf("cycles/sec: measured %.0f vs committed %.0f (>= floor at %.0f%% tolerance) — ok\n",
+			rep.TotalCyclesPerSec, baseline.TotalCyclesPerSec, *f.tolerance*100)
+		return 0
+	}
+
+	// Writing a new baseline: keep the measurement trajectory
+	// apples-to-apples. A committed baseline from a different CPU
+	// configuration is not overwritten without -force, and the
+	// pre-overhaul "before" marker carries forward.
+	if prev, err := cyclebench.ReadFile(jsonPath); err == nil {
+		if !rep.SameCPU(prev) && !*f.force {
+			return c.Errorf(1,
+				"%s was measured at num_cpu=%d gomaxprocs=%d but this run is %d/%d; "+
+					"refusing to overwrite an apples-to-oranges baseline (use -force to override)",
+				jsonPath, prev.NumCPU, prev.GOMAXPROCS, rep.NumCPU, rep.GOMAXPROCS)
+		}
+		if prev.BaselineBefore != nil {
+			rep.BaselineBefore = prev.BaselineBefore
+		} else if prev.TotalCyclesPerSec > 0 {
+			rep.BaselineBefore = &cyclebench.Baseline{
+				Date:         prev.Date,
+				Note:         "previous committed measurement",
+				CyclesPerSec: prev.TotalCyclesPerSec,
+			}
+		}
+	}
+	if rep.BaselineBefore != nil && rep.BaselineBefore.CyclesPerSec > 0 {
+		rep.SpeedupVsBaseline = float64(int64(rep.TotalCyclesPerSec/rep.BaselineBefore.CyclesPerSec*100)) / 100
+	}
+	if err := rep.WriteFile(jsonPath); err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	fmt.Printf("total: %.0f cycles/sec", rep.TotalCyclesPerSec)
+	if rep.SpeedupVsBaseline > 0 {
+		fmt.Printf(" (%.2fx vs %s baseline)", rep.SpeedupVsBaseline, rep.BaselineBefore.Date)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+	return 0
+}

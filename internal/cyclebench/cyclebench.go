@@ -1,0 +1,275 @@
+// Package cyclebench measures raw single-core simulation throughput —
+// cycles simulated per wall-clock second — over a fixed seeded workload,
+// and gates regressions against a committed baseline (BENCH_cycles.json).
+//
+// The workload is deliberately boring and reproducible: a fixed number of
+// diffcheck-generated programs (seeded, guaranteed-terminating) run
+// repeatedly on one machine per optimization mask, with invariant checking
+// and probes off — the configuration every sweep-style experiment uses.
+// The representative masks span the cost spectrum: no optimizations, the
+// store-queue-heavy silent-store path, the squash-prone value predictor,
+// and everything at once.
+//
+// Because the metric is wall-clock-derived, a measurement is only
+// comparable against a baseline taken on the same CPU configuration;
+// reports record NumCPU/GOMAXPROCS at measurement time and the gate
+// refuses apples-to-oranges comparisons (and `pandora bench -cycles`
+// refuses to overwrite a baseline from a different CPU count without
+// -force).
+package cyclebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"pandora/internal/asm"
+	"pandora/internal/cache"
+	"pandora/internal/diffcheck"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+	"pandora/internal/pipeline"
+)
+
+// Schema identifies the report format.
+const Schema = "pandora-bench-cycles/v1"
+
+// DefaultTolerance is the fractional cycles/sec regression the gate
+// allows before failing (run-to-run noise band).
+const DefaultTolerance = 0.10
+
+// Options parameterizes one measurement.
+type Options struct {
+	// Seed feeds the program generator. The default workload is Seed=1.
+	Seed int64
+	// Programs is how many generated programs form the workload (default 16).
+	Programs int
+	// Reps is how many times the whole program set runs per mask
+	// (default 12). Total simulated work per mask is Programs×Reps runs.
+	Reps int
+	// Progress, when non-nil, receives one line per mask.
+	Progress func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Programs <= 0 {
+		o.Programs = 16
+	}
+	if o.Reps <= 0 {
+		o.Reps = 12
+	}
+}
+
+// MaskResult is the throughput of one optimization mask.
+type MaskResult struct {
+	Mask         string  `json:"mask"`
+	Cycles       int64   `json:"cycles"`
+	Seconds      float64 `json:"seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// Baseline is a prior measurement kept inside the report for trajectory:
+// the pre-overhaul throughput the current numbers are compared against in
+// README/DESIGN discussions (the CI gate compares against the whole
+// committed report instead, so the trajectory keeps ratcheting).
+type Baseline struct {
+	Date         string  `json:"date"`
+	Note         string  `json:"note,omitempty"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// Report is the JSON artifact (BENCH_cycles.json).
+type Report struct {
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Seed     int64 `json:"seed"`
+	Programs int   `json:"programs"`
+	Reps     int   `json:"reps"`
+
+	Masks []MaskResult `json:"masks"`
+	// TotalCyclesPerSec is total simulated cycles over total wall time
+	// across every mask — the gate metric.
+	TotalCyclesPerSec float64 `json:"total_cycles_per_sec"`
+
+	// BaselineBefore preserves the pre-overhaul measurement this report
+	// was first compared against; SpeedupVsBaseline = Total/Baseline.
+	BaselineBefore    *Baseline `json:"baseline_before,omitempty"`
+	SpeedupVsBaseline float64   `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Masks returns the representative optimization masks the workload runs
+// under, as (name, mask) pairs.
+func Masks() []struct {
+	Name string
+	Mask diffcheck.ToggleMask
+} {
+	return []struct {
+		Name string
+		Mask diffcheck.ToggleMask
+	}{
+		{"none", 0},
+		{"ss", diffcheck.TogSilentStores},
+		{"vp", diffcheck.TogPredictor},
+		{"all", diffcheck.ToggleMask(diffcheck.AllMasks - 1)},
+	}
+}
+
+// spinKernel is the long-running half of the workload: a counted loop
+// with a load/store pair over the diffcheck scratch region, so the
+// steady-state cycle loop (issue wakeup, forwarding, store queue, cache
+// hits, silent-store checks under the ss mask, value prediction under vp)
+// dominates the measurement rather than per-Run setup. ~9 instructions ×
+// 8000 iterations ≈ 10^5 simulated cycles per run.
+const spinKernel = `
+	addi x1, x0, 8000
+	addi x2, x0, 0
+	lui  x29, 1
+loop:
+	ld   x3, 0(x29)
+	add  x2, x2, x3
+	sd   x2, 8(x29)
+	sd   x3, 16(x29)
+	addi x1, x1, -1
+	bne  x1, x0, loop
+	halt
+`
+
+// Workload builds the fixed seeded program set: n short generated
+// programs (the sweep-shaped half, dominated by Run setup and drain) plus
+// the long spin kernel (the steady-state half).
+func Workload(seed int64, n int) []isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	progs := make([]isa.Program, 0, n+1)
+	for i := 0; i < n; i++ {
+		progs = append(progs, diffcheck.Generate(rng))
+	}
+	progs = append(progs, asm.MustAssemble(spinKernel))
+	return progs
+}
+
+// config builds the sweep-shaped pipeline configuration for one mask:
+// diffcheck's per-mask optimization wiring, but with the differential
+// harness's invariant checking off — this is the throughput path.
+func config(mask diffcheck.ToggleMask) pipeline.Config {
+	c := diffcheck.PipeConfig(mask)
+	c.CheckInvariants = false
+	return c
+}
+
+// Measure runs the workload and returns a fresh report (no baseline
+// attached; the caller carries one forward from the committed file).
+func Measure(opts Options) (Report, error) {
+	opts.defaults()
+	progs := Workload(opts.Seed, opts.Programs)
+
+	rep := Report{
+		Schema:     Schema,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       opts.Seed,
+		Programs:   opts.Programs,
+		Reps:       opts.Reps,
+	}
+
+	var totalCycles int64
+	var totalSecs float64
+	for _, mk := range Masks() {
+		memory := mem.New()
+		diffcheck.InitMemory(memory)
+		m, err := pipeline.New(config(mk.Mask), memory, cache.MustNewHierarchy(cache.DefaultHierConfig()))
+		if err != nil {
+			return rep, fmt.Errorf("cyclebench: mask %s: %w", mk.Name, err)
+		}
+		var cycles int64
+		start := time.Now()
+		for r := 0; r < opts.Reps; r++ {
+			for _, p := range progs {
+				res, err := m.Run(p)
+				if err != nil {
+					return rep, fmt.Errorf("cyclebench: mask %s: %w", mk.Name, err)
+				}
+				cycles += res.Cycles
+			}
+		}
+		secs := time.Since(start).Seconds()
+		mr := MaskResult{Mask: mk.Name, Cycles: cycles, Seconds: round(secs)}
+		if secs > 0 {
+			mr.CyclesPerSec = round(float64(cycles) / secs)
+		}
+		rep.Masks = append(rep.Masks, mr)
+		totalCycles += cycles
+		totalSecs += secs
+		if opts.Progress != nil {
+			opts.Progress("bench -cycles: mask %-4s %12d cycles in %6.2fs = %11.0f cycles/sec",
+				mk.Name, cycles, secs, mr.CyclesPerSec)
+		}
+	}
+	if totalSecs > 0 {
+		rep.TotalCyclesPerSec = round(float64(totalCycles) / totalSecs)
+	}
+	return rep, nil
+}
+
+// round trims float noise so the JSON artifact diffs cleanly.
+func round(v float64) float64 { return float64(int64(v*100)) / 100 }
+
+// ReadFile loads a committed report.
+func ReadFile(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("cyclebench: %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return rep, fmt.Errorf("cyclebench: %s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// SameCPU reports whether two reports were measured under the same CPU
+// configuration (the precondition for comparing wall-clock throughput).
+func (r Report) SameCPU(o Report) bool {
+	return r.NumCPU == o.NumCPU && r.GOMAXPROCS == o.GOMAXPROCS
+}
+
+// Compare gates current against baseline: an error describes a
+// regression beyond tolerance (current more than tolerance slower than
+// the committed baseline); ok=false with a nil error means the reports
+// are not comparable (different CPU configuration) and the gate must not
+// conclude anything.
+func Compare(current, baseline Report, tolerance float64) (ok bool, err error) {
+	if !current.SameCPU(baseline) {
+		return false, nil
+	}
+	floor := baseline.TotalCyclesPerSec * (1 - tolerance)
+	if current.TotalCyclesPerSec < floor {
+		return true, fmt.Errorf(
+			"cycles/sec regression: measured %.0f, committed baseline %.0f (floor %.0f at %.0f%% tolerance)",
+			current.TotalCyclesPerSec, baseline.TotalCyclesPerSec, floor, tolerance*100)
+	}
+	return true, nil
+}

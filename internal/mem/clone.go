@@ -16,6 +16,14 @@ func (m *Memory) Clone() *Memory {
 // or restore a canonical image between sweep attempts (attack scenario
 // pools): only the first clone allocates; steady-state re-clones just
 // rewrite the page table. Returns c.
+//
+// Pages c already owns privately (its own earlier copy-on-write copies —
+// by construction referenced by nobody else) are refreshed in place with
+// m's current bytes instead of being re-shared. A page both sides write
+// every run therefore settles into one private copy per side after the
+// first run, and neither side's writes ever trigger another
+// copy-on-write allocation — re-sharing such a page would force both
+// memories to re-copy it every single run.
 func (m *Memory) CloneInto(c *Memory) *Memory {
 	if m.pages == nil {
 		m.pages = make(map[uint64]*[pageSize]byte)
@@ -25,16 +33,28 @@ func (m *Memory) CloneInto(c *Memory) *Memory {
 	}
 	if c.pages == nil {
 		c.pages = make(map[uint64]*[pageSize]byte, len(m.pages))
-	} else {
-		clear(c.pages)
 	}
 	if c.shared == nil {
 		c.shared = make(map[uint64]bool, len(m.pages))
-	} else {
-		clear(c.shared)
 	}
 	c.regions = append(c.regions[:0], m.regions...)
+	for pn, cp := range c.pages {
+		mp, ok := m.pages[pn]
+		if !ok {
+			// c created this page itself and m has no counterpart; the
+			// snapshot must not contain it.
+			delete(c.pages, pn)
+			delete(c.shared, pn)
+			continue
+		}
+		if !c.shared[pn] && cp != mp {
+			*cp = *mp // refresh c's private copy in place
+		}
+	}
 	for pn, p := range m.pages {
+		if cp, ok := c.pages[pn]; ok && !c.shared[pn] && cp != p {
+			continue // refreshed in place above; stays private
+		}
 		c.pages[pn] = p
 		m.shared[pn] = true
 		c.shared[pn] = true

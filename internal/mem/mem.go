@@ -136,6 +136,19 @@ func (m *Memory) StoreByte(addr uint64, b byte) {
 // machine has no alignment traps).
 func (m *Memory) Read(addr uint64, width int) uint64 {
 	checkWidth(width)
+	// Fast path: the access lies within one page — a single map lookup
+	// instead of one per byte.
+	if off := addr & pageMask; off+uint64(width) <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := 0; i < width; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	var v uint64
 	for i := 0; i < width; i++ {
 		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
@@ -146,6 +159,13 @@ func (m *Memory) Read(addr uint64, width int) uint64 {
 // Write stores the low width bytes of v at addr, little-endian.
 func (m *Memory) Write(addr uint64, width int, v uint64) {
 	checkWidth(width)
+	if off := addr & pageMask; off+uint64(width) <= pageSize {
+		p := m.page(addr, true)
+		for i := 0; i < width; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < width; i++ {
 		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
 	}

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pandora/internal/asm"
+	"pandora/internal/cache"
+	"pandora/internal/isa"
+	"pandora/internal/mem"
+	"pandora/internal/obs"
+)
+
+// allocKernel exercises the hot structures the pools and scratch buffers
+// serve — ALU chains, mul, loads, stores (SQ entries, forwarding), a
+// fence, and a taken backward branch — long enough that steady-state
+// behavior dominates.
+const allocKernel = `
+	addi x1, x0, 300
+	addi x2, x0, 0
+	lui  x29, 1
+loop:
+	ld   x3, 0(x29)
+	add  x2, x2, x3
+	mul  x4, x2, x1
+	sd   x2, 8(x29)
+	fence
+	sd   x4, 16(x29)
+	addi x1, x1, -1
+	bne  x1, x0, loop
+	halt
+`
+
+// countProbe is the minimal enabled probe: emission must not allocate, so
+// it only counts.
+type countProbe struct{ n uint64 }
+
+func (p *countProbe) Emit(obs.Event) { p.n++ }
+
+func steadyStateAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	m, err := New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	prog := asm.MustAssemble(allocKernel)
+	// Warm every pool, scratch buffer, memory page and cache structure:
+	// the claim is zero STEADY-STATE allocations, not a zero-alloc first
+	// run.
+	var runErr error
+	for i := 0; i < 3; i++ {
+		if _, runErr = m.Run(prog); runErr != nil {
+			t.Fatalf("warmup Run: %v", runErr)
+		}
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := m.Run(prog); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	return avg
+}
+
+// TestSteadyStateAllocsNilProbe pins the core claim of the pooled cycle
+// loop: with no probe attached, a whole steady-state Run — thousands of
+// cycles of fetch, rename, issue, forwarding, store dequeue and retire —
+// performs zero heap allocations.
+func TestSteadyStateAllocsNilProbe(t *testing.T) {
+	cfg := DefaultConfig()
+	if avg := steadyStateAllocs(t, cfg); avg != 0 {
+		t.Errorf("nil-probe steady-state Run allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestSteadyStateAllocsEnabledProbe pins the same property with a probe
+// attached: every emission site builds the obs.Event by value with static
+// Detail strings, so observation itself is allocation-free.
+func TestSteadyStateAllocsEnabledProbe(t *testing.T) {
+	cfg := DefaultConfig()
+	p := &countProbe{}
+	cfg.Probe = p
+	if avg := steadyStateAllocs(t, cfg); avg != 0 {
+		t.Errorf("enabled-probe steady-state Run allocates %.1f times, want 0", avg)
+	}
+	if p.n == 0 {
+		t.Fatal("probe saw no events — the enabled-probe path was not exercised")
+	}
+}
+
+// TestSteadyStateAllocsBitsetVsLinear runs the alloc check under the
+// reference linear scheduler too: the scratch-buffer reuse must hold on
+// both candidate-gathering paths.
+func TestSteadyStateAllocsLinearScheduler(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinearScheduler = true
+	if avg := steadyStateAllocs(t, cfg); avg != 0 {
+		t.Errorf("linear-scheduler steady-state Run allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestPoolReclaimAcrossRuns checks that repeated Runs do not leak pooled
+// µops: the free lists reach a fixed point bounded by the in-flight
+// window, not by the dynamic instruction count.
+func TestPoolReclaimAcrossRuns(t *testing.T) {
+	m := newTestMachine(t, DefaultConfig())
+	prog := asm.MustAssemble(allocKernel)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(prog); err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+	}
+	after5 := len(m.uopPool)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(prog); err != nil {
+			t.Fatalf("Run %d: %v", i, err)
+		}
+	}
+	if len(m.uopPool) != after5 {
+		t.Errorf("µop pool grew across identical runs: %d -> %d", after5, len(m.uopPool))
+	}
+	bound := 4 * m.cfg.ROBSize
+	if after5 > bound {
+		t.Errorf("µop pool holds %d entries, want <= %d (in-flight window, not program length)", after5, bound)
+	}
+}
+
+// TestUopDoubleFreeDetected proves the pool's double-free guard fails the
+// machine loudly instead of corrupting an unrelated µop.
+func TestUopDoubleFreeDetected(t *testing.T) {
+	m := newTestMachine(t, DefaultConfig())
+	u := m.allocUop()
+	m.freeUop(u)
+	m.freeUop(u)
+	if m.err == nil {
+		t.Fatal("double free not detected")
+	}
+}
+
+// TestReclaimAfterAbort checks reclaimInFlight: a run aborted mid-flight
+// (MaxCycles) leaves µops in the ROB, SQ and fence queue; the next Run
+// must recycle them all and still be correct.
+func TestReclaimAfterAbort(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 50 // aborts mid-loop
+	m := newTestMachine(t, cfg)
+	prog := asm.MustAssemble(allocKernel)
+	if _, err := m.Run(prog); err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+	m.cfg.MaxCycles = DefaultConfig().MaxCycles
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatalf("Run after abort: %v", err)
+	}
+	if res.Retired == 0 {
+		t.Fatal("no retirement after abort recovery")
+	}
+	if got := m.Reg(isa.Reg(1)); got != 0 {
+		t.Errorf("x1 = %d after loop, want 0", got)
+	}
+}

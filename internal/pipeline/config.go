@@ -138,6 +138,15 @@ type Config struct {
 	// (internal/diffcheck), not for production sweeps.
 	CheckInvariants bool
 
+	// LinearScheduler selects the reference candidate-gathering path for
+	// issue and complete: a full program-order ROB scan testing each
+	// occupant's stage, exactly the walk the dispW/execW bitset iteration
+	// replaced. Timing, stats, events and leak reports are identical by
+	// construction (the equivalence tests in internal/diffcheck diff the
+	// two paths cycle-for-cycle); the linear path exists as the oracle for
+	// those tests, not for production use.
+	LinearScheduler bool
+
 	// Optimization classes (nil/zero disables each).
 	SilentStores *SilentStoreConfig
 	Simplifier   *uopt.Simplifier

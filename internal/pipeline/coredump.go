@@ -239,7 +239,7 @@ func (m *Machine) waitReason(u *uop) string {
 			return fmt.Sprintf("fence waiting on store queue: %d older / %d younger store(s) occupy slots (head store #%d pc=%d)",
 				older, younger, m.sq[0].u.seq, m.sq[0].u.pc)
 		}
-		if len(m.rob) > 0 && m.rob[0] != u {
+		if m.robN > 0 && m.robBuf[m.robHead] != u {
 			return "fence waiting to reach ROB head"
 		}
 		return "fence ready to issue"
@@ -253,7 +253,8 @@ func (m *Machine) waitReason(u *uop) string {
 	}
 	// An uncompleted older fence blocks every memory operation.
 	if u.class == isa.ClassLoad || u.class == isa.ClassStore {
-		for _, v := range m.rob {
+		for i := 0; i < m.robN; i++ {
+			v := m.robAt(i)
 			if v.seq >= u.seq {
 				break
 			}
@@ -273,7 +274,7 @@ func (m *Machine) coreDump(reason string) *CoreDump {
 	d := &CoreDump{
 		Reason:           reason,
 		Cycle:            m.cycle,
-		ROB:              Occupancy{Used: len(m.rob), Size: m.cfg.ROBSize},
+		ROB:              Occupancy{Used: m.robN, Size: m.cfg.ROBSize},
 		IQ:               Occupancy{Used: m.iqCount, Size: m.cfg.IQSize},
 		LQ:               Occupancy{Used: m.lqCount, Size: m.cfg.LQSize},
 		SQ:               Occupancy{Used: len(m.sq), Size: m.cfg.SQSize},
@@ -285,14 +286,11 @@ func (m *Machine) coreDump(reason string) *CoreDump {
 	if wd := m.cfg.Watchdog; wd != nil {
 		d.WatchdogWindow = wd.window()
 	}
-	if len(m.rob) > 0 {
-		head := m.uopDump(m.rob[0], true)
+	if m.robN > 0 {
+		head := m.uopDump(m.robBuf[m.robHead], true)
 		d.Oldest = &head
-		for i, u := range m.rob {
-			if i >= DefaultRetireHistory {
-				break
-			}
-			d.ROBSample = append(d.ROBSample, m.uopDump(u, true))
+		for i := 0; i < m.robN && i < DefaultRetireHistory; i++ {
+			d.ROBSample = append(d.ROBSample, m.uopDump(m.robAt(i), true))
 		}
 	}
 	for _, e := range m.sq {

@@ -7,7 +7,9 @@ import (
 
 // fetchAndDispatch brings up to FetchWidth µops into the backend per
 // cycle: replayed µops first (after a value-misprediction squash), then
-// fresh instructions from the control-flow oracle. Direction prediction is
+// fresh instructions from the control-flow oracle. Decode comes from the
+// per-PC template cache built at Run start; fetch only stamps the
+// per-dynamic-instance facts into a pooled µop. Direction prediction is
 // static BTFN; a mispredicted branch or an indirect jump blocks fetch
 // until it resolves, plus the redirect penalty.
 func (m *Machine) fetchAndDispatch() {
@@ -18,6 +20,7 @@ func (m *Machine) fetchAndDispatch() {
 				m.fetchResumeC = resume
 			}
 			m.fetchBlocked = nil
+			m.unref(u)
 		} else {
 			return
 		}
@@ -41,9 +44,9 @@ func (m *Machine) fetchAndDispatch() {
 				m.fail("fetch pc %d out of program [0,%d)", pc, len(m.prog))
 				return
 			}
-			// Peek the class for resource checks before committing to the
-			// oracle step.
-			if !m.resourcesFor(m.prog[pc]) {
+			// Check resources against the decoded shape before committing
+			// to the oracle step.
+			if !m.resourcesFor(&m.tmpl[pc]) {
 				return
 			}
 			u = m.newUopFromOracle()
@@ -52,15 +55,17 @@ func (m *Machine) fetchAndDispatch() {
 			}
 		}
 		if fromReplay {
-			if !m.resourcesFor(u.inst) {
+			if !m.resourcesFor(u.t) {
 				return
 			}
+			m.replay[0] = nil
 			m.replay = m.replay[1:]
 		}
 
 		m.dispatch(u)
 		if u.mispredicted {
 			m.fetchBlocked = u
+			u.refs++
 			return
 		}
 		if u.class == isa.ClassHalt {
@@ -72,25 +77,24 @@ func (m *Machine) fetchAndDispatch() {
 
 // resourcesFor reports whether the backend can accept an instruction of
 // this shape right now, counting stall causes.
-func (m *Machine) resourcesFor(in isa.Inst) bool {
-	if len(m.rob) >= m.cfg.ROBSize {
+func (m *Machine) resourcesFor(t *uopTemplate) bool {
+	if m.robN >= m.cfg.ROBSize {
 		m.stats.RenameStallROB++
 		return false
 	}
-	cl := isa.ClassOf(in.Op)
-	if cl != isa.ClassHalt && m.iqCount >= m.cfg.IQSize {
+	if t.class != isa.ClassHalt && m.iqCount >= m.cfg.IQSize {
 		m.stats.RenameStallIQ++
 		return false
 	}
-	if cl == isa.ClassLoad && m.lqCount >= m.cfg.LQSize {
+	if t.class == isa.ClassLoad && m.lqCount >= m.cfg.LQSize {
 		m.stats.RenameStallLQ++
 		return false
 	}
-	if cl == isa.ClassStore && len(m.sq) >= m.cfg.SQSize {
+	if t.class == isa.ClassStore && len(m.sq) >= m.cfg.SQSize {
 		m.stats.RenameStallSQ++
 		return false
 	}
-	if in.Writes() != isa.X0 && m.prfFree <= 0 {
+	if t.writesReg && m.prfFree <= 0 {
 		m.stats.RenameStallPRF++
 		return false
 	}
@@ -98,24 +102,23 @@ func (m *Machine) resourcesFor(in isa.Inst) bool {
 }
 
 // newUopFromOracle steps the functional oracle one instruction and wraps
-// the outcome in a µop carrying the correct-path facts.
+// the outcome in a pooled µop carrying the correct-path facts.
 func (m *Machine) newUopFromOracle() *uop {
-	pc := m.oracle.PC
-	in := m.prog[pc]
-	cl := isa.ClassOf(in.Op)
+	t := &m.tmpl[m.oracle.PC]
+	u := m.allocUop()
+	u.t = t
+	u.pc = t.pc
+	u.inst = t.inst
+	u.class = t.class
+	u.memWidth = t.memWidth
 
-	u := &uop{
-		pc:    pc,
-		inst:  in,
-		class: cl,
-	}
-
-	if cl == isa.ClassBranch {
-		u.oracleTaken = isa.Taken(in.Op, m.oracle.Regs[in.Rs1], m.oracle.Regs[in.Rs2])
+	if t.class == isa.ClassBranch {
+		u.oracleTaken = isa.Taken(t.inst.Op, m.oracle.Regs[t.inst.Rs1], m.oracle.Regs[t.inst.Rs2])
 	}
 
 	halted, err := m.oracle.Step(m.prog)
 	if err != nil {
+		m.freeUop(u)
 		m.fail("oracle: %v", err)
 		return nil
 	}
@@ -123,19 +126,20 @@ func (m *Machine) newUopFromOracle() *uop {
 		m.oracleHalted = true
 	}
 	u.nextPC = m.oracle.PC
-	if w := in.Writes(); w != isa.X0 {
-		u.oracleResult = m.oracle.Regs[w]
+	if t.writesReg {
+		u.oracleResult = m.oracle.Regs[t.dest]
 	}
 
-	switch cl {
+	switch t.class {
 	case isa.ClassBranch:
-		// Static BTFN: backward targets predicted taken.
-		u.predictedTaken = in.Imm <= pc
+		// Static BTFN: backward targets predicted taken (decoded once into
+		// the template).
+		u.predictedTaken = t.predictedTaken
 		u.mispredicted = u.predictedTaken != u.oracleTaken
 	case isa.ClassJump:
 		// Direct jumps (JAL) are predicted perfectly; indirect jumps
 		// (JALR) always redirect — the toy frontend has no BTB.
-		u.mispredicted = in.Op == isa.JALR
+		u.mispredicted = t.alwaysRedirect
 	}
 	return u
 }
@@ -160,28 +164,36 @@ func (m *Machine) dispatch(u *uop) {
 
 	// Capture producers for the source registers before installing this
 	// µop as a producer itself (self-dependencies read the older writer).
-	r1, r2 := u.inst.Uses()
-	if r1 != isa.X0 {
-		u.prod[0] = m.producer[r1]
+	t := u.t
+	if t.src1 != isa.X0 {
+		if p := m.producer[t.src1]; p != nil {
+			u.prod[0] = p
+			p.refs++
+		}
 	}
-	if r2 != isa.X0 {
-		u.prod[1] = m.producer[r2]
+	if t.src2 != isa.X0 {
+		if p := m.producer[t.src2]; p != nil {
+			u.prod[1] = p
+			p.refs++
+		}
 	}
 
-	if u.writesReg() {
+	if t.writesReg {
 		m.prfFree--
 		u.renamed = true
-		m.producer[u.inst.Writes()] = u
+		m.producer[t.dest] = u
 	}
 
-	m.rob = append(m.rob, u)
+	m.robPush(u)
 	switch u.class {
 	case isa.ClassHalt:
 		// HALT needs no execution resources; it is complete on arrival
 		// and retires when oldest.
 		u.stage = stExecuting
 		u.doneC = m.cycle
+		m.markExecuting(u)
 	case isa.ClassLoad:
+		m.markDispatched(u)
 		m.iqCount++
 		m.lqCount++
 		// µ-op fusion: an ADDI dispatched immediately before this load,
@@ -201,10 +213,20 @@ func (m *Machine) dispatch(u *uop) {
 			}
 		}
 	case isa.ClassStore:
+		m.markDispatched(u)
 		m.iqCount++
-		m.sq = append(m.sq, &sqEntry{u: u})
+		m.sq = append(m.sq, m.allocSQ(u))
+	case isa.ClassFence:
+		m.markDispatched(u)
+		m.iqCount++
+		// The fence queue is the issue stage's O(1) stand-in for the old
+		// walk-order fencePending flag: memory ops are blocked exactly
+		// while an older, non-stuck fence is dispatched or executing.
+		m.fenceQ = append(m.fenceQ, u)
+		u.refs++
 	default:
+		m.markDispatched(u)
 		m.iqCount++
 	}
-	m.event(EvDispatch, u, u.inst.String())
+	m.event(EvDispatch, u, t.str)
 }

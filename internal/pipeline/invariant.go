@@ -1,6 +1,10 @@
 package pipeline
 
-import "pandora/internal/isa"
+import (
+	"math/bits"
+
+	"pandora/internal/isa"
+)
 
 // This file holds the per-cycle structural self-checks enabled by
 // Config.CheckInvariants. Every violation is reported through m.fail, so
@@ -16,21 +20,55 @@ func (m *Machine) checkInvariants() {
 	}
 
 	// ROB: strict program order, head younger than everything retired,
-	// no retired µop lingering (retire removes entries as it marks them).
-	for i, u := range m.rob {
-		if i > 0 && u.seq <= m.rob[i-1].seq {
+	// no retired µop lingering (retire removes entries as it marks them),
+	// and each occupant's scheduler-mask bits mirroring its stage and slot
+	// exactly (the bitset path's candidate sets equal the linear scan's).
+	prev := uint64(0)
+	for i := 0; i < m.robN; i++ {
+		u := m.robAt(i)
+		if i > 0 && u.seq <= prev {
 			m.fail("invariant: ROB out of order: µop #%d at slot %d follows #%d",
-				u.seq, i, m.rob[i-1].seq)
+				u.seq, i, prev)
 			return
 		}
+		prev = u.seq
 		if u.stage == stRetired {
 			m.fail("invariant: retired µop #%d (pc=%d) still in ROB slot %d", u.seq, u.pc, i)
 			return
 		}
+		slot := (m.robHead + i) & (len(m.robBuf) - 1)
+		if u.slot != slot {
+			m.fail("invariant: µop #%d records slot %d but occupies slot %d", u.seq, u.slot, slot)
+			return
+		}
+		w, b := slot>>6, uint64(1)<<(uint(slot)&63)
+		if got, want := m.dispW[w]&b != 0, u.stage == stDispatched; got != want {
+			m.fail("invariant: µop #%d (stage %d) dispW bit=%v at slot %d", u.seq, u.stage, got, slot)
+			return
+		}
+		if got, want := m.execW[w]&b != 0, u.stage == stExecuting; got != want {
+			m.fail("invariant: µop #%d (stage %d) execW bit=%v at slot %d", u.seq, u.stage, got, slot)
+			return
+		}
 	}
-	if len(m.rob) > 0 && m.rob[0].seq <= m.lastRetiredSeq {
+	if m.robN > 0 && m.robBuf[m.robHead].seq <= m.lastRetiredSeq {
 		m.fail("invariant: ROB head #%d not younger than last retired #%d",
-			m.rob[0].seq, m.lastRetiredSeq)
+			m.robBuf[m.robHead].seq, m.lastRetiredSeq)
+		return
+	}
+	// No mask bit may survive outside the occupied window.
+	pop := 0
+	for w := range m.dispW {
+		pop += bits.OnesCount64(m.dispW[w]) + bits.OnesCount64(m.execW[w])
+	}
+	inWindow := 0
+	for i := 0; i < m.robN; i++ {
+		if st := m.robAt(i).stage; st == stDispatched || st == stExecuting {
+			inWindow++
+		}
+	}
+	if pop != inWindow {
+		m.fail("invariant: %d scheduler-mask bits set for %d dispatched/executing µops", pop, inWindow)
 		return
 	}
 

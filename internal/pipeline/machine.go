@@ -34,10 +34,39 @@ type Machine struct {
 	// for the in-order-retire invariant check.
 	lastRetiredSeq uint64
 
-	rob     []*uop
+	// The ROB is a power-of-two ring (see ring.go): robBuf[robHead] is the
+	// oldest in-flight µop, robN the occupancy. dispW/execW are the
+	// per-slot scheduler bitsets issue and complete iterate instead of
+	// walking the whole buffer.
+	robBuf  []*uop
+	robHead int
+	robN    int
+	dispW   []uint64
+	execW   []uint64
+
 	sq      []*sqEntry
 	lqCount int
 	iqCount int
+
+	// fenceQ holds dispatched-or-executing FENCEs in program order — the
+	// O(1) stand-in for the old walk-order fencePending scan (entries are
+	// refcounted, drained at issue, truncated at squash).
+	fenceQ []*uop
+
+	// tmpl is the per-PC decode cache, rebuilt by prepareProgram at the
+	// top of every Run (see template.go).
+	tmpl []uopTemplate
+
+	// Free lists and per-cycle scratch buffers (see pool.go). All reuse
+	// their backing arrays so the steady-state cycle loop allocates
+	// nothing.
+	uopPool         []*uop
+	sqPool          []*sqEntry
+	issueScratch    []*uop
+	completeScratch []*uop
+	squashScratch   []*uop
+	aluScratch      []aluSlot
+	replaySwap      []*uop
 
 	producer       [isa.NumRegs]*uop
 	committed      [isa.NumRegs]uint64
@@ -188,6 +217,7 @@ func New(cfg Config, memory *mem.Memory, hier *cache.Hierarchy) (*Machine, error
 		taintedMem: make(map[uint64]bool),
 	}
 	m.registerMetrics()
+	m.initROB()
 	if cfg.Probe != nil {
 		// One probe observes everything attached to this core: both cache
 		// levels and the prefetch path (stamped with the core's clock),
@@ -261,11 +291,9 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 	m.oracleHalted = false
 	m.haltFetched = false
 	m.haltRetired = false
-	m.rob = m.rob[:0]
-	m.sq = m.sq[:0]
-	m.replay = m.replay[:0]
+	m.reclaimInFlight()
+	m.prepareProgram(prog)
 	m.lqCount, m.iqCount = 0, 0
-	m.fetchBlocked = nil
 	m.fetchResumeC = 0
 	m.producer = [isa.NumRegs]*uop{}
 	// Architectural registers reset to zero between runs, with PRF
@@ -297,17 +325,6 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 	// steady-state sweeps allocate nothing for this.
 	m.reg.SnapshotInto(&m.runStart)
 	m.emit(obs.KindRunStart, obs.TrackRetire, nil, 0, "")
-	// Error paths return the partial Result alongside the error: cycle
-	// count and stats are exactly what a post-mortem needs, and discarding
-	// them on MaxCycles was hiding how far a livelocked run got.
-	partial := func() Result {
-		m.stats.Cycles += m.cycle - startCycle
-		m.reg.SnapshotInto(&m.runEnd)
-		m.runEnd.DeltaInto(m.runStart, &m.runDiff)
-		elapsed := m.runDiff.GetInt64("pipeline.cycles")
-		m.emit(obs.KindRunEnd, obs.TrackRetire, nil, elapsed, "")
-		return Result{Cycles: elapsed, Retired: m.runDiff.Get("pipeline.retired"), Stats: m.stats}
-	}
 	wd := m.cfg.Watchdog
 	wdMark := m.stats.Retired
 	var wdNext int64
@@ -329,7 +346,7 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 			m.checkInvariants()
 		}
 		if m.err != nil {
-			return partial(), m.supervised(ReasonPipelineError, m.err)
+			return m.finishRun(startCycle), m.supervised(ReasonPipelineError, m.err)
 		}
 		if m.haltRetired && len(m.sq) == 0 {
 			break
@@ -339,15 +356,30 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 				wdMark = m.stats.Retired
 				wdNext = m.cycle + wd.window()
 			} else if m.cycle >= wdNext {
-				return partial(), &StallError{Reason: ReasonWatchdog, Dump: m.coreDump(ReasonWatchdog)}
+				return m.finishRun(startCycle), &StallError{Reason: ReasonWatchdog, Dump: m.coreDump(ReasonWatchdog)}
 			}
 		}
 		if m.cycle-startCycle > m.cfg.MaxCycles {
 			err := fmt.Errorf("pipeline: exceeded MaxCycles=%d (livelock?)", m.cfg.MaxCycles)
-			return partial(), m.supervised(ReasonMaxCycles, err)
+			return m.finishRun(startCycle), m.supervised(ReasonMaxCycles, err)
 		}
 	}
-	return partial(), nil
+	return m.finishRun(startCycle), nil
+}
+
+// finishRun closes out one Run: fold the elapsed cycles into the stats,
+// diff the counter registry, and build the Result. Error paths return the
+// partial Result alongside the error: cycle count and stats are exactly
+// what a post-mortem needs, and discarding them on MaxCycles was hiding
+// how far a livelocked run got. (A method, not a closure in Run — the
+// closure captured the receiver and allocated once per Run.)
+func (m *Machine) finishRun(startCycle int64) Result {
+	m.stats.Cycles += m.cycle - startCycle
+	m.reg.SnapshotInto(&m.runEnd)
+	m.runEnd.DeltaInto(m.runStart, &m.runDiff)
+	elapsed := m.runDiff.GetInt64("pipeline.cycles")
+	m.emit(obs.KindRunEnd, obs.TrackRetire, nil, elapsed, "")
+	return Result{Cycles: elapsed, Retired: m.runDiff.Get("pipeline.retired"), Stats: m.stats}
 }
 
 // supervised wraps an error into a StallError with a CoreDump when the
@@ -407,14 +439,24 @@ func (m *Machine) readWithForward(addr uint64, width int, seq uint64) (val uint6
 	var covered [8]bool
 	var byteLabels [8]taint.LabelSet
 	st := m.cfg.Taint
+	// One page-granular memory read instead of a per-byte lookup loop;
+	// the taint side channels stay byte-granular but are skipped entirely
+	// when no taint is in play.
+	mv := m.mem.Read(addr, width)
 	for i := 0; i < width; i++ {
-		a := addr + uint64(i)
-		b[i] = m.mem.LoadByte(a)
-		if len(m.taintedMem) > 0 && m.taintedMem[a] {
-			tainted = true
+		b[i] = byte(mv >> (8 * i))
+	}
+	if len(m.taintedMem) > 0 {
+		for i := 0; i < width; i++ {
+			if m.taintedMem[addr+uint64(i)] {
+				tainted = true
+				break
+			}
 		}
-		if st != nil {
-			byteLabels[i] = st.Mem.Get(a)
+	}
+	if st != nil {
+		for i := 0; i < width; i++ {
+			byteLabels[i] = st.Mem.Get(addr + uint64(i))
 		}
 	}
 	for _, e := range m.sq {

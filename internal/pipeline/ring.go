@@ -1,0 +1,151 @@
+package pipeline
+
+import "math/bits"
+
+// The ROB is a power-of-two ring of µop pointers plus two multi-word
+// scheduler bitsets indexed by physical slot: dispW (stage ==
+// stDispatched, the issue-wakeup candidates) and execW (stage ==
+// stExecuting, the writeback candidates). The per-cycle stages used to
+// range over every ROB entry; now issue and complete iterate only the set
+// bits of their mask, in program order, via bits.TrailingZeros64 — a
+// mostly-drained 64-entry ROB costs a couple of word tests instead of 64
+// pointer chases. Config.LinearScheduler keeps the old full-scan candidate
+// gathering alive as the reference implementation the equivalence tests
+// diff against.
+//
+// Invariants (checked per cycle under Config.CheckInvariants): a slot's
+// dispW/execW bits mirror its occupant's stage exactly, and no bit is set
+// outside the occupied window.
+
+// initROB sizes the ring and masks for the configured ROB capacity.
+func (m *Machine) initROB() {
+	size := 1
+	for size < m.cfg.ROBSize {
+		size <<= 1
+	}
+	m.robBuf = make([]*uop, size)
+	words := (size + 63) / 64
+	m.dispW = make([]uint64, words)
+	m.execW = make([]uint64, words)
+}
+
+// robLen returns the ROB occupancy.
+func (m *Machine) robLen() int { return m.robN }
+
+// robAt returns the i-th ROB entry in program order (0 = oldest).
+func (m *Machine) robAt(i int) *uop {
+	return m.robBuf[(m.robHead+i)&(len(m.robBuf)-1)]
+}
+
+// robPush appends u at the ROB tail and records its physical slot.
+func (m *Machine) robPush(u *uop) {
+	slot := (m.robHead + m.robN) & (len(m.robBuf) - 1)
+	m.robBuf[slot] = u
+	u.slot = slot
+	m.robN++
+}
+
+// robPopHead removes the oldest entry (retire).
+func (m *Machine) robPopHead() {
+	slot := m.robHead
+	m.robBuf[slot] = nil
+	m.clearSched(slot)
+	m.robHead = (slot + 1) & (len(m.robBuf) - 1)
+	m.robN--
+}
+
+// robPopTail removes and returns the youngest entry (squash).
+func (m *Machine) robPopTail() *uop {
+	m.robN--
+	slot := (m.robHead + m.robN) & (len(m.robBuf) - 1)
+	u := m.robBuf[slot]
+	m.robBuf[slot] = nil
+	m.clearSched(slot)
+	return u
+}
+
+// markDispatched sets u's issue-wakeup bit (dispatch).
+func (m *Machine) markDispatched(u *uop) {
+	m.dispW[u.slot>>6] |= 1 << (uint(u.slot) & 63)
+}
+
+// markExecuting sets u's writeback bit without passing through dispW
+// (HALT enters the ROB already "executing").
+func (m *Machine) markExecuting(u *uop) {
+	m.execW[u.slot>>6] |= 1 << (uint(u.slot) & 63)
+}
+
+// schedToExec moves u's bit from the wakeup mask to the writeback mask
+// (issue).
+func (m *Machine) schedToExec(u *uop) {
+	w, b := u.slot>>6, uint(u.slot)&63
+	m.dispW[w] &^= 1 << b
+	m.execW[w] |= 1 << b
+}
+
+// execDone clears u's writeback bit (completion).
+func (m *Machine) execDone(u *uop) {
+	m.execW[u.slot>>6] &^= 1 << (uint(u.slot) & 63)
+}
+
+// clearSched clears both mask bits for a vacated slot.
+func (m *Machine) clearSched(slot int) {
+	w, b := slot>>6, uint(slot)&63
+	m.dispW[w] &^= 1 << b
+	m.execW[w] &^= 1 << b
+}
+
+// gatherMasked appends, in program order, every ROB occupant whose slot
+// bit is set in w. The occupied window [head, head+n) is at most two
+// contiguous slot ranges (one wrap).
+func (m *Machine) gatherMasked(w []uint64, out []*uop) []*uop {
+	if m.robN == 0 {
+		return out
+	}
+	size := len(m.robBuf)
+	end := m.robHead + m.robN
+	if end <= size {
+		return m.gatherRange(w, m.robHead, end, out)
+	}
+	out = m.gatherRange(w, m.robHead, size, out)
+	return m.gatherRange(w, 0, end-size, out)
+}
+
+// gatherRange scans slots [lo, hi) word by word, trimming the first and
+// last word to the range, and appends the occupants of set bits in
+// ascending slot order.
+func (m *Machine) gatherRange(w []uint64, lo, hi int, out []*uop) []*uop {
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		word := w[wi]
+		if word == 0 {
+			continue
+		}
+		base := wi << 6
+		if base < lo {
+			word &= ^uint64(0) << uint(lo-base)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> uint(base+64-hi)
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			out = append(out, m.robBuf[base+b])
+		}
+	}
+	return out
+}
+
+// gatherStage is the reference candidate gatherer (Config.LinearScheduler):
+// a full program-order scan testing every occupant's stage, exactly the
+// walk the bitset path replaced. The downstream issue/complete bodies are
+// shared, so diffing the two schedulers isolates the mask bookkeeping.
+func (m *Machine) gatherStage(stage uopStage, out []*uop) []*uop {
+	for i := 0; i < m.robN; i++ {
+		u := m.robAt(i)
+		if u.stage == stage {
+			out = append(out, u)
+		}
+	}
+	return out
+}

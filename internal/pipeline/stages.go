@@ -2,11 +2,10 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 
 	"pandora/internal/faults"
-	"pandora/internal/obs"
 	"pandora/internal/isa"
+	"pandora/internal/obs"
 	"pandora/internal/taint"
 	"pandora/internal/uopt"
 )
@@ -14,8 +13,8 @@ import (
 // retire commits up to RetireWidth completed µops in program order,
 // verifying each register result against the control-flow oracle.
 func (m *Machine) retire() {
-	for n := 0; n < m.cfg.RetireWidth && len(m.rob) > 0; n++ {
-		u := m.rob[0]
+	for n := 0; n < m.cfg.RetireWidth && m.robN > 0; n++ {
+		u := m.robBuf[m.robHead]
 		if u.stage != stDone {
 			return
 		}
@@ -28,7 +27,7 @@ func (m *Machine) retire() {
 		m.lastRetiredSeq = u.seq
 		u.stage = stRetired
 		u.retireC = m.cycle
-		m.rob = m.rob[1:]
+		m.robPopHead()
 		m.stats.Retired++
 		m.emit(obs.KindRetire, obs.TrackRetire, u, m.cycle-u.fetchC, "")
 		m.event(EvRetire, u, "")
@@ -44,8 +43,8 @@ func (m *Machine) retire() {
 			m.retireShadow(st, u)
 		}
 
-		if u.writesReg() {
-			r := u.inst.Writes()
+		if u.t.writesReg {
+			r := u.t.dest
 			if !u.tainted && u.result != u.oracleResult {
 				m.fail("retire verification failed at pc=%d %v: pipeline=%#x oracle=%#x",
 					u.pc, u.inst, u.result, u.oracleResult)
@@ -79,6 +78,11 @@ func (m *Machine) retire() {
 		case isa.ClassHalt:
 			m.haltRetired = true
 		}
+		// An unreferenced µop recycles immediately; stores (SQ entry) and
+		// in-queue fences recycle when their last reference drops.
+		if u.refs == 0 {
+			m.freeUop(u)
+		}
 	}
 }
 
@@ -102,8 +106,8 @@ func (m *Machine) retireShadow(st *taint.State, u *uop) {
 	default:
 		u.labels |= st.Control
 	}
-	if u.writesReg() {
-		st.Regs[u.inst.Writes()] = u.labels
+	if u.t.writesReg {
+		st.Regs[u.t.dest] = u.labels
 	}
 	if u.class == isa.ClassLoad && m.cfg.Predictor != nil {
 		// The predictor trains on this value at commit: its table now
@@ -117,16 +121,26 @@ func (m *Machine) retireShadow(st *taint.State, u *uop) {
 // complete applies writeback effects for µops whose execution finishes at
 // or before this cycle: result availability, RFC early register release,
 // reuse-buffer update, value-prediction verification (and squash), and
-// store-queue address resolution.
+// store-queue address resolution. Candidates come from the executing
+// bitset (or a reference linear scan), in program order.
 func (m *Machine) complete() {
+	cands := m.completeScratch[:0]
+	if m.cfg.LinearScheduler {
+		cands = m.gatherStage(stExecuting, cands)
+	} else {
+		cands = m.gatherMasked(m.execW, cands)
+	}
+	m.completeScratch = cands
+
 	var squashAfter *uop
-	for _, u := range m.rob {
-		if u.stage != stExecuting || u.doneC > m.cycle {
+	for _, u := range cands {
+		if u.doneC > m.cycle {
 			continue
 		}
 		u.stage = stDone
+		m.execDone(u)
 
-		if u.writesReg() {
+		if u.t.writesReg {
 			u.wroteback = true
 			if m.cfg.RFC != uopt.RFCOff {
 				// The compressor tests the (possibly secret) result value
@@ -139,15 +153,14 @@ func (m *Machine) complete() {
 				m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "rfc-share")
 			}
 			if m.cfg.Reuse != nil {
-				m.cfg.Reuse.InvalidateReg(uint8(u.inst.Writes()))
+				m.cfg.Reuse.InvalidateReg(uint8(u.t.dest))
 			}
 		}
 
 		switch u.class {
 		case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
 			if m.cfg.Reuse != nil && !u.reused && u.inst.Op != isa.LUI {
-				r1, r2 := u.inst.Uses()
-				m.cfg.Reuse.Update(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2), u.result)
+				m.cfg.Reuse.Update(u.pc, u.srcVals[0], u.srcVals[1], uint8(u.t.src1), uint8(u.t.src2), u.result)
 			}
 		case isa.ClassLoad:
 			if u.predicted {
@@ -160,15 +173,13 @@ func (m *Machine) complete() {
 				u.predicted = false // consumers must now read the real result
 			}
 		case isa.ClassStore:
-			for _, e := range m.sq {
-				if e.u == u {
-					e.addrReady = true
-					m.event(EvAddrResolved, u, fmt.Sprintf("addr=%#x", u.addr))
-					if ss := m.cfg.SilentStores; ss != nil && ss.Scheme == SSLSQCompare {
-						m.lsqCompare(e)
-					}
-					break
-				}
+			e := u.sqe
+			e.addrReady = true
+			if m.cfg.RecordEvents {
+				m.event(EvAddrResolved, u, fmt.Sprintf("addr=%#x", u.addr))
+			}
+			if ss := m.cfg.SilentStores; ss != nil && ss.Scheme == SSLSQCompare {
+				m.lsqCompare(e)
 			}
 		case isa.ClassBranch:
 			taken := isa.Taken(u.inst.Op, u.srcVals[0], u.srcVals[1])
@@ -198,22 +209,28 @@ func (m *Machine) squashYounger(u *uop) {
 	if m.cfg.Predictor != nil {
 		m.cfg.Predictor.Squash()
 	}
-	keep := m.rob[:0]
-	var squashed []*uop
-	for _, v := range m.rob {
-		if v.seq <= u.seq {
-			keep = append(keep, v)
-			continue
+	// The ROB ring is in program order: the squash victims are exactly its
+	// tail. Pop youngest-first, then reverse so the accounting, events and
+	// replay queue all see program order (as the old partition walk did).
+	squashed := m.squashScratch[:0]
+	for m.robN > 0 {
+		tail := m.robAt(m.robN - 1)
+		if tail.seq <= u.seq {
+			break
 		}
-		squashed = append(squashed, v)
+		m.robPopTail()
+		squashed = append(squashed, tail)
 	}
-	m.rob = keep
+	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
+		squashed[i], squashed[j] = squashed[j], squashed[i]
+	}
+	m.squashScratch = squashed
 
 	for _, v := range squashed {
 		m.stats.SquashedUops++
 		m.emit(obs.KindSquash, obs.TrackIssue, v, 0, "")
 		m.event(EvSquash, v, "")
-		if v.writesReg() {
+		if v.t.writesReg {
 			if v.wroteback {
 				if m.vf.Release(v.result) {
 					m.prfFree++
@@ -241,34 +258,56 @@ func (m *Machine) squashYounger(u *uop) {
 		if e.dequeuing || e.u.stage == stRetired {
 			m.fail("squashed a retired/dequeuing store #%d", e.u.seq)
 		}
+		m.freeSQ(e)
+	}
+	for i := len(sq); i < len(m.sq); i++ {
+		m.sq[i] = nil
 	}
 	m.sq = sq
 
+	// Squashed fences leave the fence queue (its tail, by program order).
+	for n := len(m.fenceQ); n > 0 && m.fenceQ[n-1].seq > u.seq; n = len(m.fenceQ) {
+		f := m.fenceQ[n-1]
+		m.fenceQ[n-1] = nil
+		m.fenceQ = m.fenceQ[:n-1]
+		m.unref(f)
+	}
+
 	// Rebuild the rename map from surviving in-flight µops.
 	m.producer = [isa.NumRegs]*uop{}
-	for _, v := range m.rob {
-		if v.writesReg() && v.stage != stRetired {
-			m.producer[v.inst.Writes()] = v
+	for i := 0; i < m.robN; i++ {
+		v := m.robAt(i)
+		if v.t.writesReg && v.stage != stRetired {
+			m.producer[v.t.dest] = v
 		}
 	}
 
-	// Queue for replay in program order and redirect fetch.
-	sort.Slice(squashed, func(i, j int) bool { return squashed[i].seq < squashed[j].seq })
+	// Queue for replay (already in program order) and redirect fetch. The
+	// two replay buffers swap so the prepend is allocation-free.
 	for _, v := range squashed {
 		m.resetForReplay(v)
 	}
-	m.replay = append(squashed, m.replay...)
+	next := m.replaySwap[:0]
+	next = append(next, squashed...)
+	next = append(next, m.replay...)
+	for i := range m.replay {
+		m.replay[i] = nil
+	}
+	m.replaySwap = m.replay[:0]
+	m.replay = next
 	if resume := m.cycle + int64(m.cfg.SquashPenalty); resume > m.fetchResumeC {
 		m.fetchResumeC = resume
 	}
 	if m.fetchBlocked != nil && m.fetchBlocked.seq > u.seq {
+		b := m.fetchBlocked
 		m.fetchBlocked = nil
+		m.unref(b)
 	}
 }
 
 func (m *Machine) resetForReplay(v *uop) {
 	v.stage = stDispatched
-	v.prod = [2]*uop{}
+	m.releaseProds(v)
 	v.srcVals = [2]uint64{}
 	v.result = 0
 	v.addr = 0
@@ -308,7 +347,9 @@ func (m *Machine) sqTick() {
 				m.event(EvSSLoadReturn, e.u, "match (silent candidate)")
 			} else {
 				m.stats.NonSilentChecks++
-				m.event(EvSSLoadReturn, e.u, fmt.Sprintf("mismatch (read %#x, storing %#x)", e.ssValue, e.u.storeVal))
+				if m.cfg.RecordEvents {
+					m.event(EvSSLoadReturn, e.u, fmt.Sprintf("mismatch (read %#x, storing %#x)", e.ssValue, e.u.storeVal))
+				}
 			}
 		}
 	}
@@ -329,7 +370,7 @@ func (m *Machine) sqTick() {
 			m.event(EvMemResponse, e.u, "")
 			m.event(EvStoreToCache, e.u, "")
 			m.event(EvDequeue, e.u, "")
-			m.sq = m.sq[1:]
+			m.popSQHead()
 			return // next store begins dequeue next cycle
 		}
 		if e.u.stage != stRetired {
@@ -362,7 +403,7 @@ func (m *Machine) sqTick() {
 					m.emit(obs.KindUopt, obs.TrackUopt, e.u, 0, "silent-store")
 					m.emit(obs.KindDequeue, obs.TrackMem, e.u, 0, "silent")
 					m.event(EvDequeueSilent, e.u, "")
-					m.sq = m.sq[1:]
+					m.popSQHead()
 					continue
 				}
 				// Case B: value mismatch — perform normally.
@@ -386,7 +427,7 @@ func (m *Machine) sqTick() {
 		}
 		e.dequeuing = true
 		e.dequeueDoneC = m.cycle + lat
-		if !res.L1Hit {
+		if !res.L1Hit && m.cfg.RecordEvents {
 			m.event(EvFillRequest, e.u, fmt.Sprintf("latency=%d", lat))
 		}
 		return
@@ -464,9 +505,14 @@ func (m *Machine) dequeuePastBlockedHead() {
 				}
 			}
 		}
-		if !removed {
+		if removed {
+			m.freeSQ(e)
+		} else {
 			keep = append(keep, e)
 		}
+	}
+	for i := len(keep); i < len(m.sq); i++ {
+		m.sq[i] = nil
 	}
 	m.sq = keep
 }
@@ -478,20 +524,60 @@ func (m *Machine) performStore(e *sqEntry) {
 	if st := m.cfg.Taint; st != nil {
 		st.Mem.Write(u.addr, u.memWidth, u.labels)
 	}
-	for i := 0; i < u.memWidth; i++ {
-		a := u.addr + uint64(i)
-		if u.tainted {
-			m.taintedMem[a] = true
-		} else if len(m.taintedMem) > 0 {
-			delete(m.taintedMem, a)
+	if u.tainted {
+		for i := 0; i < u.memWidth; i++ {
+			m.taintedMem[u.addr+uint64(i)] = true
+		}
+	} else if len(m.taintedMem) > 0 {
+		for i := 0; i < u.memWidth; i++ {
+			delete(m.taintedMem, u.addr+uint64(i))
 		}
 	}
+}
+
+// aluSlot is one ALU µop issued this cycle, a potential host for one
+// packed partner (operand packing).
+type aluSlot struct {
+	u      *uop
+	packed bool
+}
+
+// fenceBlocks reports whether a memory µop with sequence number seq must
+// hold back behind an older in-flight fence. Completed fences are drained
+// from the queue head at the top of issue; a stuck fence (dropped wakeup)
+// deliberately does not block younger memory ops, matching the walk-order
+// semantics this queue replaced.
+func (m *Machine) fenceBlocks(seq uint64) bool {
+	for _, f := range m.fenceQ {
+		if f.seq >= seq {
+			return false
+		}
+		if !f.stuck {
+			return true
+		}
+	}
+	return false
 }
 
 // issue selects ready µops oldest-first subject to port availability and
 // runs the optimization hooks: computation reuse, computation
 // simplification, operand packing, and silent-store read-port stealing.
+// Candidates come from the dispatched bitset (or a reference linear
+// scan), in program order.
 func (m *Machine) issue() {
+	// Drain completed fences; the queue then holds only blocking ones.
+	for len(m.fenceQ) > 0 {
+		f := m.fenceQ[0]
+		if f.stage != stDone && f.stage != stRetired {
+			break
+		}
+		n := len(m.fenceQ)
+		copy(m.fenceQ, m.fenceQ[1:])
+		m.fenceQ[n-1] = nil
+		m.fenceQ = m.fenceQ[:n-1]
+		m.unref(f)
+	}
+
 	alu := m.cfg.ALUPorts
 	md := m.cfg.MulDivUnits
 	ld := m.cfg.LoadPorts
@@ -517,35 +603,29 @@ func (m *Machine) issue() {
 
 	// ALU µops issued this cycle, for operand packing: each entry may
 	// host one packed partner.
-	type aluSlot struct {
-		u      *uop
-		packed bool
-	}
-	var aluIssued []aluSlot
+	aluIssued := m.aluScratch[:0]
 
-	// Memory operations may not issue past a FENCE that has not completed.
-	fencePending := false
-	noteFence := func(u *uop) {
-		if u.class == isa.ClassFence && u.stage != stDone && u.stage != stRetired {
-			fencePending = true
-		}
+	cands := m.issueScratch[:0]
+	if m.cfg.LinearScheduler {
+		cands = m.gatherStage(stDispatched, cands)
+	} else {
+		cands = m.gatherMasked(m.dispW, cands)
 	}
+	m.issueScratch = cands
 
-	for _, u := range m.rob {
-		if u.stage != stDispatched {
-			noteFence(u)
-			continue
-		}
+	ts := m.cfg.Taint
+	for _, u := range cands {
 		// A µop whose issue wakeup was dropped (fault injection) is never
 		// scheduled again; once oldest it livelocks the machine.
 		if u.stuck {
 			continue
 		}
-		if fencePending && (u.class == isa.ClassLoad || u.class == isa.ClassStore) {
+		// Memory operations may not issue past a FENCE that has not
+		// completed.
+		if (u.class == isa.ClassLoad || u.class == isa.ClassStore) && m.fenceBlocks(u.seq) {
 			continue
 		}
 		if !u.srcReady(0, m.cycle) || !u.srcReady(1, m.cycle) {
-			noteFence(u)
 			continue
 		}
 		// Fault site: drop this ready µop's issue wakeup, permanently.
@@ -565,12 +645,12 @@ func (m *Machine) issue() {
 			// Fault site: re-introduce the pre-fix rule (wait for a fully
 			// empty queue), which deadlocks against those younger slots.
 			if m.cfg.Faults.FenceRequiresEmptySQ(m.cycle, len(m.sq)) {
-				if m.rob[0] == u && len(m.sq) == 0 {
+				if m.robBuf[m.robHead] == u && len(m.sq) == 0 {
 					m.startExec(u, 1)
 				}
 				break
 			}
-			if m.rob[0] == u && (len(m.sq) == 0 || m.sq[0].u.seq > u.seq) {
+			if m.robBuf[m.robHead] == u && (len(m.sq) == 0 || m.sq[0].u.seq > u.seq) {
 				m.startExec(u, 1)
 			}
 
@@ -593,9 +673,10 @@ func (m *Machine) issue() {
 			simplified := false
 			if m.cfg.Simplifier != nil {
 				lat, simplified = m.cfg.Simplifier.SimplifiedLatency(uopt.KindSimple, u.srcVals[0], u.srcVals[1], lat)
-				m.observeIssue(u, obsSimplify, func(st *taint.State) {
-					st.ObserveSimplify(m.cycle, u.pc, "trivial_alu", u.labels)
-				})
+				if ts != nil && u.obsMask&obsSimplify == 0 {
+					u.obsMask |= obsSimplify
+					ts.ObserveSimplify(m.cycle, u.pc, "trivial_alu", u.labels)
+				}
 			}
 			if alu > 0 {
 				alu--
@@ -621,9 +702,10 @@ func (m *Machine) issue() {
 					// The narrowness test reads both µops' operands; if
 					// either side is secret, co-issue (and thus both
 					// µops' timing) depends on it.
-					m.observeIssue(u, obsPack, func(st *taint.State) {
-						st.ObservePack(m.cycle, u.pc, s.u.labels|u.labels)
-					})
+					if ts != nil && u.obsMask&obsPack == 0 {
+						u.obsMask |= obsPack
+						ts.ObservePack(m.cycle, u.pc, s.u.labels|u.labels)
+					}
 					if m.cfg.Packer.CanPack(s.u.srcVals[0], s.u.srcVals[1], u.srcVals[0], u.srcVals[1]) {
 						s.packed = true
 						packed = true
@@ -632,9 +714,10 @@ func (m *Machine) issue() {
 				}
 				if !packed && coOps > 0 {
 					ct := m.cfg.CoTenant
-					m.observeIssue(u, obsPack, func(st *taint.State) {
-						st.ObservePack(m.cycle, u.pc, u.labels)
-					})
+					if ts != nil && u.obsMask&obsPack == 0 {
+						u.obsMask |= obsPack
+						ts.ObservePack(m.cycle, u.pc, u.labels)
+					}
 					if m.cfg.Packer.CanPack(ct.OperandA, ct.OperandB, u.srcVals[0], u.srcVals[1]) {
 						coOps--
 						packed = true
@@ -673,13 +756,14 @@ func (m *Machine) issue() {
 					if simplified {
 						m.emit(obs.KindUopt, obs.TrackUopt, u, int64(lat), "simplify")
 					}
-					ref := "zero_skip_mul"
-					if kind == uopt.KindDiv {
-						ref = "early_exit_div"
+					if ts != nil && u.obsMask&obsSimplify == 0 {
+						u.obsMask |= obsSimplify
+						ref := "zero_skip_mul"
+						if kind == uopt.KindDiv {
+							ref = "early_exit_div"
+						}
+						ts.ObserveSimplify(m.cycle, u.pc, ref, u.labels)
 					}
-					m.observeIssue(u, obsSimplify, func(st *taint.State) {
-						st.ObserveSimplify(m.cycle, u.pc, ref, u.labels)
-					})
 				}
 				md--
 				m.startExec(u, lat)
@@ -725,12 +809,11 @@ func (m *Machine) issue() {
 				m.readSources(u)
 				u.addr = u.inst.EffectiveAddr(u.srcVals[0])
 				u.storeVal = u.srcVals[1]
-				u.memWidth = isa.MemWidth(u.inst.Op)
 				m.startExec(u, 1) // AGU
 			}
 		}
-		noteFence(u)
 	}
+	m.aluScratch = aluIssued
 
 	// Silent stores: SS-Loads steal leftover load ports (read-port
 	// stealing). Demand loads had priority above. An SS-Load that finds
@@ -763,7 +846,9 @@ func (m *Machine) issue() {
 			e.ssLabels = lbl
 			m.stats.SSLoadsIssued++
 			m.emit(obs.KindUopt, obs.TrackUopt, e.u, int64(lat), "ss-load")
-			m.event(EvSSLoadIssue, e.u, fmt.Sprintf("returns at %d", e.ssReturnC))
+			if m.cfg.RecordEvents {
+				m.event(EvSSLoadIssue, e.u, fmt.Sprintf("returns at %d", e.ssReturnC))
+			}
 		}
 	}
 }
@@ -773,7 +858,6 @@ func (m *Machine) issue() {
 func (m *Machine) lqReadyLoad(u *uop) bool {
 	m.readSources(u)
 	u.addr = u.inst.EffectiveAddr(u.srcVals[0])
-	u.memWidth = isa.MemWidth(u.inst.Op)
 	val, full, _, memTaint, memLabels := m.readWithForward(u.addr, u.memWidth, u.seq)
 	val = isa.LoadExtend(u.inst.Op, val)
 	var lat int
@@ -803,9 +887,8 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 func (m *Machine) readSources(u *uop) {
 	u.srcVals[0] = u.srcValue(0, &m.committed)
 	u.srcVals[1] = u.srcValue(1, &m.committed)
-	if isa.HasImm(u.inst.Op) && u.class != isa.ClassLoad && u.class != isa.ClassStore &&
-		u.class != isa.ClassBranch && u.class != isa.ClassJump {
-		u.srcVals[1] = uint64(u.inst.Imm)
+	if u.t.immSrc2 {
+		u.srcVals[1] = u.t.immVal
 	}
 	u.tainted = u.srcTainted(0, &m.committedTaint) || u.srcTainted(1, &m.committedTaint)
 	if st := m.cfg.Taint; st != nil {
@@ -819,18 +902,6 @@ func (m *Machine) readSources(u *uop) {
 	}
 }
 
-// observeIssue fires one issue-loop observer at most once per µop (the
-// trigger conditions are re-evaluated every cycle the µop waits for a
-// port, but the dependence on the secret is a per-instance fact).
-func (m *Machine) observeIssue(u *uop, bit uint8, fire func(st *taint.State)) {
-	st := m.cfg.Taint
-	if st == nil || u.obsMask&bit != 0 {
-		return
-	}
-	u.obsMask |= bit
-	fire(st)
-}
-
 // aluResult computes the result of an ALU-family µop from latched sources.
 func (m *Machine) aluResult(u *uop) uint64 {
 	return isa.EvalALU(u.inst.Op, u.srcVals[0], u.srcVals[1])
@@ -842,16 +913,19 @@ func (m *Machine) tryReuse(u *uop) bool {
 	if m.cfg.Reuse == nil {
 		return false
 	}
-	r1, r2 := u.inst.Uses()
 	if m.cfg.Reuse.Scheme == uopt.SchemeSv {
 		// Sv keys lookups on operand *values*; Sn compares only register
 		// names and never observes the secret (Section VI-A3's safe tweak),
-		// so it deliberately has no observer.
-		m.observeIssue(u, obsReuse, func(st *taint.State) {
+		// so it deliberately has no observer. The trigger condition is
+		// re-evaluated every cycle the µop waits for a port, but the
+		// dependence on the secret is a per-instance fact — obsMask
+		// dedupes the event.
+		if st := m.cfg.Taint; st != nil && u.obsMask&obsReuse == 0 {
+			u.obsMask |= obsReuse
 			st.ObserveReuse(m.cycle, u.pc, u.labels)
-		})
+		}
 	}
-	if _, ok := m.cfg.Reuse.Lookup(u.pc, u.srcVals[0], u.srcVals[1], uint8(r1), uint8(r2)); ok {
+	if _, ok := m.cfg.Reuse.Lookup(u.pc, u.srcVals[0], u.srcVals[1], uint8(u.t.src1), uint8(u.t.src2)); ok {
 		u.reused = true
 		m.stats.ReuseHits++
 		m.emit(obs.KindUopt, obs.TrackUopt, u, 0, "reuse")
@@ -868,8 +942,14 @@ func (m *Machine) startExec(u *uop, latency int) {
 	u.issueC = m.cycle
 	u.doneC = m.cycle + int64(latency)
 	m.iqCount--
+	m.schedToExec(u)
+	// Operands were latched (readSources) or are not needed; the producer
+	// references drop here so retired producers can recycle.
+	m.releaseProds(u)
 	m.emit(obs.KindIssue, obs.TrackIssue, u, int64(latency), "")
-	m.event(EvIssue, u, fmt.Sprintf("latency=%d", latency))
+	if m.cfg.RecordEvents {
+		m.event(EvIssue, u, fmt.Sprintf("latency=%d", latency))
+	}
 }
 
 // olderStoresResolved reports whether every store older than seq has a

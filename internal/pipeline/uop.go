@@ -24,6 +24,24 @@ type uop struct {
 	inst  isa.Inst
 	class isa.Class
 
+	// t is the decoded template for this PC: the per-program-immutable
+	// facts (register names, immediate rule, static prediction) fetch
+	// stamps instead of re-deriving. Valid for the µop's whole lifetime,
+	// including across squash/replay (the PC does not change).
+	t *uopTemplate
+
+	// slot is the µop's physical ROB ring slot — the bit index in the
+	// scheduler masks. Valid while the µop is in the ROB.
+	slot int
+
+	// refs counts the live references that can outlast the µop's ROB
+	// residence (see pool.go); a retired µop recycles when it hits zero.
+	refs int32
+	// pooled marks a µop currently in the free list (double-free guard).
+	pooled bool
+	// sqe is the store's queue entry (stores only; nil once released).
+	sqe *sqEntry
+
 	// Oracle facts, captured when the control-flow oracle executed this
 	// instruction: the correct-path next PC, branch outcome, and (for
 	// dest-writing ops) the correct result for retire-time verification.
@@ -106,7 +124,16 @@ const (
 
 // writesReg reports whether the µop produces a register result.
 func (u *uop) writesReg() bool {
-	return u.inst.Writes() != isa.X0
+	return u.t.writesReg
+}
+
+// srcReg returns the architectural name of source i (X0 when the operand
+// is absent or an immediate).
+func (u *uop) srcReg(i int) isa.Reg {
+	if i == 0 {
+		return u.t.src1
+	}
+	return u.t.src2
 }
 
 // srcReady reports whether source i is available at cycle c, honoring
@@ -137,14 +164,7 @@ func (u *uop) srcReady(i int, c int64) bool {
 func (u *uop) srcValue(i int, committed *[isa.NumRegs]uint64) uint64 {
 	p := u.prod[i]
 	if p == nil {
-		var r isa.Reg
-		r1, r2 := u.inst.Uses()
-		if i == 0 {
-			r = r1
-		} else {
-			r = r2
-		}
-		return committed[r]
+		return committed[u.srcReg(i)]
 	}
 	if p.stage == stDone || p.stage == stRetired {
 		return p.result
@@ -162,14 +182,7 @@ func (u *uop) srcValue(i int, committed *[isa.NumRegs]uint64) uint64 {
 func (u *uop) srcLabels(i int, st *taint.State) taint.LabelSet {
 	p := u.prod[i]
 	if p == nil {
-		var r isa.Reg
-		r1, r2 := u.inst.Uses()
-		if i == 0 {
-			r = r1
-		} else {
-			r = r2
-		}
-		return st.Regs[r]
+		return st.Regs[u.srcReg(i)]
 	}
 	if p.stage == stDone || p.stage == stRetired {
 		return p.labels
@@ -184,14 +197,7 @@ func (u *uop) srcLabels(i int, st *taint.State) taint.LabelSet {
 func (u *uop) srcTainted(i int, committedTaint *[isa.NumRegs]bool) bool {
 	p := u.prod[i]
 	if p == nil {
-		var r isa.Reg
-		r1, r2 := u.inst.Uses()
-		if i == 0 {
-			r = r1
-		} else {
-			r = r2
-		}
-		return committedTaint[r]
+		return committedTaint[u.srcReg(i)]
 	}
 	return p.tainted
 }
