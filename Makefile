@@ -14,17 +14,19 @@ race:
 ci:
 	./ci.sh
 
-# Differential oracle: full sweep (500 programs, all 128 toggle masks).
+# Differential oracle: full sweep (512 programs, all 512 toggle masks
+# including the speculation bits).
 check: build
 	$(GO) run ./cmd/pandora check
 
-# Bounded variant used by CI.
+# Bounded variant used by CI, under the race detector.
 check-quick: build
-	$(GO) run ./cmd/pandora check -quick
+	$(GO) run -race ./cmd/pandora check -quick
 
-# Leakage scanner: taint-based leak assertions (AES, eBPF, self-test).
+# Leakage scanner: taint-based leak assertions (AES, eBPF, StLF,
+# spec-vectorization, self-test), under the race detector.
 scan: build
-	$(GO) run ./cmd/pandora scan -quick
+	$(GO) run -race ./cmd/pandora scan -quick
 
 # Fault-injection campaign: full sweep (8 trials per site class).
 fault: build

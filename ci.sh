@@ -16,17 +16,21 @@ go run ./tools/statscheck internal cmd
 
 # Differential oracle: pipeline vs emulator over a bounded seeded corpus,
 # all optimization-toggle extremes plus rotating coverage, invariant
-# checks on. The -inject leg proves the oracle can actually catch a
+# checks on. The 9-bit mask space includes the speculation toggles
+# (wrong-path fetch, StLF predictor) and the stride schedule guarantees
+# the quick corpus exercises them; squash recovery races under the race
+# detector. The -inject leg proves the oracle can actually catch a
 # miscompiled pipeline, so a green sweep means something.
-go run ./cmd/pandora check -quick
+go run -race ./cmd/pandora check -quick
 go run ./cmd/pandora check -quick -inject >/dev/null
 
 # Leakage scanner: AES scans clean on baseline / leaks the key under
-# silent stores, eBPF leaks the kernel byte through the IMP, and the
-# taint self-test passes both ways. The -inject leg breaks the ALU
-# propagation rule and requires the no-under-tainting invariant to
-# object.
-go run ./cmd/pandora scan -quick
+# silent stores, eBPF leaks the kernel byte through the IMP, the
+# speculation scenarios leak only with their predictor on (a squashed
+# access still trips the taint observers), and the taint self-test
+# passes both ways. The -inject leg breaks the ALU propagation rule and
+# requires the no-under-tainting invariant to object.
+go run -race ./cmd/pandora scan -quick
 go run ./cmd/pandora scan -inject >/dev/null
 
 # Observability: the Chrome export of the aes scenario is valid JSON

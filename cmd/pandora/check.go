@@ -21,7 +21,7 @@ func runCheck(args []string) int {
 		cli.WithQuick("bounded CI sweep (64 programs, 1 extra mask)"),
 		cli.WithVerbose(),
 	)
-	n := c.Flags().Int("n", 500, "generated program count")
+	n := c.Flags().Int("n", 512, "generated program count (512 covers every toggle mask via the rotating schedule)")
 	masks := c.Flags().Int("masks", 3, "extra random toggle masks per program")
 	inject := c.Flags().Bool("inject", false, "inject a deliberate pipeline bug (SRA executed as SRL); the sweep must catch it")
 	if err := c.Parse(args); err != nil {

@@ -231,9 +231,9 @@ func usage() {
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
 	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
 	fmt.Println("       pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
-	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf | -quick | -inject")
+	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf|stlf|specvect[-baseline] | -quick | -inject")
 	fmt.Println("       pandora fault [-seed S] [-trials N] [-sites a,b] [-quick] [-journal path [-resume]]")
 	fmt.Println("                     [-dump-dir dir] [-json] [-parallel N] [-v]")
-	fmt.Println("       pandora trace [-scenario aes|aes-baseline|ebpf|sweep] [-format jsonl|chrome|report]")
+	fmt.Println("       pandora trace [-scenario aes|aes-baseline|ebpf|stlf|specvect|sweep] [-format jsonl|chrome|report]")
 	fmt.Println("                     [-window lo:hi] [-o path] [-seed S] [-parallel N] | -quick")
 }

@@ -21,11 +21,11 @@ import (
 func runScan(args []string) int {
 	c := cli.New("scan",
 		cli.WithJSON("emit the report as JSON"),
-		cli.WithQuick("CI assertions: AES baseline clean, AES+silent-stores and eBPF dirty, propagation self-test"),
+		cli.WithQuick("CI assertions: AES/StLF/spec-vect baselines clean, optimization runs dirty, propagation self-test"),
 	)
 	fs := c.Flags()
 	inject := fs.Bool("inject", false, "break the ALU propagation rule; the self-test must catch it")
-	scenario := fs.String("scenario", "", "built-in scenario: aes | aes-baseline | ebpf")
+	scenario := fs.String("scenario", "", "built-in scenario: aes | aes-baseline | ebpf | stlf | stlf-baseline | specvect | specvect-baseline")
 	machine := fs.String("machine", "", "machine features for source scans: "+core.MachineFeatures())
 	secretFlag := fs.String("secret", "", "extra secret region base:len[:name] for source scans")
 	if err := c.Parse(args); err != nil {
@@ -63,8 +63,16 @@ func runScan(args []string) int {
 			sum, err = core.ScanAES(false)
 		case "ebpf":
 			sum, err = core.ScanEBPF()
+		case "stlf":
+			sum, err = core.ScanStLF(true)
+		case "stlf-baseline":
+			sum, err = core.ScanStLF(false)
+		case "specvect":
+			sum, err = core.ScanSpecVect(true)
+		case "specvect-baseline":
+			sum, err = core.ScanSpecVect(false)
 		default:
-			fmt.Fprintf(os.Stderr, "pandora: scan: unknown scenario %q (want aes, aes-baseline or ebpf)\n", *scenario)
+			fmt.Fprintf(os.Stderr, "pandora: scan: unknown scenario %q (want aes, aes-baseline, ebpf, stlf, stlf-baseline, specvect or specvect-baseline)\n", *scenario)
 			return 2
 		}
 	case fs.NArg() == 1:
@@ -86,7 +94,7 @@ func runScan(args []string) int {
 		sum, err = core.ScanSource(string(src), *machine, extra)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
-		fmt.Fprintln(os.Stderr, "       pandora scan -scenario aes|aes-baseline|ebpf [-json]")
+		fmt.Fprintln(os.Stderr, "       pandora scan -scenario aes|aes-baseline|ebpf|stlf|stlf-baseline|specvect|specvect-baseline [-json]")
 		fmt.Fprintln(os.Stderr, "       pandora scan -quick | -inject")
 		return 2
 	}
@@ -172,6 +180,38 @@ func runScanQuick() int {
 	}
 	assert("ebpf-prefetcher-leak", ebpf.HasLeak("prefetcher", "kernel"),
 		fmt.Sprintf("%d prefetcher events", ebpf.Count("prefetcher")))
+
+	stlfBase, err := core.ScanStLF(false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: scan: stlf baseline: %v\n", err)
+		return 1
+	}
+	assert("stlf-baseline-clean", stlfBase.Total == 0,
+		fmt.Sprintf("%d events", stlfBase.Total))
+
+	stlf, err := core.ScanStLF(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: scan: stlf: %v\n", err)
+		return 1
+	}
+	assert("stlf-forward-leak", stlf.HasLeak("spec-forward", "secret"),
+		fmt.Sprintf("%d spec-forward events", stlf.Count("spec-forward")))
+
+	svBase, err := core.ScanSpecVect(false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: scan: specvect baseline: %v\n", err)
+		return 1
+	}
+	assert("specvect-baseline-clean", svBase.Total == 0,
+		fmt.Sprintf("%d events", svBase.Total))
+
+	sv, err := core.ScanSpecVect(true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: scan: specvect: %v\n", err)
+		return 1
+	}
+	assert("specvect-wrongpath-leak", sv.HasLeak("wrong-path-load", "secret"),
+		fmt.Sprintf("%d wrong-path-load events", sv.Count("wrong-path-load")))
 
 	assert("selftest-clean", taint.SelfTestPlan(nil) == nil, "intact rules verify")
 	assert("selftest-inject",

@@ -23,6 +23,11 @@ import (
 //	vp[:N]              last-value prediction (confidence threshold N)
 //	vp-stride[:N]       stride value prediction
 //	rfc-any / rfc-01    register-file compression variants
+//	spec                wrong-path fetch + bimodal direction prediction
+//	wrongpath[:N]       wrong-path fetch only (at most N wrong-path µops)
+//	bimodal             bimodal direction predictor only
+//	stlf                speculative store-to-load forwarding predictor
+//	staddr=N            store address resolution latency (StLF window)
 //	sq=N, rob=N, prf=N, alu=N, ld=N  sizing overrides
 //
 // An empty spec returns the default baseline.
@@ -87,6 +92,22 @@ func ParseMachineSpec(spec string) (pipeline.Config, error) {
 			cfg.RFC = uopt.RFCAnyValue
 		case "rfc-01":
 			cfg.RFC = uopt.RFCZeroOne
+		case "spec":
+			speculation(&cfg).WrongPath = true
+			speculation(&cfg).Bimodal = true
+		case "wrongpath":
+			n, e := argN(0)
+			if e != nil {
+				return cfg, e
+			}
+			speculation(&cfg).WrongPath = true
+			speculation(&cfg).MaxWrongPath = n
+		case "bimodal":
+			speculation(&cfg).Bimodal = true
+		case "stlf":
+			speculation(&cfg).StLF = true
+		case "staddr":
+			cfg.StoreAddrLat, err = argN(cfg.StoreAddrLat)
 		case "sq":
 			cfg.SQSize, err = argN(cfg.SQSize)
 		case "rob":
@@ -110,5 +131,14 @@ func ParseMachineSpec(spec string) (pipeline.Config, error) {
 // MachineFeatures lists the spec grammar for CLI help.
 func MachineFeatures() string {
 	return "silentstores silentstores-lsq compsimp strengthred packing fusion reuse-sv reuse-sn " +
-		"vp[:N] vp-stride[:N] rfc-any rfc-01 sq=N rob=N prf=N alu=N ld=N"
+		"vp[:N] vp-stride[:N] rfc-any rfc-01 spec wrongpath[:N] bimodal stlf staddr=N sq=N rob=N prf=N alu=N ld=N"
+}
+
+// speculation returns cfg's speculation block, creating it on first use so
+// the spec/wrongpath/bimodal/stlf features compose in any order.
+func speculation(cfg *pipeline.Config) *pipeline.SpeculationConfig {
+	if cfg.Speculation == nil {
+		cfg.Speculation = &pipeline.SpeculationConfig{}
+	}
+	return cfg.Speculation
 }

@@ -41,6 +41,36 @@ func TestParseMachineSpecVariants(t *testing.T) {
 	}
 }
 
+func TestParseMachineSpecSpeculation(t *testing.T) {
+	cfg, err := ParseMachineSpec("spec,stlf,staddr=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Speculation
+	if sp == nil || !sp.WrongPath || !sp.Bimodal || !sp.StLF {
+		t.Errorf("spec,stlf misconfigured: %+v", sp)
+	}
+	if cfg.StoreAddrLat != 4 {
+		t.Errorf("StoreAddrLat = %d, want 4", cfg.StoreAddrLat)
+	}
+
+	cfg, err = ParseMachineSpec("wrongpath:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp = cfg.Speculation; sp == nil || !sp.WrongPath || sp.Bimodal || sp.MaxWrongPath != 12 {
+		t.Errorf("wrongpath:12 misconfigured: %+v", sp)
+	}
+
+	cfg, err = ParseMachineSpec("bimodal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp = cfg.Speculation; sp == nil || sp.WrongPath || !sp.Bimodal {
+		t.Errorf("bimodal misconfigured: %+v", sp)
+	}
+}
+
 func TestParseMachineSpecErrors(t *testing.T) {
 	for _, spec := range []string{"bogus", "vp:x", "sq=0", "sq=-3"} {
 		if _, err := ParseMachineSpec(spec); err == nil {

@@ -212,6 +212,79 @@ func ScanEBPF() (ScanSummary, error) {
 	return summarize(st, "ebpf-urg", ""), nil
 }
 
+// ScanStLF scans the store-to-leak forwarding witness kernel (Schwarz et
+// al., 1905.05725). With the forwarding predictor enabled the scanner
+// reports spec-forward events: the predictor forwards a store whose
+// address derives from the labeled secret before that address resolves,
+// so both the forwarding decision and the retire-time replay depend on
+// the secret. With it disabled the same kernel scans clean.
+func ScanStLF(stlf bool) (ScanSummary, error) {
+	return scanSpecWitness("store-to-leak forwarding", "stlf", stlf)
+}
+
+// ScanSpecVect scans the speculative-vectorization witness kernel
+// (Karuppanan & Mirbagher, 2302.01131). With wrong-path fetch enabled the
+// scanner reports a squashed lane load forming its cache address from the
+// labeled secret — the squash unwinds the ROB, not the cache, so the
+// event is recorded even though the load is architecturally dead. With
+// speculation disabled the lane never issues and the kernel scans clean.
+func ScanSpecVect(wrongPath bool) (ScanSummary, error) {
+	return scanSpecWitness("wrong-path vector lane", "specvect", wrongPath)
+}
+
+// scanSpecWitness runs one of the speculation timing witnesses under the
+// taint scanner: same kernel, same machines, but with the secret word
+// labeled instead of contrasted — pairing the timing evidence with
+// shadow-label evidence exactly like TestWitnessScanPairing does for
+// every witness.
+func scanSpecWitness(name, scenario string, enabled bool) (ScanSummary, error) {
+	var w witness
+	found := false
+	for _, cand := range witnesses() {
+		if cand.name == name {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return ScanSummary{}, fmt.Errorf("core: no witness %q", name)
+	}
+	mk := w.baseline
+	if enabled {
+		mk = w.config
+	} else {
+		scenario += "-baseline"
+	}
+
+	st := taint.NewState()
+	m := mem.New()
+	hier, err := cache.NewHierarchy(cache.DefaultHierConfig())
+	if err != nil {
+		return ScanSummary{}, err
+	}
+	if w.setup != nil {
+		w.setup(m, hier)
+	}
+	m.Write(witnessSecretAddr, 8, w.secrets[1])
+	if _, err := st.DefineSecret(taint.Secret{Name: "secret", Base: witnessSecretAddr, Len: 8}); err != nil {
+		return ScanSummary{}, err
+	}
+	cfg := mk()
+	cfg.Taint = st
+	machine, err := pipeline.New(cfg, m, hier)
+	if err != nil {
+		return ScanSummary{}, err
+	}
+	prog, err := asmMust(w.kernel)
+	if err != nil {
+		return ScanSummary{}, err
+	}
+	if _, err := machine.Run(prog); err != nil {
+		return ScanSummary{}, err
+	}
+	return summarize(st, scenario, ""), nil
+}
+
 // ScanSource assembles src (whose `.secret` directives declare the
 // labeled regions, optionally extended by extra), runs it once on the
 // machine described by spec, and reports every optimization trigger

@@ -41,7 +41,7 @@ type TraceResult struct {
 
 // TraceScenarios names the built-in scenarios in display order.
 func TraceScenarios() []string {
-	return []string{"aes", "aes-baseline", "ebpf", "sweep"}
+	return []string{"aes", "aes-baseline", "ebpf", "stlf", "specvect", "sweep"}
 }
 
 // RunTrace runs one built-in scenario under the probe. workers only
@@ -54,6 +54,10 @@ func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
 		return traceAES(false)
 	case "ebpf":
 		return traceEBPF()
+	case "stlf":
+		return traceSpec("store-to-leak forwarding", "stlf")
+	case "specvect":
+		return traceSpec("wrong-path vector lane", "specvect")
 	case "sweep":
 		return traceSweep(seed, workers)
 	default:
@@ -154,6 +158,62 @@ func traceEBPF() (*TraceResult, error) {
 		Workers:  1,
 		Cycles:   trace.MaxCycle(obs.TrackRetire),
 		Retired:  uint64(trace.CountKind(obs.KindRetire)),
+		Trace:    trace,
+	}, nil
+}
+
+// traceSpec runs a speculation timing witness under the probe on its
+// enabled machine, with the secret word labeled. The trace shows the
+// speculative activity per cycle — wrong-path fetch and the mispredict
+// squash for specvect, speculative forwards and the verify replay for
+// stlf — alongside the taint-leak events those µops emit before being
+// squashed.
+func traceSpec(name, scenario string) (*TraceResult, error) {
+	var w witness
+	found := false
+	for _, cand := range witnesses() {
+		if cand.name == name {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: no witness %q", name)
+	}
+	trace := obs.NewTrace()
+	st := taint.NewState()
+	m := mem.New()
+	hier, err := cache.NewHierarchy(cache.DefaultHierConfig())
+	if err != nil {
+		return nil, err
+	}
+	if w.setup != nil {
+		w.setup(m, hier)
+	}
+	m.Write(witnessSecretAddr, 8, w.secrets[1])
+	if _, err := st.DefineSecret(taint.Secret{Name: "secret", Base: witnessSecretAddr, Len: 8}); err != nil {
+		return nil, err
+	}
+	cfg := w.config()
+	cfg.Taint = st
+	cfg.Probe = trace
+	machine, err := pipeline.New(cfg, m, hier)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asmMust(w.kernel)
+	if err != nil {
+		return nil, err
+	}
+	res, err := machine.Run(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Scenario: scenario,
+		Workers:  1,
+		Cycles:   res.Cycles,
+		Retired:  res.Retired,
 		Trace:    trace,
 	}, nil
 }

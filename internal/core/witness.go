@@ -58,6 +58,18 @@ func rfcWitnessConfig() pipeline.Config {
 	return c
 }
 
+// stlfWitnessConfig delays store address resolution (the window the
+// forwarding predictor speculates across) and stretches the squash bubble
+// so a single mis-forward replay is not hidden under the post-halt store
+// drain. The baseline shares the config, so the contrast isolates the
+// predictor itself; the baseline never squashes.
+func stlfWitnessConfig() pipeline.Config {
+	c := base()
+	c.StoreAddrLat = 6
+	c.SquashPenalty = 48
+	return c
+}
+
 func witnesses() []witness {
 	return []witness{
 		{
@@ -251,6 +263,90 @@ func witnesses() []witness {
 				add  x8, x8, x17
 				addi x9, x9, -1
 				bne  x9, x0, loop
+				halt
+			`,
+			secrets: [2]uint64{0, 1},
+		},
+		{
+			name: "store-to-leak forwarding", item: "Data: Store address (StLF)",
+			config: func() pipeline.Config {
+				c := stlfWitnessConfig()
+				c.Speculation = &pipeline.SpeculationConfig{StLF: true}
+				return c
+			},
+			baseline: stlfWitnessConfig,
+			// Warm the contested line so the post-halt store-queue drain is
+			// cheap; otherwise its cold miss gates the end of the run and
+			// hides the replay bubble.
+			setup: func(m *mem.Memory, h *cache.Hierarchy) {
+				m.Write(0x3000, 8, 0)
+				h.Access(0x3000, 0, false)
+			},
+			// A store whose address selects between aliasing the next load
+			// (secret 0) and missing it by one word on the final iteration
+			// (secret 5). The trained forwarding predictor speculatively
+			// forwards before the store address resolves: an address match
+			// verifies (fast), a mismatch replays (slow) — Schwarz et al.'s
+			// Store-to-Leak channel. Without the predictor the load waits
+			// for resolution and then forwards (2 cycles) or hits L1 (also
+			// 2 cycles), so the baseline is secret-independent.
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x26, 0(x28)    # secret word offset
+				slli x27, x26, 3
+				lui  x10, 3         # 0x3000: the contested address
+				addi x11, x0, 6
+				addi x12, x0, 81
+			loop:
+				slti x16, x11, 2    # 1 on the final iteration only
+				mul  x17, x16, x27  # secret-scaled store offset
+				add  x18, x10, x17
+				sd   x12, 0(x18)    # address resolves 6 cycles after issue
+				ld   x13, 0(x10)    # forwards speculatively once trained
+				addi x12, x12, 7
+				addi x11, x11, -1
+				bne  x11, x0, loop
+				halt
+			`,
+			secrets: [2]uint64{0, 5},
+		},
+		{
+			name: "wrong-path vector lane", item: "Data: Wrong-path load (SV)",
+			config: func() pipeline.Config {
+				c := base()
+				c.Speculation = &pipeline.SpeculationConfig{WrongPath: true}
+				return c
+			},
+			baseline: base,
+			// A forward-taken branch (static BTFN predicts not-taken)
+			// guarded by a long division chain: while it is unresolved the
+			// wrong-path lane load fetches 0x2000 + secret*64 and warms the
+			// cache before the squash. The correct-path probe of 0x2000
+			// then hits exactly when the secret is 0 — the squashed
+			// access's fill is architectural dead weight but observable
+			// state, the speculative-vectorization channel.
+			kernel: `
+				addi x28, x0, 0x7100
+				ld   x1, 0(x28)     # secret lane index
+				slli x2, x1, 6
+				lui  x3, 2
+				add  x2, x2, x3     # lane address 0x2000 + secret*64
+				addi x8, x0, 1
+				div  x9, x8, x8     # delay branch resolution
+				div  x9, x9, x8
+				div  x9, x9, x8
+				div  x9, x9, x8
+				div  x9, x9, x8
+				div  x9, x9, x8
+				div  x9, x9, x8
+				div  x9, x9, x8
+				bne  x9, x0, resume # taken; predicted not-taken
+				ld   x5, 0(x2)      # wrong-path lane access (squashed)
+				jal  x0, done
+			resume:
+				lui  x6, 2
+				ld   x7, 0(x6)      # probe: hits iff secret == 0
+			done:
 				halt
 			`,
 			secrets: [2]uint64{0, 1},

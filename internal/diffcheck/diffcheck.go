@@ -2,9 +2,11 @@
 // core: it runs the same program through the functional emulator (package
 // emu) and the out-of-order pipeline (package pipeline) and demands
 // bit-identical final architectural state — every committed register and
-// every byte of data memory — under every combination of the seven
-// microarchitectural optimization toggles the paper studies and under a
-// spread of cache geometries and replacement policies.
+// every byte of data memory — under every combination of the nine
+// microarchitectural toggles (the seven optimization classes the paper
+// studies plus branch speculation and the store-to-load forwarding
+// predictor) and under a spread of cache geometries and replacement
+// policies.
 //
 // The pipeline already cross-checks each retired result against an inline
 // oracle, but that only covers values that flow through retire
@@ -39,9 +41,11 @@ import (
 // halt and the case is not comparable.
 const maxEmuSteps = 1_000_000
 
-// ToggleMask selects which of the seven studied optimization classes are
-// enabled. All 2^7 combinations are valid pipeline configurations.
-type ToggleMask uint8
+// ToggleMask selects which of the nine toggled mechanisms are enabled:
+// the seven studied optimization classes, wrong-path branch speculation,
+// and the store-to-load forwarding predictor. All 2^9 combinations are
+// valid pipeline configurations.
+type ToggleMask uint16
 
 const (
 	TogSilentStores ToggleMask = 1 << iota
@@ -51,12 +55,20 @@ const (
 	TogPacker
 	TogRFC
 	TogFuse
+	// TogSpec enables wrong-path fetch behind a bimodal branch predictor:
+	// squash recovery and speculative cache pollution join the compared
+	// behavior (architectural state must stay bit-identical regardless).
+	TogSpec
+	// TogStLF enables the store-to-load forwarding predictor together with
+	// a slow store AGU, so speculative forwards — and their retire-time
+	// verify/replay — actually occur.
+	TogStLF
 )
 
 // NumToggles is the number of independent toggles; AllMasks is the size of
 // the full combination space.
 const (
-	NumToggles = 7
+	NumToggles = 9
 	AllMasks   = 1 << NumToggles
 )
 
@@ -71,6 +83,8 @@ var toggleNames = []struct {
 	{TogPacker, "pk"},
 	{TogRFC, "rfc"},
 	{TogFuse, "fu"},
+	{TogSpec, "sp"},
+	{TogStLF, "sf"},
 }
 
 func (m ToggleMask) String() string {
@@ -118,6 +132,16 @@ func PipeConfig(mask ToggleMask) pipeline.Config {
 	}
 	if mask&TogFuse != 0 {
 		c.FuseAddiLoad = true
+	}
+	if mask&TogSpec != 0 {
+		c.Speculation = &pipeline.SpeculationConfig{WrongPath: true, Bimodal: true}
+	}
+	if mask&TogStLF != 0 {
+		if c.Speculation == nil {
+			c.Speculation = &pipeline.SpeculationConfig{}
+		}
+		c.Speculation.StLF = true
+		c.StoreAddrLat = 4
 	}
 	return c
 }

@@ -15,10 +15,11 @@ func TestToggleMaskString(t *testing.T) {
 		TogSilentStores:           "ss",
 		TogSilentStores | TogFuse: "ss+fu",
 		TogPredictor | TogRFC:     "vp+rfc",
-		AllMasks - 1:              "ss+vp+ru+cs+pk+rfc+fu",
+		TogSpec | TogStLF:         "sp+sf",
+		AllMasks - 1:              "ss+vp+ru+cs+pk+rfc+fu+sp+sf",
 	} {
 		if got := mask.String(); got != want {
-			t.Errorf("ToggleMask(%#x) = %q, want %q", uint8(mask), got, want)
+			t.Errorf("ToggleMask(%#x) = %q, want %q", uint16(mask), got, want)
 		}
 	}
 }
@@ -32,10 +33,19 @@ func TestPipeConfigToggles(t *testing.T) {
 	if !off.CheckInvariants {
 		t.Error("harness configs must have invariant checking on")
 	}
+	if off.Speculation != nil || off.StoreAddrLat != 0 {
+		t.Errorf("mask 0 enabled speculation: %+v", off)
+	}
 	on := PipeConfig(AllMasks - 1)
 	if on.SilentStores == nil || on.Predictor == nil || on.Reuse == nil ||
 		on.Simplifier == nil || on.Packer == nil || on.RFC != uopt.RFCAnyValue || !on.FuseAddiLoad {
 		t.Errorf("full mask left an optimization off: %+v", on)
+	}
+	if on.Speculation == nil || !on.Speculation.WrongPath || !on.Speculation.StLF || on.StoreAddrLat != 4 {
+		t.Errorf("full mask left speculation off: %+v", on.Speculation)
+	}
+	if sf := PipeConfig(TogStLF); sf.Speculation == nil || !sf.Speculation.StLF || sf.Speculation.WrongPath {
+		t.Errorf("TogStLF alone misconfigured: %+v", sf.Speculation)
 	}
 }
 
@@ -63,6 +73,60 @@ func TestQuickSweepClean(t *testing.T) {
 	// 3 scheduled masks + 1 random per case.
 	if min := rep.Programs * 4; rep.Runs < min {
 		t.Errorf("Runs = %d, want >= %d", rep.Runs, min)
+	}
+}
+
+// TestQuickScheduleCoversSpeculation pins the CI contract of the
+// rotating-mask stride: even the 64-program `-quick` corpus must run
+// deterministic masks with each speculation toggle set, not just reach
+// them through the all-on extreme and random draws.
+func TestQuickScheduleCoversSpeculation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var spec, stlf int
+	for i := 0; i < 64; i++ {
+		rotating := masksFor(i, 0, rng)[2]
+		if rotating&TogSpec != 0 {
+			spec++
+		}
+		if rotating&TogStLF != 0 {
+			stlf++
+		}
+	}
+	if spec == 0 || stlf == 0 {
+		t.Errorf("64-case rotating schedule: %d masks with sp, %d with sf; want both > 0", spec, stlf)
+	}
+}
+
+// TestRegressionReplayedMispredictWrongPath is the minimized repro of the
+// first divergence the widened (speculative) mask space surfaced: a value
+// predictor squash requeues a mispredicted loop branch together with its
+// correct-path successors; on re-dispatch the branch re-entered wrong-path
+// mode, and the harness's invariant checker flagged the correct-path
+// replays dispatched behind it ("correct-path µop younger than unresolved
+// mispredicted branch"). Replayed mispredicts must take the legacy
+// redirect stall instead of restarting wrong-path fetch.
+func TestRegressionReplayedMispredictWrongPath(t *testing.T) {
+	prog := isa.Program{
+		{Op: isa.ADDI, Rd: 30, Rs1: 0, Imm: 5},
+		{Op: isa.LUI, Rd: 26, Imm: 128},
+		{Op: isa.SD, Rs1: 29, Rs2: 6, Imm: 440},
+		{Op: isa.LD, Rd: 2, Rs1: 26, Imm: 368},
+		{Op: isa.SD, Rs1: 26, Rs2: 2, Imm: 368},
+		{Op: isa.ADDI, Rd: 30, Rs1: 30, Imm: -1},
+		{Op: isa.BNE, Rs1: 30, Imm: 2},
+		{Op: isa.HALT},
+	}
+	c := Case{Name: "replayed-mispredict", Prog: prog, Init: InitMemory}
+	for _, v := range CacheVariants() {
+		for _, mask := range []ToggleMask{
+			AllMasks - 1,
+			TogPredictor | TogSpec,
+			TogPredictor | TogSpec | TogStLF,
+		} {
+			if d := RunCase(c, mask, v, nil); d != nil {
+				t.Errorf("toggles=%v cache=%s: %v", mask, v.Name, d)
+			}
+		}
 	}
 }
 

@@ -74,11 +74,12 @@ func decodeProgram(data []byte) isa.Program {
 // FuzzDifferential feeds decoded programs to the same pipeline-vs-emulator
 // oracle the sweep uses; any divergence is a crasher.
 func FuzzDifferential(f *testing.F) {
-	f.Add([]byte{}, uint8(0))
-	f.Add([]byte{0, 1, 2, 4, 10, 20, 5, 3, 7, 6, 9, 1, 7, 40, 40}, uint8(AllMasks-1))
-	f.Add([]byte{6, 0, 0, 4, 0, 0, 9, 0, 0, 5, 0, 0}, uint8(TogSilentStores|TogFuse))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0, 1, 2, 4, 10, 20, 5, 3, 7, 6, 9, 1, 7, 40, 40}, uint16(AllMasks-1))
+	f.Add([]byte{6, 0, 0, 4, 0, 0, 9, 0, 0, 5, 0, 0}, uint16(TogSilentStores|TogFuse))
+	f.Add([]byte{0, 1, 2, 4, 10, 20, 5, 3, 7, 6, 9, 1, 7, 40, 40}, uint16(TogSpec|TogStLF))
 	variants := CacheVariants()
-	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+	f.Fuzz(func(t *testing.T, data []byte, sel uint16) {
 		c := Case{Name: "fuzz", Prog: decodeProgram(data), Init: InitMemory}
 		mask := ToggleMask(sel % AllMasks)
 		v := variants[int(sel)%len(variants)]

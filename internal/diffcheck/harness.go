@@ -12,7 +12,9 @@ import (
 
 // Options parameterizes a harness sweep.
 type Options struct {
-	// Programs is the number of generated programs (default 500).
+	// Programs is the number of generated programs (default 512, matching
+	// the rotating-mask schedule so one default sweep covers every toggle
+	// combination).
 	Programs int
 	// Seed is the corpus seed; every program derives its own RNG from
 	// parallel.Seed(Seed, index), so the corpus is identical at any
@@ -20,7 +22,7 @@ type Options struct {
 	Seed int64
 	// MasksPerProgram is how many random toggle masks each program runs
 	// under, in addition to the three scheduled ones (all-off, all-on, and
-	// a rotating mask that covers all 128 combinations across the corpus).
+	// a rotating mask that covers all 512 combinations across the corpus).
 	// Default 3.
 	MasksPerProgram int
 	// Workers bounds the fan-out (0 = GOMAXPROCS).
@@ -75,11 +77,19 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// maskStride is the rotating schedule's step. It is odd, hence coprime
+// with AllMasks (a power of two), so a 512-program sweep still visits
+// every mask exactly once — but the walk spreads over the whole 9-bit
+// space immediately, so even the 64-program `-quick` corpus exercises
+// masks with the high speculation bits (sp, sf) set instead of only
+// masks 0–63.
+const maskStride = 73
+
 // masksFor returns the toggle masks case index i runs under: the two
-// extremes, a rotating mask so the whole corpus covers all 128
+// extremes, a rotating mask so the whole corpus covers all 512
 // combinations, and extra random draws.
 func masksFor(i int, extra int, rng *rand.Rand) []ToggleMask {
-	masks := []ToggleMask{0, AllMasks - 1, ToggleMask(i % AllMasks)}
+	masks := []ToggleMask{0, AllMasks - 1, ToggleMask(i * maskStride % AllMasks)}
 	for k := 0; k < extra; k++ {
 		masks = append(masks, ToggleMask(rng.Intn(AllMasks)))
 	}
@@ -91,7 +101,7 @@ func masksFor(i int, extra int, rng *rand.Rand) []ToggleMask {
 // variants. Divergent cases are minimized before being reported.
 func Check(ctx context.Context, opts Options) (Report, error) {
 	if opts.Programs <= 0 {
-		opts.Programs = 500
+		opts.Programs = 512
 	}
 	if opts.MasksPerProgram <= 0 {
 		opts.MasksPerProgram = 3

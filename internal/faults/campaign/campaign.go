@@ -128,7 +128,7 @@ type Trial struct {
 	Index   int          `json:"index"`
 	Seed    int64        `json:"seed"`
 	Plan    *faults.Plan `json:"plan,omitempty"` // nil on the control arm
-	Mask    uint8        `json:"mask"`
+	Mask    uint16       `json:"mask"`
 	Toggles string       `json:"toggles"`
 	// RefCycles is the fault-free reference run's cycle count.
 	RefCycles int64 `json:"ref_cycles"`
@@ -425,6 +425,10 @@ func siteCount(s faults.Site) int {
 		return 256
 	case faults.SiteLSQ, faults.SiteForward, faults.SiteFillDelay:
 		return 2
+	case faults.SiteMispredictStorm:
+		// Each forced mispredict costs one BranchPenalty redirect; a few
+		// firings separate the storm from single-cycle timing noise.
+		return 4
 	}
 	return 1
 }
@@ -452,9 +456,12 @@ func runTrial(opts *Options, it workItem, seed int64) Trial {
 	prog := adjustProgram(it.site, diffcheck.Generate(rng))
 	// TogPredictor is withheld: value prediction's squash-and-replay both
 	// rescues stuck µops (un-sticking dropped wakeups) and perturbs
-	// timing on its own, which would blur detection attribution.
-	mask := diffcheck.ToggleMask(rng.Intn(diffcheck.AllMasks)) &^ diffcheck.TogPredictor
-	tr := Trial{Site: it.name, Index: it.index, Seed: seed, Mask: uint8(mask), Toggles: mask.String()}
+	// timing on its own, which would blur detection attribution. TogSpec
+	// and TogStLF are withheld for the same reason — mispredict squashes
+	// and forwarding replays also reset stuck µops.
+	mask := diffcheck.ToggleMask(rng.Intn(diffcheck.AllMasks)) &^
+		(diffcheck.TogPredictor | diffcheck.TogSpec | diffcheck.TogStLF)
+	tr := Trial{Site: it.name, Index: it.index, Seed: seed, Mask: uint16(mask), Toggles: mask.String()}
 
 	golden := emu.New(mem.New())
 	diffcheck.InitMemory(golden.Mem)
@@ -477,6 +484,14 @@ func runTrial(opts *Options, it workItem, seed int64) Trial {
 	}
 
 	window := tr.RefCycles * 3 / 4
+	if it.site == faults.SiteMispredictStorm {
+		// Fetch-time site: the frontend finishes fetching (and with it the
+		// last conditional-branch prediction the storm could invert) long
+		// before the run ends — the tail of RefCycles is memory drain. A
+		// trigger drawn from the full window would usually arm after the
+		// last branch fetch and never fire.
+		window = tr.RefCycles / 4
+	}
 	if window < 1 {
 		window = 1
 	}

@@ -70,6 +70,18 @@ const (
 	// results drop their operand labels), the fault the no-under-tainting
 	// verifier must catch.
 	SiteTaintALU
+	// SiteMispredictStorm forces conditional branches to predict against
+	// the architectural outcome, Count times from TriggerCycle on: each
+	// firing turns a correctly predicted branch into a mispredict (a
+	// redirect bubble, or a wrong-path fetch-and-squash under
+	// Speculation.WrongPath) — a pure timing fault.
+	SiteMispredictStorm
+	// SiteStuckPredictor freezes predictor training for the whole run:
+	// the bimodal direction counters and the store-to-load forwarding
+	// confidence counters keep predicting from stale state. Structural,
+	// and only observable on a machine with Config.Speculation — it is
+	// exercised by unit tests, not the campaign sweep.
+	SiteStuckPredictor
 
 	numSites
 )
@@ -84,8 +96,10 @@ var siteNames = [numSites]string{
 	SiteCacheLine:   "cache-line",
 	SiteReplacement: "replacement",
 	SiteFillDelay:   "fill-delay",
-	SiteMiscompile:  "miscompile",
-	SiteTaintALU:    "taint-alu",
+	SiteMiscompile:      "miscompile",
+	SiteTaintALU:        "taint-alu",
+	SiteMispredictStorm: "mispredict-storm",
+	SiteStuckPredictor:  "stuck-predictor",
 }
 
 func (s Site) String() string {
@@ -113,6 +127,7 @@ func CampaignSites() []Site {
 	return []Site{
 		SitePRF, SiteLSQ, SiteForward, SiteIssueDrop, SiteFenceStuck,
 		SiteCacheLine, SiteReplacement, SiteFillDelay, SiteMiscompile,
+		SiteMispredictStorm,
 	}
 }
 
@@ -121,7 +136,7 @@ func CampaignSites() []Site {
 // Count.
 func (s Site) structural() bool {
 	switch s {
-	case SiteFenceStuck, SiteMiscompile, SiteTaintALU:
+	case SiteFenceStuck, SiteMiscompile, SiteTaintALU, SiteStuckPredictor:
 		return true
 	}
 	return false
@@ -323,6 +338,33 @@ func (in *Injector) CorruptionSeed() int64 {
 // BreaksTaintALU reports whether the plan disables the taint engine's ALU
 // propagation rule.
 func (in *Injector) BreaksTaintALU() bool { return in.active(SiteTaintALU) }
+
+// MispredictStorm reports whether the frontend should invert the current
+// conditional branch's direction prediction. wouldPredictCorrectly is
+// whether the unfaulted prediction matches the architectural outcome:
+// the storm only spends budget (and counts a firing) on branches it
+// actually breaks — inverting an already-wrong prediction changes
+// nothing, so Fired would otherwise overstate the fault's effect.
+func (in *Injector) MispredictStorm(cycle int64, wouldPredictCorrectly bool) bool {
+	if !in.due(SiteMispredictStorm, cycle) || !wouldPredictCorrectly {
+		return false
+	}
+	in.commit(cycle)
+	return true
+}
+
+// PredictorStuck reports whether predictor training (bimodal direction
+// counters, forwarding confidence counters) is frozen. The first
+// suppressed update counts as the firing.
+func (in *Injector) PredictorStuck(cycle int64) bool {
+	if !in.active(SiteStuckPredictor) {
+		return false
+	}
+	if in.fired == 0 {
+		in.commit(cycle)
+	}
+	return true
+}
 
 // Rewrite applies program-level faults: under SiteMiscompile every
 // arithmetic right shift becomes a logical one (it only diverges when a

@@ -1,0 +1,94 @@
+package mld
+
+// This file defines the descriptors for the two speculative leak classes
+// added with the pipeline's speculation support: store-to-leak forwarding
+// (Schwarz et al., "Store-to-Leak Forwarding", arXiv:1905.05725) and
+// speculative-vectorization leakage (Karuppanan & Mirbagher,
+// arXiv:2302.01131). Both are squash-transparent: the observable outcome
+// exists whether or not the speculation is later unwound, which is why the
+// taint layer records events from wrong-path and replayed µops.
+
+// StLFThreshold is the forwarding predictor's confidence threshold: a
+// load PC forwards speculatively once its counter reaches this value,
+// matching the pipeline's trySpecForward gate.
+const StLFThreshold = 2
+
+// StLFTable is the store-to-load forwarding predictor's state: a
+// per-load-PC saturating confidence counter (Uarch input).
+type StLFTable map[int64]uint64
+
+// BranchTable is the bimodal direction predictor's state: a per-branch-PC
+// 2-bit saturating counter, taken iff >= 2 (Uarch input).
+type BranchTable map[int64]uint64
+
+// StoreToLeakForward is the store-to-leak forwarding descriptor: a
+// forwarding predictor speculatively forwards an in-flight store's data to
+// a younger load before the store's address resolves, and replays the load
+// when the resolved addresses turn out not to match. The observable
+// outcome is therefore whether the (possibly secret-dependent) store
+// address equals the load address — gated on the predictor having trained.
+// Outcomes: 0 = no speculative forward (predictor cold); 1 = forward
+// replayed (addresses differ); 2 = forward verified (addresses match).
+func StoreToLeakForward() *Descriptor {
+	return &Descriptor{
+		Name:  "store_to_leak",
+		Class: "speculative store forwarding",
+		Params: []Param{
+			{Name: "i1", Kind: KindInst}, // older store, address unresolved
+			{Name: "i2", Kind: KindInst}, // younger forwarded load
+			{Name: "stlf_table", Kind: KindUarch},
+		},
+		Eval: func(a Assignment) uint64 {
+			st := a["i1"].(Inst)
+			ld := a["i2"].(Inst)
+			tbl := a["stlf_table"].(StLFTable)
+			if tbl[ld.PC] < StLFThreshold {
+				return 0
+			}
+			return 1 + Bit(st.Addr == ld.Addr)
+		},
+	}
+}
+
+// SpecVectorization is the speculative-vectorization descriptor: under a
+// predicted-taken branch, a vector lane (or wrong-path scalar load) issues
+// a data-dependent memory access that updates the cache before the
+// mispredict squash can suppress it. The outcome composes the direction
+// predictor's gate with the cache MLD of the lane address: 0 = predicted
+// not-taken (lane never issues); otherwise 1 + cache_h(lane address),
+// leaking the secret-derived address through fill placement even though
+// the access is architecturally dead.
+func SpecVectorization() *Descriptor {
+	return &Descriptor{
+		Name:  "spec_vectorization",
+		Class: "speculative vectorization",
+		Params: []Param{
+			{Name: "i1", Kind: KindInst}, // guarding branch
+			{Name: "i2", Kind: KindInst}, // masked-lane load
+			{Name: "branch_table", Kind: KindUarch},
+			{Name: "cache", Kind: KindUarch},
+		},
+		Eval: func(a Assignment) uint64 {
+			br := a["i1"].(Inst)
+			ld := a["i2"].(Inst)
+			bt := a["branch_table"].(BranchTable)
+			c := a["cache"].(*CacheState)
+			if bt[br.PC] < 2 {
+				return 0
+			}
+			return 1 + c.MLDOutcome(ld.Addr)
+		},
+	}
+}
+
+// Speculative returns the descriptors of the two speculation-borne leak
+// classes. They are kept separate from Examples() — which enumerates
+// exactly the nine descriptors of the paper's Figures 2 and 3 — because
+// these model attacks from the follow-on literature, not the paper's
+// running examples.
+func Speculative() []*Descriptor {
+	return []*Descriptor{
+		StoreToLeakForward(),
+		SpecVectorization(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pandora/internal/asm"
 	"pandora/internal/cache"
+	"pandora/internal/faults"
 	"pandora/internal/isa"
 	"pandora/internal/mem"
 	"pandora/internal/obs"
@@ -138,6 +139,46 @@ func TestUopDoubleFreeDetected(t *testing.T) {
 	}
 }
 
+// specAllocConfig enables every speculation feature plus the slow store
+// AGU, so aborted runs can strand wrong-path µops and unverified
+// speculative forwards.
+func specAllocConfig() Config {
+	cfg := DefaultConfig()
+	cfg.StoreAddrLat = 4
+	cfg.Speculation = &SpeculationConfig{WrongPath: true, Bimodal: true, StLF: true}
+	return cfg
+}
+
+// specAllocKernel mixes a constantly mispredicting forward branch (static
+// wrong-path fetch over a load and a store) with a forwardable store→load
+// pair, so aborts land in every speculative state.
+const specAllocKernel = `
+	addi x1, x0, 200
+	lui  x29, 1
+	addi x12, x0, 9
+loop:
+	sd   x12, 0(x29)
+	ld   x3, 0(x29)
+	beq  x3, x12, t1
+	add  x4, x4, x3
+	sd   x4, 8(x29)
+t1:
+	add  x2, x2, x3
+	fence
+	addi x1, x1, -1
+	bne  x1, x0, loop
+	halt
+`
+
+// TestSteadyStateAllocsSpeculation extends the zero-alloc claim to the
+// speculative machine: wrong-path fetch, squash recovery and the
+// forwarding predictor must all run out of the same pools.
+func TestSteadyStateAllocsSpeculation(t *testing.T) {
+	if avg := steadyStateAllocs(t, specAllocConfig()); avg != 0 {
+		t.Errorf("speculative steady-state Run allocates %.1f times, want 0", avg)
+	}
+}
+
 // TestReclaimAfterAbort checks reclaimInFlight: a run aborted mid-flight
 // (MaxCycles) leaves µops in the ROB, SQ and fence queue; the next Run
 // must recycle them all and still be correct.
@@ -160,4 +201,106 @@ func TestReclaimAfterAbort(t *testing.T) {
 	if got := m.Reg(isa.Reg(1)); got != 0 {
 		t.Errorf("x1 = %d after loop, want 0", got)
 	}
+}
+
+// checkPoolsComplete asserts the leak invariant: after a clean run every
+// pooled object ever allocated is back in its free list. A µop stranded
+// by an abort (e.g. a retired producer reachable only through an
+// in-flight consumer's prod reference) breaks the equality.
+func checkPoolsComplete(t *testing.T, m *Machine, ctx string) {
+	t.Helper()
+	if len(m.uopPool) != m.uopAllocated {
+		t.Errorf("%s: µop pool holds %d of %d allocated — %d leaked",
+			ctx, len(m.uopPool), m.uopAllocated, m.uopAllocated-len(m.uopPool))
+	}
+	if len(m.sqPool) != m.sqAllocated {
+		t.Errorf("%s: SQ pool holds %d of %d allocated — %d leaked",
+			ctx, len(m.sqPool), m.sqAllocated, m.sqAllocated-len(m.sqPool))
+	}
+}
+
+// TestAbortReclaimNoNetLeak drives every Run error path — MaxCycles
+// aborts at varying cut points, watchdog stalls, and fault-induced
+// pipeline failures — and pins zero net pool growth: after the recovery
+// run, every µop and SQ entry ever allocated is back in its pool. The
+// abort points sweep across cycles so the in-flight snapshot lands on
+// different mixes of dispatched, executing, replaying and (with
+// speculation) wrong-path or spec-forwarded µops.
+func TestAbortReclaimNoNetLeak(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		kernel string
+	}{
+		{"baseline", DefaultConfig(), allocKernel},
+		{"speculation", specAllocConfig(), specAllocKernel},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newTestMachine(t, tc.cfg)
+			prog := asm.MustAssemble(tc.kernel)
+			if _, err := m.Run(prog); err != nil {
+				t.Fatalf("clean Run: %v", err)
+			}
+			checkPoolsComplete(t, m, "after clean run")
+			full := tc.cfg.MaxCycles
+			for i := 0; i < 8; i++ {
+				m.cfg.MaxCycles = int64(40 + 23*i)
+				if _, err := m.Run(prog); err == nil {
+					t.Fatalf("abort %d: expected MaxCycles error", i)
+				}
+				m.cfg.MaxCycles = full
+				if _, err := m.Run(prog); err != nil {
+					t.Fatalf("recovery Run %d: %v", i, err)
+				}
+				checkPoolsComplete(t, m, "after abort recovery")
+			}
+		})
+	}
+}
+
+// TestAbortReclaimWatchdogPath covers the StallError return: a stuck
+// fence (fault site) trips the watchdog mid-run, and the recovery run
+// must drain every pooled object as usual.
+func TestAbortReclaimWatchdogPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Watchdog = &WatchdogConfig{Window: 200}
+	m := newTestMachine(t, cfg)
+	prog := asm.MustAssemble(allocKernel)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatalf("clean Run: %v", err)
+	}
+	m.cfg.Faults = faults.NewInjector(&faults.Plan{Site: faults.SiteFenceStuck})
+	if _, err := m.Run(prog); err == nil {
+		t.Fatal("expected watchdog StallError with a stuck fence")
+	}
+	m.cfg.Faults = nil
+	if _, err := m.Run(prog); err != nil {
+		t.Fatalf("recovery Run: %v", err)
+	}
+	checkPoolsComplete(t, m, "after watchdog recovery")
+}
+
+// TestReclaimAfterAbortSpeculation aborts mid-wrong-path (the kernel
+// mispredicts constantly) and checks full recovery plus correct results.
+func TestReclaimAfterAbortSpeculation(t *testing.T) {
+	cfg := specAllocConfig()
+	cfg.MaxCycles = 60
+	m := newTestMachine(t, cfg)
+	prog := asm.MustAssemble(specAllocKernel)
+	if _, err := m.Run(prog); err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+	m.cfg.MaxCycles = DefaultConfig().MaxCycles
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatalf("Run after abort: %v", err)
+	}
+	if res.Stats.WrongPathFetched == 0 {
+		t.Fatal("kernel never exercised wrong-path fetch")
+	}
+	if got := m.Reg(isa.Reg(1)); got != 0 {
+		t.Errorf("x1 = %d after loop, want 0", got)
+	}
+	checkPoolsComplete(t, m, "after speculative abort recovery")
 }

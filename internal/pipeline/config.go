@@ -67,6 +67,59 @@ type SilentStoreConfig struct {
 	Retry bool
 }
 
+// SpeculationConfig enables control- and memory-speculation: wrong-path
+// fetch past mispredicted branches (with full squash recovery) and a
+// store-to-load forwarding predictor that forwards before the store
+// address resolves (with replay on misprediction). Nil disables all of it
+// and the pipeline behaves exactly as the non-speculative machine — the
+// property the differential oracle's baseline masks rely on.
+type SpeculationConfig struct {
+	// WrongPath lets fetch continue down the predicted path of a
+	// mispredicted conditional branch instead of stalling; the wrong-path
+	// µops rename, issue and access the cache, and are squashed (never
+	// retired) when the branch resolves.
+	WrongPath bool
+	// MaxWrongPath caps how many wrong-path µops may be fetched per
+	// outstanding mispredicted branch (0 means ROBSize).
+	MaxWrongPath int
+
+	// Bimodal replaces the static BTFN direction prediction with a table
+	// of 2-bit saturating counters indexed by PC, trained at retire.
+	Bimodal bool
+	// BimodalBits is log2 of the counter-table size (0 means 10).
+	BimodalBits int
+
+	// StLF enables the store-to-load forwarding predictor: a load whose
+	// older stores have unresolved addresses may speculatively consume the
+	// youngest such store's data when the per-PC confidence counter is
+	// high, verifying at retire and replaying on a mismatch (the
+	// Store-to-Leak Forwarding substrate).
+	StLF bool
+	// StLFBits is log2 of the confidence-table size (0 means 8).
+	StLFBits int
+}
+
+func (s *SpeculationConfig) maxWrongPath(robSize int) int {
+	if s.MaxWrongPath > 0 {
+		return s.MaxWrongPath
+	}
+	return robSize
+}
+
+func (s *SpeculationConfig) bimodalBits() int {
+	if s.BimodalBits > 0 {
+		return s.BimodalBits
+	}
+	return 10
+}
+
+func (s *SpeculationConfig) stlfBits() int {
+	if s.StLFBits > 0 {
+		return s.StLFBits
+	}
+	return 8
+}
+
 // Config parameterizes the core. The zero value is not valid; use
 // DefaultConfig and adjust.
 type Config struct {
@@ -98,6 +151,16 @@ type Config struct {
 	// ForwardLat is the latency of a load fully satisfied by
 	// store-to-load forwarding.
 	ForwardLat int
+	// StoreAddrLat is the store address-generation latency (0 means 1).
+	// Widening it opens the window in which a load's older stores are
+	// unresolved — the window the store-to-load forwarding predictor bets
+	// on.
+	StoreAddrLat int
+
+	// Speculation, when non-nil, enables wrong-path fetch and the
+	// store-to-load forwarding predictor (see SpeculationConfig). Nil is
+	// bit-identical to the non-speculative machine.
+	Speculation *SpeculationConfig
 
 	// MaxCycles bounds simulation (guards against livelock); Run returns
 	// an error when exceeded.
@@ -250,6 +313,20 @@ func (c Config) validate(h *cache.Hierarchy) error {
 	if c.BranchPenalty < 0 || c.SquashPenalty < 0 {
 		return fmt.Errorf("pipeline: penalties must be non-negative")
 	}
+	if c.StoreAddrLat < 0 {
+		return fmt.Errorf("pipeline: StoreAddrLat must be non-negative, got %d", c.StoreAddrLat)
+	}
+	if sp := c.Speculation; sp != nil {
+		if sp.MaxWrongPath < 0 {
+			return fmt.Errorf("pipeline: Speculation.MaxWrongPath must be non-negative, got %d", sp.MaxWrongPath)
+		}
+		if sp.BimodalBits < 0 || sp.BimodalBits > 24 {
+			return fmt.Errorf("pipeline: Speculation.BimodalBits must be in [0,24], got %d", sp.BimodalBits)
+		}
+		if sp.StLFBits < 0 || sp.StLFBits > 24 {
+			return fmt.Errorf("pipeline: Speculation.StLFBits must be in [0,24], got %d", sp.StLFBits)
+		}
+	}
 	if c.MaxCycles <= 0 {
 		return fmt.Errorf("pipeline: MaxCycles must be positive")
 	}
@@ -269,6 +346,11 @@ type Stats struct {
 	BranchMispredicts uint64
 	ValueSquashes     uint64
 	SquashedUops      uint64
+
+	WrongPathFetched   uint64 // µops fetched down a predicted (wrong) path
+	MispredictSquashes uint64 // wrong-path squashes at branch resolution
+	SpecForwards       uint64 // predictive store-to-load forwards
+	SpecForwardReplays uint64 // spec forwards that failed retire verification
 
 	LoadsForwarded uint64
 	LoadsFromCache uint64

@@ -35,6 +35,13 @@ func (m *Machine) fetchAndDispatch() {
 		if len(m.replay) > 0 {
 			u = m.replay[0]
 			fromReplay = true
+		} else if m.specBranch != nil {
+			// Wrong-path mode: fetch follows the predicted path of the
+			// unresolved mispredicted branch. The oracle is not stepped.
+			u = m.newWrongPathUop()
+			if u == nil {
+				return
+			}
 		} else {
 			if m.oracleHalted || m.haltFetched {
 				return
@@ -64,6 +71,16 @@ func (m *Machine) fetchAndDispatch() {
 
 		m.dispatch(u)
 		if u.mispredicted {
+			// A branch re-dispatched from the replay queue must not re-enter
+			// wrong-path mode: its correct-path successors are already queued
+			// right behind it, and dispatching them during wrong-path fetch
+			// would break the speculation discipline (and they would only be
+			// re-squashed at resolution). Replayed mispredicts take the
+			// legacy redirect stall instead.
+			if m.specCanWrongPath(u) && !fromReplay {
+				m.beginWrongPath(u)
+				continue // same-cycle fetch proceeds down the predicted path
+			}
 			m.fetchBlocked = u
 			u.refs++
 			return
@@ -132,9 +149,15 @@ func (m *Machine) newUopFromOracle() *uop {
 
 	switch t.class {
 	case isa.ClassBranch:
-		// Static BTFN: backward targets predicted taken (decoded once into
-		// the template).
-		u.predictedTaken = t.predictedTaken
+		// Direction prediction: static BTFN (decoded once into the
+		// template) or the bimodal table when configured.
+		u.predictedTaken = m.predictTaken(t)
+		// Fault site: a mispredict storm forces correctly predicted
+		// conditional branches to predict against the architectural
+		// outcome.
+		if m.cfg.Faults.MispredictStorm(m.cycle, u.predictedTaken == u.oracleTaken) {
+			u.predictedTaken = !u.oracleTaken
+		}
 		u.mispredicted = u.predictedTaken != u.oracleTaken
 	case isa.ClassJump:
 		// Direct jumps (JAL) are predicted perfectly; indirect jumps
@@ -204,7 +227,10 @@ func (m *Machine) dispatch(u *uop) {
 				u.fusedProd = p
 			}
 		}
-		if m.cfg.Predictor != nil {
+		// Wrong-path loads are never value-predicted: a wrong-path µop
+		// must not initiate a value squash (its "misprediction" has no
+		// architectural meaning) nor enter the replay queue.
+		if m.cfg.Predictor != nil && !u.wrongPath {
 			if v, ok := m.cfg.Predictor.Predict(u.pc); ok {
 				u.predicted = true
 				u.wasPredicted = true

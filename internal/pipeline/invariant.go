@@ -101,6 +101,37 @@ func (m *Machine) checkInvariants() {
 		}
 	}
 
+	// Speculation discipline: wrong-path µops are exactly the ROB suffix
+	// younger than the outstanding mispredicted branch, their count
+	// matches the fetch-side counter (wrong-path µops never retire, so
+	// every one fetched is still in the ROB), and none may be queued for
+	// replay (wrong-path victims are discarded, not replayed).
+	wrongN := 0
+	for i := 0; i < m.robN; i++ {
+		u := m.robAt(i)
+		if u.wrongPath {
+			wrongN++
+			if m.specBranch == nil || u.seq <= m.specBranch.seq {
+				m.fail("invariant: wrong-path µop #%d with no unresolved mispredicted branch older than it", u.seq)
+				return
+			}
+		} else if m.specBranch != nil && u.seq > m.specBranch.seq {
+			m.fail("invariant: correct-path µop #%d younger than unresolved mispredicted branch #%d",
+				u.seq, m.specBranch.seq)
+			return
+		}
+	}
+	if wrongN != m.wrongPathN {
+		m.fail("invariant: %d wrong-path µops in ROB but counter says %d", wrongN, m.wrongPathN)
+		return
+	}
+	for _, v := range m.replay {
+		if v.wrongPath {
+			m.fail("invariant: wrong-path µop #%d in the replay queue", v.seq)
+			return
+		}
+	}
+
 	// Cache hierarchy: inclusivity and replacement-state sanity. A latched
 	// SelfCheck violation names the operation that exposed it; otherwise
 	// probe directly.
@@ -114,41 +145,14 @@ func (m *Machine) checkInvariants() {
 }
 
 // checkForwardConsistency recomputes a store-to-load forwarding result
-// with an independent algorithm — youngest-to-oldest, first writer per
-// byte wins, instead of readWithForward's oldest-to-youngest overwrite —
-// and fails the machine if the two disagree.
+// with an independent algorithm — forwardScan's youngest-to-oldest, first
+// writer per byte wins, instead of readWithForward's oldest-to-youngest
+// overwrite — and fails the machine if the two disagree.
 func (m *Machine) checkForwardConsistency(addr uint64, width int, seq uint64, gotVal uint64, gotFull, gotAny bool) {
 	if m.err != nil {
 		return
 	}
-	var b [8]byte
-	var covered [8]bool
-	for k := len(m.sq) - 1; k >= 0; k-- {
-		e := m.sq[k]
-		if e.u.seq >= seq || !e.addrReady {
-			continue
-		}
-		sa, sw := e.u.addr, e.u.memWidth
-		for i := 0; i < width; i++ {
-			a := addr + uint64(i)
-			if !covered[i] && a >= sa && a < sa+uint64(sw) {
-				b[i] = byte(e.u.storeVal >> (8 * (a - sa)))
-				covered[i] = true
-			}
-		}
-	}
-	full, any := true, false
-	var val uint64
-	for i := width - 1; i >= 0; i-- {
-		if covered[i] {
-			any = true
-		} else {
-			full = false
-			b[i] = m.mem.LoadByte(addr + uint64(i))
-		}
-		val = val<<8 | uint64(b[i])
-	}
-	full = full && any
+	val, full, any := m.forwardScan(addr, width, seq, nil, nil)
 	if val != gotVal || full != gotFull || any != gotAny {
 		m.fail("invariant: forwarding disagreement at %#x/%d for load #%d: scan=(%#x full=%v any=%v) recheck=(%#x full=%v any=%v)",
 			addr, width, seq, gotVal, gotFull, gotAny, val, full, any)

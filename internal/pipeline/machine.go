@@ -62,6 +62,11 @@ type Machine struct {
 	// nothing.
 	uopPool         []*uop
 	sqPool          []*sqEntry
+	// Total objects ever handed out by the pools. After a clean run every
+	// object is back in its free list, so len(pool) == allocated — the
+	// leak-detection invariant alloc_test pins across abort paths.
+	uopAllocated int
+	sqAllocated  int
 	issueScratch    []*uop
 	completeScratch []*uop
 	squashScratch   []*uop
@@ -78,6 +83,20 @@ type Machine struct {
 	fetchBlocked *uop  // unresolved mispredicted branch / indirect jump
 	fetchResumeC int64 // earliest cycle fetch may proceed
 	replay       []*uop
+
+	// Speculation state (Config.Speculation; see spec.go). specBranch is
+	// the outstanding mispredicted branch fetch is running wrong-path
+	// behind (counted reference, like fetchBlocked); wrongPathPC is the
+	// next predicted-path fetch PC (-1 when wrong-path fetch has run off
+	// the program); wrongPathN counts wrong-path µops in flight. btable
+	// holds the bimodal 2-bit direction counters, stlf the per-PC
+	// forwarding-confidence counters — both persist across Runs, as real
+	// predictor state does.
+	specBranch  *uop
+	wrongPathPC int64
+	wrongPathN  int
+	btable      []uint8
+	stlf        []uint8
 
 	haltFetched bool
 	haltRetired bool
@@ -128,6 +147,10 @@ func (m *Machine) registerMetrics() {
 	r.CounterUint64("pipeline.branch_mispredicts", &m.stats.BranchMispredicts)
 	r.CounterUint64("pipeline.value_squashes", &m.stats.ValueSquashes)
 	r.CounterUint64("pipeline.squashed_uops", &m.stats.SquashedUops)
+	r.CounterUint64("pipeline.wrong_path_fetched", &m.stats.WrongPathFetched)
+	r.CounterUint64("pipeline.mispredict_squashes", &m.stats.MispredictSquashes)
+	r.CounterUint64("pipeline.spec_forwards", &m.stats.SpecForwards)
+	r.CounterUint64("pipeline.spec_forward_replays", &m.stats.SpecForwardReplays)
 	r.CounterUint64("pipeline.loads_forwarded", &m.stats.LoadsForwarded)
 	r.CounterUint64("pipeline.loads_from_cache", &m.stats.LoadsFromCache)
 	r.CounterUint64("pipeline.silent_stores", &m.stats.SilentStores)
@@ -218,6 +241,11 @@ func New(cfg Config, memory *mem.Memory, hier *cache.Hierarchy) (*Machine, error
 	}
 	m.registerMetrics()
 	m.initROB()
+	if sp := cfg.Speculation; sp != nil {
+		m.btable = make([]uint8, 1<<uint(sp.bimodalBits()))
+		m.stlf = make([]uint8, 1<<uint(sp.stlfBits()))
+		m.wrongPathPC = -1
+	}
 	if cfg.Probe != nil {
 		// One probe observes everything attached to this core: both cache
 		// levels and the prefetch path (stamped with the core's clock),

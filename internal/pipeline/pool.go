@@ -17,6 +17,8 @@ package pipeline
 //     (stores retire before they dequeue);
 //   - m.fetchBlocked (an unresolved branch/JALR, read by fetch after it
 //     may have left the ROB);
+//   - m.specBranch (the unresolved mispredicted branch wrong-path fetch
+//     runs behind, read by the squash logic at resolution);
 //   - the fence queue (read by the memory-issue check until the fence
 //     completes).
 //
@@ -30,6 +32,7 @@ package pipeline
 func (m *Machine) allocUop() *uop {
 	n := len(m.uopPool)
 	if n == 0 {
+		m.uopAllocated++
 		return &uop{}
 	}
 	u := m.uopPool[n-1]
@@ -80,6 +83,7 @@ func (m *Machine) allocSQ(u *uop) *sqEntry {
 		m.sqPool[n-1] = nil
 		m.sqPool = m.sqPool[:n-1]
 	} else {
+		m.sqAllocated++
 		e = &sqEntry{}
 	}
 	e.u = u
@@ -116,11 +120,42 @@ func (m *Machine) popSQHead() {
 // no-op; after an aborted run (watchdog, MaxCycles, fault campaigns) it is
 // what keeps the pools from leaking. A store µop can be reachable through
 // both the ROB and its SQ entry, so the pooled flag guards re-free here.
+//
+// Producer references are released first, for every reachable µop: a
+// consumer still waiting to issue may hold the only reference to a
+// producer that already retired and left every queue, and freeing the
+// consumer without the unref would leak that producer permanently (the
+// pool would quietly re-allocate a replacement on every aborted run).
+// The release pass must finish before any force-free below — unref on an
+// already-recycled µop corrupts the fresh pool entry's refcount.
 func (m *Machine) reclaimInFlight() {
+	for i := 0; i < m.robN; i++ {
+		m.releaseProds(m.robBuf[(m.robHead+i)&(len(m.robBuf)-1)])
+	}
+	for _, u := range m.replay {
+		m.releaseProds(u)
+	}
+	if m.fetchBlocked != nil {
+		m.releaseProds(m.fetchBlocked)
+	}
 	for i := 0; i < m.robN; i++ {
 		slot := (m.robHead + i) & (len(m.robBuf) - 1)
 		u := m.robBuf[slot]
 		m.robBuf[slot] = nil
+		// Return the physical register held by every in-flight writer —
+		// the same accounting squashTail does. Without it each abort
+		// leaks PRF entries until rename stalls the machine permanently.
+		// (Replay-queue µops were already accounted at their squash; the
+		// ROB holds every other non-retired µop exactly once.)
+		if u.t != nil && u.t.writesReg {
+			if u.wroteback {
+				if m.vf.Release(u.result) {
+					m.prfFree++
+				}
+			} else if u.renamed {
+				m.prfFree++
+			}
+		}
 		if !u.pooled {
 			m.freeUop(u)
 		}
@@ -152,6 +187,14 @@ func (m *Machine) reclaimInFlight() {
 			m.freeUop(u)
 		}
 	}
+	if u := m.specBranch; u != nil {
+		m.specBranch = nil
+		if !u.pooled {
+			m.freeUop(u)
+		}
+	}
+	m.wrongPathPC = -1
+	m.wrongPathN = 0
 	for i, u := range m.fenceQ {
 		m.fenceQ[i] = nil
 		if !u.pooled {

@@ -18,6 +18,19 @@ func (m *Machine) retire() {
 		if u.stage != stDone {
 			return
 		}
+		// Wrong-path µops carry no architectural facts and must be
+		// squashed before the initiating branch retires; one at the ROB
+		// head is a recovery bug, not a recoverable state.
+		if u.wrongPath {
+			m.fail("invariant: wrong-path µop #%d (pc=%d) reached retirement", u.seq, u.pc)
+			return
+		}
+		// A speculatively forwarded load verifies now, when every older
+		// store address is architecturally resolved; a mismatch squashes
+		// the load (inclusive) for replay and ends this retire sweep.
+		if u.specForwarded && !m.verifySpecForward(u) {
+			return
+		}
 		// Replay re-dispatches with a fresh sequence number, so retire
 		// order is strictly increasing seq — anything else is a ROB bug.
 		if m.cfg.CheckInvariants && u.seq <= m.lastRetiredSeq {
@@ -75,6 +88,10 @@ func (m *Machine) retire() {
 			if m.cfg.Predictor != nil {
 				m.cfg.Predictor.Resolve(u.pc, u.result, u.wasPredicted, u.predictedVal)
 			}
+		case isa.ClassBranch:
+			// The bimodal predictor trains at commit, like the value
+			// predictor: once per dynamic instance, in program order.
+			m.trainBranch(u)
 		case isa.ClassHalt:
 			m.haltRetired = true
 		}
@@ -133,6 +150,7 @@ func (m *Machine) complete() {
 	m.completeScratch = cands
 
 	var squashAfter *uop
+	var mispredictDone *uop
 	for _, u := range cands {
 		if u.doneC > m.cycle {
 			continue
@@ -182,127 +200,54 @@ func (m *Machine) complete() {
 				m.lsqCompare(e)
 			}
 		case isa.ClassBranch:
+			// A wrong-path branch has no oracle outcome to diverge from.
+			if u.wrongPath {
+				break
+			}
 			taken := isa.Taken(u.inst.Op, u.srcVals[0], u.srcVals[1])
-			if taken != u.oracleTaken {
+			// A branch fed by an unverified speculative forward may
+			// legitimately compute the wrong direction; the forwarding
+			// replay squashes it before it retires, so divergence is only
+			// a machine bug on non-speculative dataflow.
+			if taken != u.oracleTaken && !u.specData {
 				m.fail("branch divergence at pc=%d %v (pipeline taken=%v oracle=%v)",
 					u.pc, u.inst, taken, u.oracleTaken)
+			}
+			if u == m.specBranch {
+				mispredictDone = u
 			}
 		case isa.ClassJump:
 			if u.inst.Op == isa.JALR {
 				target := int64(u.inst.EffectiveAddr(u.srcVals[0]))
-				if target != u.nextPC {
+				if target != u.nextPC && !u.specData {
 					m.fail("indirect jump divergence at pc=%d (pipeline target=%d oracle=%d)",
 						u.pc, target, u.nextPC)
 				}
 			}
 		}
 	}
+	// A value squash at an older load subsumes mispredict recovery: the
+	// branch itself is squashed for replay (mispredicted preserved) and
+	// squashTail clears wrong-path mode. squashAfter is always older —
+	// wrong-path loads are never value-predicted, so no predicted load
+	// can sit younger than the unresolved branch.
 	if squashAfter != nil {
 		m.squashYounger(squashAfter)
+	} else if mispredictDone != nil {
+		m.squashWrongPath(mispredictDone)
 	}
 }
 
 // squashYounger removes every µop younger than u from the pipeline and
-// queues it for replay — the value-misprediction recovery path.
+// queues it for replay — the value-misprediction recovery path. The
+// unwind itself lives in squashTail (spec.go), shared with mispredict and
+// spec-forward-replay recovery.
 func (m *Machine) squashYounger(u *uop) {
 	m.stats.ValueSquashes++
 	if m.cfg.Predictor != nil {
 		m.cfg.Predictor.Squash()
 	}
-	// The ROB ring is in program order: the squash victims are exactly its
-	// tail. Pop youngest-first, then reverse so the accounting, events and
-	// replay queue all see program order (as the old partition walk did).
-	squashed := m.squashScratch[:0]
-	for m.robN > 0 {
-		tail := m.robAt(m.robN - 1)
-		if tail.seq <= u.seq {
-			break
-		}
-		m.robPopTail()
-		squashed = append(squashed, tail)
-	}
-	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
-		squashed[i], squashed[j] = squashed[j], squashed[i]
-	}
-	m.squashScratch = squashed
-
-	for _, v := range squashed {
-		m.stats.SquashedUops++
-		m.emit(obs.KindSquash, obs.TrackIssue, v, 0, "")
-		m.event(EvSquash, v, "")
-		if v.t.writesReg {
-			if v.wroteback {
-				if m.vf.Release(v.result) {
-					m.prfFree++
-				}
-			} else if v.renamed {
-				m.prfFree++
-			}
-		}
-		if v.stage == stDispatched {
-			m.iqCount--
-		}
-		if v.class == isa.ClassLoad {
-			m.lqCount--
-		}
-	}
-
-	// Remove squashed stores from the SQ (none can be dequeuing: dequeue
-	// requires retirement, and retirement is in-order behind u).
-	sq := m.sq[:0]
-	for _, e := range m.sq {
-		if e.u.seq <= u.seq {
-			sq = append(sq, e)
-			continue
-		}
-		if e.dequeuing || e.u.stage == stRetired {
-			m.fail("squashed a retired/dequeuing store #%d", e.u.seq)
-		}
-		m.freeSQ(e)
-	}
-	for i := len(sq); i < len(m.sq); i++ {
-		m.sq[i] = nil
-	}
-	m.sq = sq
-
-	// Squashed fences leave the fence queue (its tail, by program order).
-	for n := len(m.fenceQ); n > 0 && m.fenceQ[n-1].seq > u.seq; n = len(m.fenceQ) {
-		f := m.fenceQ[n-1]
-		m.fenceQ[n-1] = nil
-		m.fenceQ = m.fenceQ[:n-1]
-		m.unref(f)
-	}
-
-	// Rebuild the rename map from surviving in-flight µops.
-	m.producer = [isa.NumRegs]*uop{}
-	for i := 0; i < m.robN; i++ {
-		v := m.robAt(i)
-		if v.t.writesReg && v.stage != stRetired {
-			m.producer[v.t.dest] = v
-		}
-	}
-
-	// Queue for replay (already in program order) and redirect fetch. The
-	// two replay buffers swap so the prepend is allocation-free.
-	for _, v := range squashed {
-		m.resetForReplay(v)
-	}
-	next := m.replaySwap[:0]
-	next = append(next, squashed...)
-	next = append(next, m.replay...)
-	for i := range m.replay {
-		m.replay[i] = nil
-	}
-	m.replaySwap = m.replay[:0]
-	m.replay = next
-	if resume := m.cycle + int64(m.cfg.SquashPenalty); resume > m.fetchResumeC {
-		m.fetchResumeC = resume
-	}
-	if m.fetchBlocked != nil && m.fetchBlocked.seq > u.seq {
-		b := m.fetchBlocked
-		m.fetchBlocked = nil
-		m.unref(b)
-	}
+	m.squashTail(u.seq+1, m.cfg.SquashPenalty)
 }
 
 func (m *Machine) resetForReplay(v *uop) {
@@ -325,6 +270,8 @@ func (m *Machine) resetForReplay(v *uop) {
 	v.renamed = false
 	v.wroteback = false
 	v.stuck = false // a squash clears a dropped wakeup: replay re-arms issue
+	v.specForwarded = false
+	v.specData = false
 	v.replayed++
 	if v.replayed > 64 {
 		m.fail("µop #%d replayed %d times (livelock)", v.seq, v.replayed)
@@ -786,7 +733,9 @@ func (m *Machine) issue() {
 			if alu > 0 {
 				alu--
 				m.readSources(u)
-				if u.tainted {
+				// A wrong-path predicate is never architecturally resolved,
+				// so the RDCYCLE check only applies on the correct path.
+				if u.tainted && !u.wrongPath {
 					m.fail("branch predicate derives from RDCYCLE at pc=%d", u.pc)
 				}
 				m.startExec(u, 1)
@@ -797,6 +746,11 @@ func (m *Machine) issue() {
 				continue
 			}
 			if !m.olderStoresResolved(u.seq) {
+				// The forwarding predictor's bet: consume an unresolved
+				// older store's data now, verify at retire.
+				if m.trySpecForward(u) {
+					ld--
+				}
 				continue
 			}
 			if m.lqReadyLoad(u) {
@@ -809,7 +763,7 @@ func (m *Machine) issue() {
 				m.readSources(u)
 				u.addr = u.inst.EffectiveAddr(u.srcVals[0])
 				u.storeVal = u.srcVals[1]
-				m.startExec(u, 1) // AGU
+				m.startExec(u, m.storeAddrLat()) // AGU
 			}
 		}
 	}
@@ -858,6 +812,12 @@ func (m *Machine) issue() {
 func (m *Machine) lqReadyLoad(u *uop) bool {
 	m.readSources(u)
 	u.addr = u.inst.EffectiveAddr(u.srcVals[0])
+	if u.wrongPath {
+		// At this point u.labels is exactly the address-formation label
+		// set. The access below changes real cache state even though the
+		// µop will be squashed — a squashed leak is still a leak.
+		m.cfg.Taint.ObserveWrongPathLoad(m.cycle, u.pc, u.labels)
+	}
 	val, full, _, memTaint, memLabels := m.readWithForward(u.addr, u.memWidth, u.seq)
 	val = isa.LoadExtend(u.inst.Op, val)
 	var lat int
@@ -865,6 +825,9 @@ func (m *Machine) lqReadyLoad(u *uop) bool {
 		lat = m.cfg.ForwardLat
 		m.stats.LoadsForwarded++
 		m.emit(obs.KindForward, obs.TrackMem, u, int64(lat), "")
+		// A completed full forward trains the forwarding predictor: this
+		// load PC has a history of hitting in-flight store data.
+		m.stlfBump(u.pc)
 	} else {
 		res := m.hier.Access(u.addr, val, false)
 		lat = res.Latency
@@ -891,6 +854,13 @@ func (m *Machine) readSources(u *uop) {
 		u.srcVals[1] = u.t.immVal
 	}
 	u.tainted = u.srcTainted(0, &m.committedTaint) || u.srcTainted(1, &m.committedTaint)
+	// A consumer of a speculatively forwarded value is itself speculative
+	// data until the forward verifies at retire: its result (and a branch
+	// direction computed from it) may diverge from the oracle and be
+	// squashed rather than failed.
+	if (u.prod[0] != nil && u.prod[0].specData) || (u.prod[1] != nil && u.prod[1].specData) {
+		u.specData = true
+	}
 	if st := m.cfg.Taint; st != nil {
 		// Uses() maps immediate operands to X0, whose labels are always
 		// empty, so the plain union is the immediate-substitution rule.

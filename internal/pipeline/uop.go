@@ -51,7 +51,23 @@ type uop struct {
 
 	// Fetch-time prediction bookkeeping.
 	predictedTaken bool
-	mispredicted   bool // static direction prediction was wrong (or JALR)
+	mispredicted   bool // direction prediction was wrong (or JALR)
+
+	// wrongPath marks a µop fetched down the predicted path of an
+	// unresolved mispredicted branch: it carries template facts only (the
+	// oracle never executed it), must never retire, and is discarded —
+	// not replayed — at the squash.
+	wrongPath bool
+	// specForwarded marks a load that consumed predictively forwarded
+	// store data (Speculation.StLF); retire verifies it against the
+	// resolved store queue and replays on a mismatch.
+	specForwarded bool
+	// specData marks a µop whose value may derive from an unverified
+	// speculative forward (the forwarded load itself, and transitively
+	// any consumer that latched such a producer). Oracle-divergence
+	// invariants are deferred for these µops: a wrong value is resolved
+	// by the forwarding replay, not a machine failure.
+	specData bool
 
 	// Pipeline-computed values.
 	srcVals  [2]uint64 // operand values read at issue

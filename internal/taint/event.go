@@ -33,6 +33,16 @@ const (
 	// the classical leak every machine has, reported so scans separate
 	// "new" optimization channels from pre-existing ones.
 	OptControlFlow
+	// OptSpecForward: a store-to-load forwarding predictor speculatively
+	// forwarded tainted store data (or decided on a tainted address
+	// match) before the store's address resolved — the Store-to-Leak
+	// Forwarding substrate (Schwarz et al., 1905.05725).
+	OptSpecForward
+	// OptWrongPath: a squashed wrong-path load accessed the cache with a
+	// secret-derived address — the speculative-vectorization channel
+	// (Karuppanan & Mirbagher, 2302.01131). The squash unwinds the ROB,
+	// not the cache.
+	OptWrongPath
 
 	numOptClasses // sentinel
 )
@@ -58,6 +68,10 @@ func (c OptClass) String() string {
 		return "prefetcher"
 	case OptControlFlow:
 		return "control-flow"
+	case OptSpecForward:
+		return "spec-forward"
+	case OptWrongPath:
+		return "wrong-path-load"
 	}
 	return fmt.Sprintf("opt(%d)", uint8(c))
 }
@@ -83,6 +97,10 @@ func (c OptClass) MLDRef() string {
 		return "im3l_prefetcher"
 	case OptControlFlow:
 		return "branch_direction"
+	case OptSpecForward:
+		return "store_to_leak"
+	case OptWrongPath:
+		return "spec_vectorization"
 	}
 	return ""
 }

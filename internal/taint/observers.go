@@ -85,3 +85,18 @@ func (st *State) ObservePrefetch(addr uint64, detail string, labels LabelSet) {
 func (st *State) ObserveControlFlow(cycle, pc int64, labels LabelSet) {
 	st.observe(OptControlFlow, cycle, pc, "", "tainted predicate", labels)
 }
+
+// ObserveSpecForward reports a predictive store-to-load forward whose
+// forwarded data or address-match outcome is tainted: whether the load
+// issues fast (forwarded) and whether retire later replays it are both
+// functions of that state.
+func (st *State) ObserveSpecForward(cycle, pc int64, labels LabelSet) {
+	st.observe(OptSpecForward, cycle, pc, "", "predictive store-to-load forward", labels)
+}
+
+// ObserveWrongPathLoad reports a wrong-path load forming its address from
+// tainted state. The µop will be squashed, but the cache access is real —
+// a squashed leak is still a leak.
+func (st *State) ObserveWrongPathLoad(cycle, pc int64, labels LabelSet) {
+	st.observe(OptWrongPath, cycle, pc, "", "squashed load's cache access", labels)
+}
