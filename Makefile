@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick statscheck bench bench-cycles bench-cycles-check clean
+.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick serve serve-quick statscheck bench bench-cycles bench-cycles-check bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,19 @@ trace: build
 trace-quick: build
 	$(GO) run -race ./cmd/pandora trace -quick
 
+# Leakage-analysis-as-a-service: HTTP job API with the content-addressed
+# result cache in .pandora-cache (Ctrl-C drains gracefully).
+serve: build
+	$(GO) run ./cmd/pandora serve
+
+# Service self-test used by CI, under the race detector: job round-trips
+# per type, cache hit byte-identity, tamper rejection.
+serve-quick: build
+	$(GO) run -race ./cmd/pandora serve -quick
+
 # Stats-encapsulation lint: no cross-package raw Stats writes.
 statscheck:
-	$(GO) run ./tools/statscheck internal cmd
+	$(GO) run ./tools/statscheck -v internal cmd
 
 # Regenerate BENCH_parallel.json (serial vs parallel wall-clock).
 bench: build
@@ -65,6 +75,12 @@ bench-cycles: build
 # different CPU count.
 bench-cycles-check: build
 	$(GO) run ./cmd/pandora bench -cycles -check -json BENCH_cycles.json
+
+# Benchmark the job service (cold vs warm jobs/sec, latency percentiles)
+# and rewrite BENCH_serve.json (refuses to overwrite a baseline from a
+# different CPU count without -force).
+bench-serve: build
+	$(GO) run ./cmd/pandora bench -serve -json BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

@@ -11,8 +11,9 @@ go test -race -short ./...
 
 # Stats encapsulation: no package writes through another package's
 # exported Stats value — counters are owned where they are declared and
-# read through getters or obs.Registry snapshots.
-go run ./tools/statscheck internal cmd
+# read through getters or obs.Registry snapshots. -v lists the owning
+# packages (internal/serve's service counters are among them).
+go run ./tools/statscheck -v internal cmd
 
 # Differential oracle: pipeline vs emulator over a bounded seeded corpus,
 # all optimization-toggle extremes plus rotating coverage, invariant
@@ -45,6 +46,15 @@ go run -race ./cmd/pandora trace -quick
 # timing). The gate requires at least one detector to fire per site class
 # and zero false positives on the no-fault control arm.
 go run -race ./cmd/pandora fault -quick
+
+# Job service: a real `pandora serve` instance on an ephemeral port,
+# driven over HTTP — one job per job type, an identical resubmission
+# must be a byte-identical cache hit without re-executing (the
+# serve.executed counter is the probe), and a corrupted cache entry must
+# fail its HMAC identity header and be transparently recomputed. Under
+# the race detector: submissions, the worker pool, the event streams and
+# the graceful drain all run concurrently.
+go run -race ./cmd/pandora serve -quick
 
 # Cycle-loop throughput gate: re-measure single-core cycles/sec and fail
 # if it regressed more than 10% below the committed BENCH_cycles.json

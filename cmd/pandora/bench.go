@@ -35,8 +35,9 @@ type benchReport struct {
 // write the comparison to a JSON file.
 func runBench(args []string) int {
 	c := cli.New("bench", cli.WithParallel(), cli.WithSeed(1, "workload seed for -cycles"))
-	jsonPath := c.Flags().String("json", "", "output path for the JSON report (default BENCH_parallel.json, or BENCH_cycles.json with -cycles)")
+	jsonPath := c.Flags().String("json", "", "output path for the JSON report (default BENCH_parallel.json; BENCH_cycles.json with -cycles; BENCH_serve.json with -serve)")
 	cf := registerCyclesFlags(c)
+	sf := registerServeFlags(c)
 	if err := c.Parse(args); err != nil {
 		return 2
 	}
@@ -47,6 +48,13 @@ func runBench(args []string) int {
 			path = "BENCH_cycles.json"
 		}
 		return runBenchCycles(c, cf, path, *c.Seed)
+	}
+	if *sf.enabled {
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_serve.json"
+		}
+		return runBenchServe(c, sf, *cf.force, path, *c.Parallel)
 	}
 	if *jsonPath == "" {
 		*jsonPath = "BENCH_parallel.json"

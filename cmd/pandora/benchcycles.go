@@ -24,7 +24,7 @@ func registerCyclesFlags(c *cli.Command) cyclesFlags {
 	return cyclesFlags{
 		enabled:   fs.Bool("cycles", false, "measure single-core cycles/sec instead of parallel speedup"),
 		check:     fs.Bool("check", false, "with -cycles: compare against the committed baseline instead of writing (CI gate)"),
-		force:     fs.Bool("force", false, "with -cycles: overwrite a baseline recorded under a different CPU configuration"),
+		force:     fs.Bool("force", false, "with -cycles or -serve: overwrite a baseline recorded under a different CPU configuration"),
 		tolerance: fs.Float64("tolerance", cyclebench.DefaultTolerance, "with -cycles -check: fractional regression allowed before failing"),
 		programs:  fs.Int("programs", 0, "with -cycles: workload program count (0 = default)"),
 		reps:      fs.Int("reps", 0, "with -cycles: repetitions of the program set per mask (0 = default)"),

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pandora/cmd/pandora/internal/cli"
+	"pandora/internal/serve"
+)
+
+// serveFlags are the `pandora bench -serve` knobs, registered alongside
+// the parallel- and cycles-bench flags on the shared bench command.
+type serveFlags struct {
+	enabled *bool
+	jobs    *int
+}
+
+func registerServeFlags(c *cli.Command) serveFlags {
+	fs := c.Flags()
+	return serveFlags{
+		enabled: fs.Bool("serve", false, "benchmark the job service (cold vs warm jobs/sec, latency percentiles)"),
+		jobs:    fs.Int("jobs", 0, "with -serve: workload job count (0 = default)"),
+	}
+}
+
+// runBenchServe implements `pandora bench -serve`: measure the service
+// end to end — cold pass (every job executes) vs warm pass (every job
+// is a cache hit) — and write BENCH_serve.json. Like BENCH_cycles.json
+// the numbers are wall-clock derived, so a committed baseline from a
+// different CPU configuration is not overwritten without -force.
+func runBenchServe(c *cli.Command, f serveFlags, force bool, jsonPath string, workers int) int {
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	rep, err := serve.Bench(serve.BenchOptions{
+		Jobs:     *f.jobs,
+		Workers:  workers,
+		Progress: progress,
+	})
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+
+	if prev, err := serve.ReadBenchFile(jsonPath); err == nil {
+		if !rep.SameCPU(prev) && !force {
+			return c.Errorf(1,
+				"%s was measured at num_cpu=%d gomaxprocs=%d but this run is %d/%d; "+
+					"refusing to overwrite an apples-to-oranges baseline (use -force to override)",
+				jsonPath, prev.NumCPU, prev.GOMAXPROCS, rep.NumCPU, rep.GOMAXPROCS)
+		}
+	}
+	if err := rep.WriteFile(jsonPath); err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	fmt.Printf("cold: %.2f jobs/sec (p50 %.2fms, p99 %.2fms)\n",
+		rep.Cold.JobsPerSec, rep.Cold.P50Millis, rep.Cold.P99Millis)
+	fmt.Printf("warm: %.2f jobs/sec (p50 %.2fms, p99 %.2fms) — %.2fx\n",
+		rep.Warm.JobsPerSec, rep.Warm.P50Millis, rep.Warm.P99Millis, rep.WarmSpeedup)
+	fmt.Printf("wrote %s\n", jsonPath)
+	return 0
+}

@@ -7,6 +7,7 @@ import (
 	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/diffcheck"
 	"pandora/internal/faults"
+	"pandora/internal/serve"
 )
 
 // runCheck implements `pandora check`: the differential-oracle sweep that
@@ -14,6 +15,10 @@ import (
 // corpus, under every optimization-toggle combination (sampled per
 // program, covered in full across the corpus) and a spread of cache
 // variants, with runtime invariant checking enabled throughout.
+//
+// The standard sweep executes through the serve.JobRunner the
+// `pandora serve` service uses; only -inject (which wires a Subject the
+// job API deliberately cannot express) drives diffcheck directly.
 func runCheck(args []string) int {
 	c := cli.New("check",
 		cli.WithSeed(1, "corpus seed"),
@@ -29,32 +34,27 @@ func runCheck(args []string) int {
 	}
 	defer c.Close()
 
-	opts := diffcheck.Options{
-		Programs:        *n,
-		Seed:            *c.Seed,
-		MasksPerProgram: *masks,
-		Workers:         *c.Parallel,
-		Log:             c.LogFunc(),
-	}
+	programs, masksPer := *n, *masks
 	if *c.Quick {
-		opts.Programs = 64
-		opts.MasksPerProgram = 1
+		programs, masksPer = 64, 1
 	}
+
 	if *inject {
 		// The injected bug is the SiteMiscompile fault plan — the same
 		// injector `pandora fault` sweeps, applied here as a Subject.
-		opts.Subject = diffcheck.SubjectFromPlan(&faults.Plan{Site: faults.SiteMiscompile})
-	}
-
-	rep, err := diffcheck.Check(context.Background(), opts)
-	if err != nil {
-		return c.Errorf(1, "%v", err)
-	}
-	fmt.Print(rep)
-
-	if *inject {
-		// Inverted expectation: the sweep validates itself by catching the
-		// injected bug.
+		// Inverted expectation: the sweep validates itself by catching it.
+		rep, err := diffcheck.Check(context.Background(), diffcheck.Options{
+			Programs:        programs,
+			Seed:            *c.Seed,
+			MasksPerProgram: masksPer,
+			Workers:         *c.Parallel,
+			Log:             c.LogFunc(),
+			Subject:         diffcheck.SubjectFromPlan(&faults.Plan{Site: faults.SiteMiscompile}),
+		})
+		if err != nil {
+			return c.Errorf(1, "%v", err)
+		}
+		fmt.Print(rep)
 		if rep.Ok() {
 			fmt.Println("[INJECTED BUG NOT CAUGHT]")
 			return 1
@@ -62,7 +62,26 @@ func runCheck(args []string) int {
 		fmt.Println("[INJECTED BUG CAUGHT]")
 		return 0
 	}
-	if !rep.Ok() {
+
+	canon, err := serve.Canonical(serve.JobSpec{
+		Kind:     serve.KindCheck,
+		Seed:     *c.Seed,
+		Programs: programs,
+		Masks:    masksPer,
+	})
+	if err != nil {
+		return c.Errorf(2, "%v", err)
+	}
+	runner, _ := serve.Runner(serve.KindCheck)
+	res, err := runner.Run(context.Background(), canon, serve.RunOpts{
+		Workers: *c.Parallel,
+		Log:     c.LogFunc(),
+	})
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	fmt.Print(res.Text)
+	if !res.Pass {
 		return 1
 	}
 	fmt.Println("[CLEAN]")

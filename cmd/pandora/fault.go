@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -8,8 +9,7 @@ import (
 	"strings"
 
 	"pandora/cmd/pandora/internal/cli"
-	"pandora/internal/faults"
-	"pandora/internal/faults/campaign"
+	"pandora/internal/serve"
 )
 
 // runFault implements `pandora fault`: the fault-injection campaign. It
@@ -18,6 +18,10 @@ import (
 // and reports per-site detection rates and latencies. With -journal the
 // campaign checkpoints after every trial and -resume continues an
 // interrupted run, producing the same report byte for byte.
+//
+// The campaign executes through the serve.JobRunner the `pandora serve`
+// service uses; the journal/resume/dump-dir knobs travel as RunOpts
+// because they change how a result is computed, never what it is.
 func runFault(args []string) int {
 	c := cli.New("fault",
 		cli.WithSeed(1, "campaign master seed"),
@@ -37,85 +41,51 @@ func runFault(args []string) int {
 	}
 	defer c.Close()
 
-	opts := campaign.Options{
-		Seed:    *c.Seed,
-		Trials:  *trials,
-		Workers: *c.Parallel,
-		Journal: *journalPath,
-		Resume:  *resume,
-		DumpDir: *dumpDir,
-		Log:     c.LogFunc(),
-	}
-	if *c.Quick && opts.Trials == 0 {
-		opts.Trials = 4
+	spec := serve.JobSpec{Kind: serve.KindFault, Seed: *c.Seed, Trials: *trials}
+	if *c.Quick && spec.Trials == 0 {
+		spec.Trials = 4
 	}
 	if *sitesFlag != "" {
 		for _, name := range strings.Split(*sitesFlag, ",") {
-			s, err := faults.ParseSite(strings.TrimSpace(name))
-			if err != nil {
-				return c.Errorf(2, "%v", err)
-			}
-			opts.Sites = append(opts.Sites, s)
+			spec.Sites = append(spec.Sites, strings.TrimSpace(name))
 		}
 	}
 	if *resume && *journalPath == "" {
 		return c.Errorf(2, "-resume needs -journal")
 	}
 
-	rep, err := campaign.Run(context.Background(), opts)
+	canon, err := serve.Canonical(spec)
+	if err != nil {
+		return c.Errorf(2, "%v", err)
+	}
+	runner, _ := serve.Runner(serve.KindFault)
+	res, err := runner.Run(context.Background(), canon, serve.RunOpts{
+		Workers: *c.Parallel,
+		Log:     c.LogFunc(),
+		Journal: *journalPath,
+		Resume:  *resume,
+		DumpDir: *dumpDir,
+	})
 	if err != nil {
 		return c.Errorf(1, "%v", err)
 	}
 
 	if *c.JSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, res.Output, "", "  "); err != nil {
 			return c.Errorf(1, "%v", err)
 		}
+		buf.WriteByte('\n')
+		os.Stdout.Write(buf.Bytes())
 	} else {
-		printFaultReport(rep)
+		fmt.Print(res.Text)
 	}
 
-	if err := campaign.Verify(rep); err != nil {
-		fmt.Fprintf(os.Stderr, "pandora: fault: %v\n", err)
+	if !res.Pass {
+		fmt.Fprintf(os.Stderr, "pandora: fault: %s\n", res.Note)
 		fmt.Println("[FAULT CAMPAIGN FAILED]")
 		return 1
 	}
 	fmt.Println("[FAULT CAMPAIGN OK]")
 	return 0
-}
-
-func printFaultReport(rep *campaign.Report) {
-	fmt.Printf("fault campaign: seed=%d trials/site=%d control=%d\n\n",
-		rep.Seed, rep.TrialsPerSite, rep.ControlTrials)
-	fmt.Printf("%-12s %7s %6s %9s %6s %12s  %s\n",
-		"site", "trials", "fired", "detected", "rate", "mean-latency", "detectors")
-	for _, s := range rep.Sites {
-		dets := make([]string, 0, len(s.Detectors))
-		for name, n := range s.Detectors {
-			dets = append(dets, fmt.Sprintf("%s:%d", name, n))
-		}
-		// Map iteration order is random; the summary line must not be.
-		sortStrings(dets)
-		rate := "-"
-		if s.Fired > 0 {
-			rate = fmt.Sprintf("%3.0f%%", 100*s.DetectionRate)
-		}
-		lat := "-"
-		if s.Detected > 0 {
-			lat = fmt.Sprintf("%.1f", s.MeanLatency)
-		}
-		fmt.Printf("%-12s %7d %6d %9d %6s %12s  %s\n",
-			s.Site, s.Trials, s.Fired, s.Detected, rate, lat, strings.Join(dets, " "))
-	}
-	fmt.Println()
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

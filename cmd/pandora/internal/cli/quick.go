@@ -1,0 +1,44 @@
+package cli
+
+import "fmt"
+
+// QuickSuite is the shared shape of the -quick CI suites (scan, trace,
+// serve): named end-to-end assertions printed one per line, a final
+// [NAME OK] / [N NAME ASSERTION(S) FAILED] verdict, and a process exit
+// code. Extracted so every suite formats and counts identically.
+type QuickSuite struct {
+	name   string
+	failed int
+}
+
+// NewQuickSuite starts a suite whose verdict lines use the given
+// (upper-case) name.
+func NewQuickSuite(name string) *QuickSuite {
+	return &QuickSuite{name: name}
+}
+
+// Assert records one assertion and prints its line.
+func (q *QuickSuite) Assert(name string, ok bool, detail string) {
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+		q.failed++
+	}
+	fmt.Printf("%s %-28s %s\n", status, name, detail)
+}
+
+// Assertf is Assert with a formatted detail.
+func (q *QuickSuite) Assertf(name string, ok bool, format string, args ...any) {
+	q.Assert(name, ok, fmt.Sprintf(format, args...))
+}
+
+// Done prints the verdict and returns the exit code (0 clean, 1 any
+// failure).
+func (q *QuickSuite) Done() int {
+	if q.failed > 0 {
+		fmt.Printf("[%d %s ASSERTION(S) FAILED]\n", q.failed, q.name)
+		return 1
+	}
+	fmt.Printf("[%s OK]\n", q.name)
+	return 0
+}

@@ -57,6 +57,9 @@ func main() {
 	if cmd == "trace" {
 		os.Exit(runTrace(os.Args[2:]))
 	}
+	if cmd == "serve" {
+		os.Exit(runServe(os.Args[2:]))
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	samples := fs.Int("samples", 0, "distribution sample count")
@@ -227,7 +230,7 @@ func usage() {
 		fmt.Printf("  %-16s %-24s %s\n", e.Name, e.Artifact, e.Title)
 	}
 	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-parallel N] [-v]")
-	fmt.Println("       pandora bench [-parallel N] [-json path]")
+	fmt.Println("       pandora bench [-parallel N] [-json path] | -cycles [-check] | -serve [-jobs N]")
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
 	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
 	fmt.Println("       pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
@@ -236,4 +239,5 @@ func usage() {
 	fmt.Println("                     [-dump-dir dir] [-json] [-parallel N] [-v]")
 	fmt.Println("       pandora trace [-scenario aes|aes-baseline|ebpf|stlf|specvect|sweep] [-format jsonl|chrome|report]")
 	fmt.Println("                     [-window lo:hi] [-o path] [-seed S] [-parallel N] | -quick")
+	fmt.Println("       pandora serve [-addr host:port] [-cache dir] [-shards N] [-queue N] [-parallel N] | -quick")
 }

@@ -1,15 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"pandora/cmd/pandora/internal/cli"
 	"pandora/internal/core"
 	"pandora/internal/faults"
+	"pandora/internal/serve"
 	"pandora/internal/taint"
 )
 
@@ -18,6 +20,10 @@ import (
 // architectural state and reports every optimization whose trigger
 // condition depended on a secret. Like a linter, it exits non-zero when
 // leaks are found; `-quick` instead runs the CI assertion suite.
+//
+// The scenario and source paths execute through the same serve.JobRunner
+// the `pandora serve` service uses, so the CLI and the job API cannot
+// drift: one spec, one canonical form, one result.
 func runScan(args []string) int {
 	c := cli.New("scan",
 		cli.WithJSON("emit the report as JSON"),
@@ -25,14 +31,13 @@ func runScan(args []string) int {
 	)
 	fs := c.Flags()
 	inject := fs.Bool("inject", false, "break the ALU propagation rule; the self-test must catch it")
-	scenario := fs.String("scenario", "", "built-in scenario: aes | aes-baseline | ebpf | stlf | stlf-baseline | specvect | specvect-baseline")
+	scenario := fs.String("scenario", "", "built-in scenario: "+strings.Join(core.ScanScenarios(), " | "))
 	machine := fs.String("machine", "", "machine features for source scans: "+core.MachineFeatures())
 	secretFlag := fs.String("secret", "", "extra secret region base:len[:name] for source scans")
 	if err := c.Parse(args); err != nil {
 		return 2
 	}
 	defer c.Close()
-	quick, jsonOut := c.Quick, c.JSON
 
 	if *inject {
 		// Inverted expectation: the propagation checker validates itself
@@ -46,99 +51,63 @@ func runScan(args []string) int {
 		fmt.Println("[INJECTED TAINT BUG CAUGHT]")
 		return 0
 	}
-	if *quick {
+	if *c.Quick {
 		return runScanQuick()
 	}
 
-	var (
-		sum core.ScanSummary
-		err error
-	)
+	spec := serve.JobSpec{Kind: serve.KindScan}
 	switch {
 	case *scenario != "":
-		switch *scenario {
-		case "aes":
-			sum, err = core.ScanAES(true)
-		case "aes-baseline":
-			sum, err = core.ScanAES(false)
-		case "ebpf":
-			sum, err = core.ScanEBPF()
-		case "stlf":
-			sum, err = core.ScanStLF(true)
-		case "stlf-baseline":
-			sum, err = core.ScanStLF(false)
-		case "specvect":
-			sum, err = core.ScanSpecVect(true)
-		case "specvect-baseline":
-			sum, err = core.ScanSpecVect(false)
-		default:
-			fmt.Fprintf(os.Stderr, "pandora: scan: unknown scenario %q (want aes, aes-baseline, ebpf, stlf, stlf-baseline, specvect or specvect-baseline)\n", *scenario)
-			return 2
-		}
+		spec.Scenario = *scenario
 	case fs.NArg() == 1:
-		var src []byte
-		src, err = os.ReadFile(fs.Arg(0))
+		src, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pandora: %v\n", err)
 			return 1
 		}
-		var extra []taint.Secret
+		spec.Source = string(src)
+		spec.Machine = *machine
 		if *secretFlag != "" {
-			s, perr := parseSecretFlag(*secretFlag)
-			if perr != nil {
-				fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", perr)
+			if _, err := taint.ParseSecret(*secretFlag); err != nil {
+				fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", err)
 				return 2
 			}
-			extra = append(extra, s)
+			spec.Secrets = []string{*secretFlag}
 		}
-		sum, err = core.ScanSource(string(src), *machine, extra)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
-		fmt.Fprintln(os.Stderr, "       pandora scan -scenario aes|aes-baseline|ebpf|stlf|stlf-baseline|specvect|specvect-baseline [-json]")
+		fmt.Fprintf(os.Stderr, "       pandora scan -scenario %s [-json]\n", strings.Join(core.ScanScenarios(), "|"))
 		fmt.Fprintln(os.Stderr, "       pandora scan -quick | -inject")
 		return 2
 	}
+
+	canon, err := serve.Canonical(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", err)
+		return 2
+	}
+	runner, _ := serve.Runner(serve.KindScan)
+	res, err := runner.Run(context.Background(), canon, serve.RunOpts{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", err)
 		return 1
 	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(sum); err != nil {
+	if *c.JSON {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, res.Output, "", "  "); err != nil {
 			fmt.Fprintf(os.Stderr, "pandora: scan: %v\n", err)
 			return 1
 		}
+		buf.WriteByte('\n')
+		os.Stdout.Write(buf.Bytes())
 	} else {
-		fmt.Print(sum.Format())
+		fmt.Print(res.Text)
 	}
-	if sum.Total > 0 {
+	if !res.Pass {
 		return 1
 	}
 	return 0
-}
-
-// parseSecretFlag parses "base:len[:name]" (numbers in any Go literal
-// base).
-func parseSecretFlag(s string) (taint.Secret, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 2 && len(parts) != 3 {
-		return taint.Secret{}, fmt.Errorf("bad -secret %q: want base:len[:name]", s)
-	}
-	base, err := strconv.ParseUint(parts[0], 0, 64)
-	if err != nil {
-		return taint.Secret{}, fmt.Errorf("bad -secret base %q: %v", parts[0], err)
-	}
-	n, err := strconv.ParseUint(parts[1], 0, 64)
-	if err != nil || n == 0 {
-		return taint.Secret{}, fmt.Errorf("bad -secret length %q", parts[1])
-	}
-	name := "secret"
-	if len(parts) == 3 {
-		name = parts[2]
-	}
-	return taint.Secret{Name: name, Base: base, Len: n}, nil
 }
 
 // runScanQuick is the CI suite: every assertion is an end-to-end property
@@ -147,81 +116,65 @@ func parseSecretFlag(s string) (taint.Secret, error) {
 // bytes with silent stores enabled; the eBPF scenario reports prefetcher
 // leaks of the protected region; the propagation self-test has teeth).
 func runScanQuick() int {
-	failed := 0
-	assert := func(name string, ok bool, detail string) {
-		status := "ok  "
-		if !ok {
-			status = "FAIL"
-			failed++
-		}
-		fmt.Printf("%s %-28s %s\n", status, name, detail)
-	}
+	q := cli.NewQuickSuite("SCAN")
 
 	base, err := core.ScanAES(false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: aes baseline: %v\n", err)
 		return 1
 	}
-	assert("aes-baseline-clean", base.Total == 0,
-		fmt.Sprintf("%d events", base.Total))
+	q.Assertf("aes-baseline-clean", base.Total == 0, "%d events", base.Total)
 
 	ss, err := core.ScanAES(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: aes silent-stores: %v\n", err)
 		return 1
 	}
-	assert("aes-silentstore-leak", ss.HasLeak("silent-store", "key"),
-		fmt.Sprintf("%d silent-store events", ss.Count("silent-store")))
+	q.Assertf("aes-silentstore-leak", ss.HasLeak("silent-store", "key"),
+		"%d silent-store events", ss.Count("silent-store"))
 
 	ebpf, err := core.ScanEBPF()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: ebpf: %v\n", err)
 		return 1
 	}
-	assert("ebpf-prefetcher-leak", ebpf.HasLeak("prefetcher", "kernel"),
-		fmt.Sprintf("%d prefetcher events", ebpf.Count("prefetcher")))
+	q.Assertf("ebpf-prefetcher-leak", ebpf.HasLeak("prefetcher", "kernel"),
+		"%d prefetcher events", ebpf.Count("prefetcher"))
 
 	stlfBase, err := core.ScanStLF(false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: stlf baseline: %v\n", err)
 		return 1
 	}
-	assert("stlf-baseline-clean", stlfBase.Total == 0,
-		fmt.Sprintf("%d events", stlfBase.Total))
+	q.Assertf("stlf-baseline-clean", stlfBase.Total == 0, "%d events", stlfBase.Total)
 
 	stlf, err := core.ScanStLF(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: stlf: %v\n", err)
 		return 1
 	}
-	assert("stlf-forward-leak", stlf.HasLeak("spec-forward", "secret"),
-		fmt.Sprintf("%d spec-forward events", stlf.Count("spec-forward")))
+	q.Assertf("stlf-forward-leak", stlf.HasLeak("spec-forward", "secret"),
+		"%d spec-forward events", stlf.Count("spec-forward"))
 
 	svBase, err := core.ScanSpecVect(false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: specvect baseline: %v\n", err)
 		return 1
 	}
-	assert("specvect-baseline-clean", svBase.Total == 0,
-		fmt.Sprintf("%d events", svBase.Total))
+	q.Assertf("specvect-baseline-clean", svBase.Total == 0, "%d events", svBase.Total)
 
 	sv, err := core.ScanSpecVect(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: specvect: %v\n", err)
 		return 1
 	}
-	assert("specvect-wrongpath-leak", sv.HasLeak("wrong-path-load", "secret"),
-		fmt.Sprintf("%d wrong-path-load events", sv.Count("wrong-path-load")))
+	q.Assertf("specvect-wrongpath-leak", sv.HasLeak("wrong-path-load", "secret"),
+		"%d wrong-path-load events", sv.Count("wrong-path-load"))
 
-	assert("selftest-clean", taint.SelfTestPlan(nil) == nil, "intact rules verify")
-	assert("selftest-inject",
+	q.Assert("selftest-clean", taint.SelfTestPlan(nil) == nil, "intact rules verify")
+	q.Assert("selftest-inject",
 		taint.SelfTestPlan(&faults.Plan{Site: faults.SiteTaintALU}) == nil,
 		"broken ALU rule caught")
 
-	if failed > 0 {
-		fmt.Printf("[%d SCAN ASSERTION(S) FAILED]\n", failed)
-		return 1
-	}
-	fmt.Println("[SCAN OK]")
-	return 0
+	return q.Done()
 }

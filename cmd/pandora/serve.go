@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pandora/cmd/pandora/internal/cli"
+	"pandora/internal/serve"
+)
+
+// runServe implements `pandora serve`: the long-running leakage-analysis
+// service. Jobs for the five analyses arrive over POST /v1/jobs, run on
+// a sharded worker pool, stream progress over GET /v1/jobs/{id}/events,
+// and land in a content-addressed, tamper-evident result cache —
+// identical resubmissions are served from the store without
+// re-executing. SIGINT/SIGTERM drains gracefully: accepted jobs run to
+// a stored result before the process exits. `-quick` instead runs the
+// self-test: an ephemeral instance, one job per job type, cache
+// miss→hit byte-identity, and tamper detection.
+func runServe(args []string) int {
+	c := cli.New("serve",
+		cli.WithParallel(),
+		cli.WithQuick("self-test on an ephemeral port: one job per type, cache hit byte-identity, tamper rejection"),
+	)
+	fs := c.Flags()
+	addr := fs.String("addr", "127.0.0.1:8753", "listen address")
+	cacheDir := fs.String("cache", ".pandora-cache", "result cache directory")
+	shards := fs.Int("shards", 0, "worker pool shards (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued jobs per shard before 503 back-pressure (0 = 64)")
+	if err := c.Parse(args); err != nil {
+		return 2
+	}
+	defer c.Close()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *c.Quick {
+		return serveQuick(*c.Parallel)
+	}
+
+	srv, err := serve.New(serve.Options{
+		Addr:       *addr,
+		CacheDir:   *cacheDir,
+		Shards:     *shards,
+		QueueDepth: *queue,
+		Workers:    *c.Parallel,
+		Log:        logf,
+	})
+	if err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		return c.Errorf(1, "%v", err)
+	}
+	return 0
+}
+
+// serveQuick is the CI self-test: a real server on an ephemeral port
+// with a throwaway cache, exercised end to end over HTTP (ISSUE
+// acceptance criteria — every job type round-trips, an identical
+// resubmission is a byte-identical cache hit without re-execution, and
+// a corrupted entry is rejected and transparently recomputed).
+func serveQuick(workers int) int {
+	q := cli.NewQuickSuite("SERVE")
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "pandora: serve: "+format+"\n", args...)
+		return 1
+	}
+
+	dir, err := os.MkdirTemp("", "pandora-serve-quick-")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := serve.New(serve.Options{CacheDir: dir, Workers: workers})
+	if err != nil {
+		return fail("%v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+	base := "http://" + ln.Addr().String()
+
+	submit := func(spec serve.JobSpec) (serve.JobView, error) {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		var view serve.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return serve.JobView{}, err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return view, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, view.Error)
+		}
+		deadline := time.Now().Add(120 * time.Second)
+		for view.State != "done" && view.State != "failed" {
+			if time.Now().After(deadline) {
+				return view, fmt.Errorf("job %s did not settle", view.ID)
+			}
+			wresp, err := http.Get(base + "/v1/jobs/" + view.ID + "?wait=30s")
+			if err != nil {
+				return view, err
+			}
+			err = json.NewDecoder(wresp.Body).Decode(&view)
+			wresp.Body.Close()
+			if err != nil {
+				return view, err
+			}
+		}
+		if view.State != "done" {
+			return view, fmt.Errorf("job %s failed: %s", view.ID, view.Error)
+		}
+		return view, nil
+	}
+
+	// One scaled-down job per job type. Each runs cold (executes) and is
+	// then resubmitted: the second submission must be a cache hit with a
+	// byte-identical result body.
+	specs := []serve.JobSpec{
+		{Kind: serve.KindBench, Experiment: "fig4"},
+		{Kind: serve.KindCheck, Programs: 6, Masks: 1, Seed: 1},
+		{Kind: serve.KindScan, Scenario: "stlf"},
+		{Kind: serve.KindFault, Trials: 1, Sites: []string{"fence-stuck"}, Seed: 1},
+		{Kind: serve.KindTrace, Scenario: "stlf", Format: "jsonl"},
+	}
+	var scanCold serve.JobView
+	for _, spec := range specs {
+		cold, err := submit(spec)
+		if err != nil {
+			return fail("%s cold: %v", spec.Kind, err)
+		}
+		warm, err := submit(spec)
+		if err != nil {
+			return fail("%s warm: %v", spec.Kind, err)
+		}
+		q.Assertf(string(spec.Kind)+"-cold-executes", !cold.Cached, "job %s key %.12s…", cold.ID, cold.Key)
+		q.Assertf(string(spec.Kind)+"-warm-cache-hit",
+			warm.Cached && bytes.Equal(cold.Result, warm.Result),
+			"cached=%v, %d result bytes identical", warm.Cached, len(warm.Result))
+		if spec.Kind == serve.KindScan {
+			scanCold = cold
+		}
+	}
+
+	stats := func() (map[string]uint64, error) {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var m map[string]uint64
+		return m, json.NewDecoder(resp.Body).Decode(&m)
+	}
+	st, err := stats()
+	if err != nil {
+		return fail("stats: %v", err)
+	}
+	// The execution-count probe: 5 cold executions, 5 warm hits, nothing
+	// double-run.
+	q.Assertf("executed-once-per-type", st["serve.executed"] == uint64(len(specs)),
+		"serve.executed=%d", st["serve.executed"])
+	q.Assertf("warm-pass-pure-hits", st["serve.cache.hits"] == uint64(len(specs)),
+		"serve.cache.hits=%d", st["serve.cache.hits"])
+
+	// Corrupt the scan job's stored entry on disk; the next submission
+	// must reject the entry and transparently recompute the same bytes.
+	path := srv.Store().EntryPath(scanCold.Key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fail("read cache entry: %v", err)
+	}
+	raw[len(raw)-2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fail("corrupt cache entry: %v", err)
+	}
+	recomputed, err := submit(serve.JobSpec{Kind: serve.KindScan, Scenario: "stlf"})
+	if err != nil {
+		return fail("post-tamper scan: %v", err)
+	}
+	q.Assertf("tampered-entry-recomputed",
+		!recomputed.Cached && bytes.Equal(recomputed.Result, scanCold.Result),
+		"cached=%v, bytes match original=%v", recomputed.Cached,
+		bytes.Equal(recomputed.Result, scanCold.Result))
+	st, err = stats()
+	if err != nil {
+		return fail("stats: %v", err)
+	}
+	q.Assertf("tampered-entry-rejected", st["serve.cache.rejected"] == 1,
+		"serve.cache.rejected=%d", st["serve.cache.rejected"])
+
+	// The job's event stream replays the full lifecycle.
+	resp, err := http.Get(base + "/v1/jobs/" + scanCold.ID + "/events")
+	if err != nil {
+		return fail("events: %v", err)
+	}
+	events, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fail("events: %v", err)
+	}
+	q.Assertf("events-stream-lifecycle",
+		bytes.Contains(events, []byte(`"phase":"queued"`)) &&
+			bytes.Contains(events, []byte(`"phase":"started"`)) &&
+			bytes.Contains(events, []byte(`"phase":"done"`)),
+		"%d stream bytes", len(events))
+
+	return q.Done()
+}

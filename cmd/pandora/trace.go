@@ -106,15 +106,7 @@ func parseWindow(s string) (lo, hi int64, err error) {
 // cycle count, and the sweep JSONL is byte-identical across repeats and
 // worker counts).
 func traceQuick(c *cli.Command) int {
-	failed := 0
-	assert := func(name string, ok bool, detail string) {
-		status := "ok  "
-		if !ok {
-			status = "FAIL"
-			failed++
-		}
-		fmt.Printf("%s %-28s %s\n", status, name, detail)
-	}
+	q := cli.NewQuickSuite("TRACE")
 
 	aes, err := core.RunTrace("aes", *c.Seed, *c.Parallel)
 	if err != nil {
@@ -125,17 +117,17 @@ func traceQuick(c *cli.Command) int {
 		return c.Errorf(1, "aes chrome export: %v", err)
 	}
 	retireTs, parseErr := chromeRetireMax(chrome.Bytes())
-	assert("chrome-valid-json", parseErr == nil, fmt.Sprintf("%d bytes", chrome.Len()))
-	assert("chrome-retire-cycles", parseErr == nil && retireTs == aes.Cycles,
-		fmt.Sprintf("retire ts %d, cycles %d", retireTs, aes.Cycles))
-	assert("aes-taint-events", aes.Trace.CountKind(obs.KindTaintLeak) > 0,
-		fmt.Sprintf("%d taint-leak events", aes.Trace.CountKind(obs.KindTaintLeak)))
+	q.Assertf("chrome-valid-json", parseErr == nil, "%d bytes", chrome.Len())
+	q.Assertf("chrome-retire-cycles", parseErr == nil && retireTs == aes.Cycles,
+		"retire ts %d, cycles %d", retireTs, aes.Cycles)
+	q.Assertf("aes-taint-events", aes.Trace.CountKind(obs.KindTaintLeak) > 0,
+		"%d taint-leak events", aes.Trace.CountKind(obs.KindTaintLeak))
 
 	var report bytes.Buffer
 	if err := aes.Trace.WriteReport(&report); err != nil {
 		return c.Errorf(1, "aes report export: %v", err)
 	}
-	assert("report-renders", report.Len() > 0, fmt.Sprintf("%d bytes", report.Len()))
+	q.Assertf("report-renders", report.Len() > 0, "%d bytes", report.Len())
 
 	jsonl := func(workers int) ([]byte, error) {
 		res, err := core.RunTrace("sweep", *c.Seed, workers)
@@ -160,15 +152,10 @@ func traceQuick(c *cli.Command) int {
 	if err != nil {
 		return c.Errorf(1, "sweep workers=8: %v", err)
 	}
-	assert("sweep-jsonl-repeatable", bytes.Equal(s1a, s1b), fmt.Sprintf("%d bytes", len(s1a)))
-	assert("sweep-jsonl-workers", bytes.Equal(s1a, s8), "workers 1 vs 8 byte-identical")
+	q.Assertf("sweep-jsonl-repeatable", bytes.Equal(s1a, s1b), "%d bytes", len(s1a))
+	q.Assert("sweep-jsonl-workers", bytes.Equal(s1a, s8), "workers 1 vs 8 byte-identical")
 
-	if failed > 0 {
-		fmt.Printf("[%d TRACE ASSERTION(S) FAILED]\n", failed)
-		return 1
-	}
-	fmt.Println("[TRACE OK]")
-	return 0
+	return q.Done()
 }
 
 // chromeRetireMax re-parses a Chrome trace-event export and returns the

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pandora/internal/obs"
+)
+
+// Scenario is one named leakage scenario and every analysis that can
+// run it. `pandora scan`, `pandora trace` and the serve job runners all
+// resolve scenarios from this one table, so a scenario added here is
+// immediately reachable from every front end — the previous split
+// (a switch in cmd/pandora/scan.go, a second in RunTrace) let the two
+// lists drift apart (stlf-baseline existed for scan but not trace).
+//
+// A nil Scan or Trace entry means the scenario does not support that
+// analysis: sweep is a trace-only corpus, and the speculation baselines
+// are scan-only contrast runs.
+type Scenario struct {
+	// Name is the CLI/API key, e.g. "aes" or "stlf-baseline".
+	Name string
+	// Title is a one-line description for listings.
+	Title string
+	// Scan runs the scenario under the taint scanner.
+	Scan func() (ScanSummary, error)
+	// Trace runs the scenario under the cycle-accurate probe. seed and
+	// workers only affect corpus scenarios (sweep); extra, when non-nil,
+	// receives a copy of every probe event alongside the recording trace
+	// (the serve layer's live progress bridge).
+	Trace func(seed int64, workers int, extra obs.Probe) (*TraceResult, error)
+}
+
+// scenarioTable is the single source of truth, in display order.
+var scenarioTable = []Scenario{
+	{
+		Name:  "aes",
+		Title: "bitslice-AES victim spills under silent stores (Figure 6 precondition)",
+		Scan:  func() (ScanSummary, error) { return ScanAES(true) },
+		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceAES(true, extra) },
+	},
+	{
+		Name:  "aes-baseline",
+		Title: "the same AES kernel on a baseline machine (scans clean)",
+		Scan:  func() (ScanSummary, error) { return ScanAES(false) },
+		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceAES(false, extra) },
+	},
+	{
+		Name:  "ebpf",
+		Title: "eBPF universal read gadget through the 3-level IMP (Section V-B)",
+		Scan:  func() (ScanSummary, error) { return ScanEBPF() },
+		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceEBPF(extra) },
+	},
+	{
+		Name:  "stlf",
+		Title: "store-to-leak forwarding witness (arXiv:1905.05725)",
+		Scan:  func() (ScanSummary, error) { return ScanStLF(true) },
+		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceSpec("store-to-leak forwarding", "stlf", extra)
+		},
+	},
+	{
+		Name:  "stlf-baseline",
+		Title: "the same kernel with the forwarding predictor off (scans clean)",
+		Scan:  func() (ScanSummary, error) { return ScanStLF(false) },
+	},
+	{
+		Name:  "specvect",
+		Title: "wrong-path vector-lane leakage (arXiv:2302.01131)",
+		Scan:  func() (ScanSummary, error) { return ScanSpecVect(true) },
+		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceSpec("wrong-path vector lane", "specvect", extra)
+		},
+	},
+	{
+		Name:  "specvect-baseline",
+		Title: "the same kernel with speculation off (scans clean)",
+		Scan:  func() (ScanSummary, error) { return ScanSpecVect(false) },
+	},
+	{
+		Name:  "sweep",
+		Title: "seeded straight-line corpus traced program by program",
+		Trace: traceSweep,
+	},
+}
+
+// Scenarios returns the scenario table in display order. The slice is
+// the caller's to keep; the Scenario values are immutable.
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), scenarioTable...)
+}
+
+// ScenarioByName resolves one scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, s := range scenarioTable {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScanScenarios names the scenarios the taint scanner can run, in
+// display order.
+func ScanScenarios() []string {
+	var out []string
+	for _, s := range scenarioTable {
+		if s.Scan != nil {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// TraceScenarios names the scenarios the trace probe can run, in
+// display order.
+func TraceScenarios() []string {
+	var out []string
+	for _, s := range scenarioTable {
+		if s.Trace != nil {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// ScanScenario runs one built-in scenario under the taint scanner.
+func ScanScenario(name string) (ScanSummary, error) {
+	s, ok := ScenarioByName(name)
+	if !ok || s.Scan == nil {
+		return ScanSummary{}, fmt.Errorf("core: unknown scan scenario %q (want %s)",
+			name, strings.Join(ScanScenarios(), ", "))
+	}
+	return s.Scan()
+}
+
+// RunTrace runs one built-in scenario under the probe. workers only
+// affects the sweep scenario's execution schedule, never its output.
+func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
+	return RunTraceProbed(scenario, seed, workers, nil)
+}
+
+// RunTraceProbed is RunTrace with a live event bridge: extra, when
+// non-nil, receives a copy of every probe event as the scenario runs —
+// concurrently from worker goroutines for corpus scenarios, so extra
+// must be safe for concurrent Emit there. The recorded TraceResult is
+// unaffected by extra.
+func RunTraceProbed(scenario string, seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
+	s, ok := ScenarioByName(scenario)
+	if !ok || s.Trace == nil {
+		return nil, fmt.Errorf("core: unknown trace scenario %q (want %s)",
+			scenario, strings.Join(TraceScenarios(), ", "))
+	}
+	return s.Trace(seed, workers, extra)
+}

@@ -39,39 +39,12 @@ type TraceResult struct {
 	Trace   *obs.Trace
 }
 
-// TraceScenarios names the built-in scenarios in display order.
-func TraceScenarios() []string {
-	return []string{"aes", "aes-baseline", "ebpf", "stlf", "specvect", "sweep"}
-}
-
-// RunTrace runs one built-in scenario under the probe. workers only
-// affects the sweep scenario's execution schedule, never its output.
-func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
-	switch scenario {
-	case "aes":
-		return traceAES(true)
-	case "aes-baseline":
-		return traceAES(false)
-	case "ebpf":
-		return traceEBPF()
-	case "stlf":
-		return traceSpec("store-to-leak forwarding", "stlf")
-	case "specvect":
-		return traceSpec("wrong-path vector lane", "specvect")
-	case "sweep":
-		return traceSweep(seed, workers)
-	default:
-		return nil, fmt.Errorf("core: unknown trace scenario %q (want %s)",
-			scenario, strings.Join(TraceScenarios(), ", "))
-	}
-}
-
 // traceAES is the ScanAES scenario with the probe attached: the victim
 // encryption warms the spill slots, the slots are labeled key-derived,
 // and the attacker encryption runs over them. With silent stores the
 // trace carries uopt silent-store activations and taint-leak events —
 // the Figure 6 precondition, visible per cycle.
-func traceAES(silentStores bool) (*TraceResult, error) {
+func traceAES(silentStores bool, extra obs.Probe) (*TraceResult, error) {
 	var victimKey, victimPlain [16]byte
 	for i := range victimKey {
 		victimKey[i] = byte(0x0f ^ i*0x11)
@@ -89,7 +62,7 @@ func traceAES(silentStores bool) (*TraceResult, error) {
 	}
 	cfg := pipeline.DefaultConfig()
 	cfg.Taint = st
-	cfg.Probe = trace
+	cfg.Probe = obs.Fanout(trace, extra)
 	scenario := "aes-baseline"
 	if silentStores {
 		cfg.SilentStores = &pipeline.SilentStoreConfig{}
@@ -136,13 +109,13 @@ func traceAES(silentStores bool) (*TraceResult, error) {
 // of the verified sandbox program on the three-level-IMP machine. The
 // trace shows the prefetch cascade on the prefetch track and the taint
 // leaks where the IMP's addresses derive from labeled kernel bytes.
-func traceEBPF() (*TraceResult, error) {
+func traceEBPF(extra obs.Probe) (*TraceResult, error) {
 	secret := []byte("pandora-scan-secret-byte")
 	trace := obs.NewTrace()
 	st := taint.NewState()
 	cfg := attack.DefaultURGConfig()
 	cfg.Taint = st
-	cfg.Probe = trace
+	cfg.Probe = obs.Fanout(trace, extra)
 	u, err := attack.NewURG(cfg, secret)
 	if err != nil {
 		return nil, err
@@ -168,7 +141,7 @@ func traceEBPF() (*TraceResult, error) {
 // squash for specvect, speculative forwards and the verify replay for
 // stlf — alongside the taint-leak events those µops emit before being
 // squashed.
-func traceSpec(name, scenario string) (*TraceResult, error) {
+func traceSpec(name, scenario string, extra obs.Probe) (*TraceResult, error) {
 	var w witness
 	found := false
 	for _, cand := range witnesses() {
@@ -196,7 +169,7 @@ func traceSpec(name, scenario string) (*TraceResult, error) {
 	}
 	cfg := w.config()
 	cfg.Taint = st
-	cfg.Probe = trace
+	cfg.Probe = obs.Fanout(trace, extra)
 	machine, err := pipeline.New(cfg, m, hier)
 	if err != nil {
 		return nil, err
@@ -226,7 +199,7 @@ const sweepPrograms = 12
 // order with their cycle stamps shifted to follow one another. The
 // parallel engine only changes which worker runs which program — the
 // merged trace is byte-identical at every worker count.
-func traceSweep(seed int64, workers int) (*TraceResult, error) {
+func traceSweep(seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
 	type part struct {
 		trace  *obs.Trace
 		cycles int64
@@ -244,7 +217,7 @@ func traceSweep(seed int64, workers int) (*TraceResult, error) {
 			}
 			tr := obs.NewTrace()
 			cfg := pipeline.DefaultConfig()
-			cfg.Probe = tr
+			cfg.Probe = obs.Fanout(tr, extra)
 			m, err := pipeline.New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
 			if err != nil {
 				return part{}, err

@@ -173,6 +173,36 @@ type Report struct {
 	Trials         []Trial       `json:"trials"`
 }
 
+// Format renders the report as the human-readable per-site table both
+// `pandora fault` and the serve fault runner print. Deterministic: the
+// detector summaries are sorted by name (map iteration order is not).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: seed=%d trials/site=%d control=%d\n\n",
+		r.Seed, r.TrialsPerSite, r.ControlTrials)
+	fmt.Fprintf(&b, "%-12s %7s %6s %9s %6s %12s  %s\n",
+		"site", "trials", "fired", "detected", "rate", "mean-latency", "detectors")
+	for _, s := range r.Sites {
+		dets := make([]string, 0, len(s.Detectors))
+		for name, n := range s.Detectors {
+			dets = append(dets, fmt.Sprintf("%s:%d", name, n))
+		}
+		sort.Strings(dets)
+		rate := "-"
+		if s.Fired > 0 {
+			rate = fmt.Sprintf("%3.0f%%", 100*s.DetectionRate)
+		}
+		lat := "-"
+		if s.Detected > 0 {
+			lat = fmt.Sprintf("%.1f", s.MeanLatency)
+		}
+		fmt.Fprintf(&b, "%-12s %7d %6d %9d %6s %12s  %s\n",
+			s.Site, s.Trials, s.Fired, s.Detected, rate, lat, strings.Join(dets, " "))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
 // workItem is one scheduled trial. global is its position in the full
 // canonical work list — the seed derives from it, so resuming with a
 // shorter pending list cannot shift any trial's randomness.

@@ -1,0 +1,35 @@
+package obs
+
+// fanout duplicates every event to a fixed set of probes, in order.
+type fanout struct {
+	probes []Probe
+}
+
+func (f *fanout) Emit(e Event) {
+	for _, p := range f.probes {
+		p.Emit(e)
+	}
+}
+
+// Fanout composes probes into one: every event is emitted to each
+// non-nil probe in argument order. Nil probes are dropped at
+// construction, so the hot path never re-checks them; zero or one live
+// probe collapses to nil or the probe itself, keeping the single-probe
+// configuration exactly as cheap as before. The serve layer uses this
+// to attach a job's progress bridge alongside the recording trace a
+// scenario already owns.
+func Fanout(probes ...Probe) Probe {
+	live := make([]Probe, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &fanout{probes: live}
+}

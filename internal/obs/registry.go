@@ -159,6 +159,20 @@ func (s Snapshot) Get(name string) uint64 {
 // GetInt64 returns a cycle-like metric as a signed count.
 func (s Snapshot) GetInt64(name string) int64 { return int64(s.Get(name)) }
 
+// Map returns the snapshot as a name → value map, the shape the serve
+// layer marshals for GET /v1/stats (encoding/json sorts map keys, so
+// the JSON rendering is deterministic).
+func (s Snapshot) Map() map[string]uint64 {
+	if s.reg == nil {
+		return map[string]uint64{}
+	}
+	out := make(map[string]uint64, len(s.vals))
+	for name, i := range s.reg.index {
+		out[name] = s.vals[i]
+	}
+	return out
+}
+
 // Delta returns a snapshot holding, for each counter, the increase since
 // prev, and for each gauge, the current value. prev may be the zero
 // Snapshot (everything counts from zero).

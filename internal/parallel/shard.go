@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+)
+
+// Submission errors returned by ShardPool.Submit. A full queue is
+// back-pressure (the caller should shed or retry); a draining pool is
+// shutting down and will never accept work again.
+var (
+	ErrQueueFull = errors.New("parallel: shard queue full")
+	ErrDraining  = errors.New("parallel: pool draining")
+)
+
+// ShardPool is a long-lived sharded worker pool: a fixed number of
+// shards, each with its own bounded FIFO queue drained by its own
+// worker goroutine. Work routed by a stable key always lands on the
+// same shard, so tasks that share a key execute in submission order and
+// never concurrently with each other — the property the serve layer's
+// content-addressed job cache relies on (two submissions of one job key
+// cannot race each other into the result store).
+//
+// Unlike Map/Sweep, which fan a known work list out and join, a
+// ShardPool accepts work forever until Drain: Submit never blocks
+// (a full shard queue is reported as ErrQueueFull back-pressure), and
+// Drain stops intake, runs every queued task to completion and joins
+// the workers — the graceful-shutdown half of a long-running service.
+type ShardPool struct {
+	queues []chan func()
+
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewShardPool starts a pool with the given shard count and per-shard
+// queue depth. shards <= 0 selects Workers(0) (GOMAXPROCS); depth <= 0
+// selects 64. In-flight work is bounded by shards (executing) plus
+// shards*depth (queued).
+func NewShardPool(shards, depth int) *ShardPool {
+	shards = Workers(shards)
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &ShardPool{queues: make([]chan func(), shards)}
+	p.wg.Add(shards)
+	for i := range p.queues {
+		q := make(chan func(), depth)
+		p.queues[i] = q
+		go func() {
+			defer p.wg.Done()
+			for task := range q {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *ShardPool) Shards() int { return len(p.queues) }
+
+// Submit enqueues task on shard key % Shards(). It never blocks: a full
+// shard queue returns ErrQueueFull, a draining pool ErrDraining. Tasks
+// submitted to one shard run in submission order, one at a time.
+func (p *ShardPool) Submit(key uint64, task func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return ErrDraining
+	}
+	select {
+	case p.queues[key%uint64(len(p.queues))] <- task:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Drain stops intake, waits for every queued task to finish and joins
+// the worker goroutines. Safe to call more than once; later calls just
+// wait for the first drain to complete.
+func (p *ShardPool) Drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		for _, q := range p.queues {
+			close(q)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

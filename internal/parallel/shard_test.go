@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Tasks submitted to one shard execute in FIFO order and never
+// concurrently with each other.
+func TestShardPoolFIFOPerShard(t *testing.T) {
+	p := NewShardPool(4, 128)
+	const n = 100
+	var mu sync.Mutex
+	got := make(map[uint64][]int)
+	var wg sync.WaitGroup
+	wg.Add(4 * n)
+	for shard := uint64(0); shard < 4; shard++ {
+		for i := 0; i < n; i++ {
+			shard, i := shard, i
+			if err := p.Submit(shard, func() {
+				mu.Lock()
+				got[shard] = append(got[shard], i)
+				mu.Unlock()
+				wg.Done()
+			}); err != nil {
+				t.Fatalf("Submit(%d, %d): %v", shard, i, err)
+			}
+		}
+	}
+	wg.Wait()
+	p.Drain()
+	for shard, order := range got {
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("shard %d executed out of order at %d: got %d", shard, i, v)
+			}
+		}
+	}
+}
+
+// A full shard queue reports ErrQueueFull instead of blocking.
+func TestShardPoolQueueFull(t *testing.T) {
+	p := NewShardPool(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(0, func() { close(started); <-block }); err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-started // worker busy; queue now empty
+	if err := p.Submit(0, func() {}); err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	if err := p.Submit(0, func() {}); err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if err := p.Submit(0, func() {}); err != ErrQueueFull {
+		t.Fatalf("Submit over capacity: got %v, want ErrQueueFull", err)
+	}
+	close(block)
+	p.Drain()
+}
+
+// Drain runs everything already queued, then rejects new work.
+func TestShardPoolDrain(t *testing.T) {
+	p := NewShardPool(2, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if err := p.Submit(uint64(i), func() { ran.Add(1) }); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	p.Drain()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("after Drain: %d tasks ran, want 50", got)
+	}
+	if err := p.Submit(0, func() {}); err != ErrDraining {
+		t.Fatalf("Submit after Drain: got %v, want ErrDraining", err)
+	}
+	p.Drain() // idempotent
+}

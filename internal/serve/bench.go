@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// This file measures the service end to end — HTTP submit, pool
+// dispatch, analysis, store write — and is the engine behind
+// `pandora bench -serve` (BENCH_serve.json). Two passes over the same
+// job set: a cold pass against an empty store (every job executes) and
+// a warm pass resubmitting the identical specs (every job must be a
+// cache hit). Like BENCH_cycles.json, the artifact is wall-clock
+// derived, so it records the CPU configuration and the CLI refuses to
+// overwrite a baseline from a different one without -force.
+
+// BenchSchema identifies the BENCH_serve.json format.
+const BenchSchema = "pandora-bench-serve/v1"
+
+// BenchOptions parameterizes one service benchmark.
+type BenchOptions struct {
+	// Jobs is how many distinct jobs form the workload (default 10).
+	// Each is a trace sweep with its own seed, so cold keys are unique.
+	Jobs int
+	// Workers bounds each job's analysis fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per pass.
+	Progress func(format string, args ...any)
+}
+
+// BenchPass is one pass's throughput and latency profile.
+type BenchPass struct {
+	Jobs       int     `json:"jobs"`
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Millis  float64 `json:"p50_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+}
+
+// BenchReport is the JSON artifact (BENCH_serve.json).
+type BenchReport struct {
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Jobs int `json:"jobs"`
+
+	Cold BenchPass `json:"cold"`
+	Warm BenchPass `json:"warm"`
+	// WarmSpeedup is warm jobs/sec over cold jobs/sec — what the
+	// content-addressed cache buys on repeated submissions.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// SameCPU reports whether two reports were measured under the same CPU
+// configuration (the precondition for comparing wall-clock numbers).
+func (r BenchReport) SameCPU(o BenchReport) bool {
+	return r.NumCPU == o.NumCPU && r.GOMAXPROCS == o.GOMAXPROCS
+}
+
+// ReadBenchFile loads a committed BENCH_serve.json.
+func ReadBenchFile(path string) (BenchReport, error) {
+	var rep BenchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	if rep.Schema != BenchSchema {
+		return rep, fmt.Errorf("serve: %s: schema %q, want %q", path, rep.Schema, BenchSchema)
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r BenchReport) WriteFile(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// benchRound trims float noise so the JSON artifact diffs cleanly.
+func benchRound(v float64) float64 { return float64(int64(v*100)) / 100 }
+
+// percentile returns the p-th percentile (0..100) of sorted durations.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Bench runs the service benchmark: an in-process server on an
+// ephemeral port with a fresh cache directory, a cold pass, a warm
+// pass, and a stats cross-check that the warm pass really was served
+// from the cache.
+func Bench(opts BenchOptions) (BenchReport, error) {
+	if opts.Jobs <= 0 {
+		opts.Jobs = 10
+	}
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			opts.Progress(format, args...)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "pandora-bench-serve-")
+	if err != nil {
+		return BenchReport{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := New(Options{CacheDir: dir, Workers: opts.Workers})
+	if err != nil {
+		return BenchReport{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchReport{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	// One trace sweep per seed: distinct seeds mean distinct cache keys,
+	// so the cold pass executes every job.
+	specs := make([]JobSpec, opts.Jobs)
+	for i := range specs {
+		specs[i] = JobSpec{Kind: KindTrace, Scenario: "sweep", Format: "report", Seed: int64(1000 + i)}
+	}
+
+	// submit POSTs one spec and blocks until the job settles; the
+	// returned latency covers submit → settled result.
+	submit := func(spec JobSpec) (JobView, time.Duration, error) {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return JobView{}, 0, err
+		}
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return JobView{}, 0, err
+		}
+		var view JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return JobView{}, 0, err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return view, 0, fmt.Errorf("serve: bench: submit: HTTP %d", resp.StatusCode)
+		}
+		for view.State != string(stateDone) && view.State != string(stateFailed) {
+			wresp, err := client.Get(base + "/v1/jobs/" + view.ID + "?wait=60s")
+			if err != nil {
+				return view, 0, err
+			}
+			err = json.NewDecoder(wresp.Body).Decode(&view)
+			wresp.Body.Close()
+			if err != nil {
+				return view, 0, err
+			}
+		}
+		if view.State != string(stateDone) {
+			return view, 0, fmt.Errorf("serve: bench: job %s failed: %s", view.ID, view.Error)
+		}
+		return view, time.Since(start), nil
+	}
+
+	pass := func(name string, wantCached bool) (BenchPass, error) {
+		lats := make([]time.Duration, 0, len(specs))
+		start := time.Now()
+		for i, spec := range specs {
+			view, lat, err := submit(spec)
+			if err != nil {
+				return BenchPass{}, err
+			}
+			if view.Cached != wantCached {
+				return BenchPass{}, fmt.Errorf("serve: bench: %s pass job %d: cached=%v, want %v",
+					name, i, view.Cached, wantCached)
+			}
+			lats = append(lats, lat)
+		}
+		total := time.Since(start)
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		p := BenchPass{
+			Jobs:       len(specs),
+			Seconds:    benchRound(total.Seconds()),
+			JobsPerSec: benchRound(float64(len(specs)) / total.Seconds()),
+			P50Millis:  benchRound(float64(percentile(lats, 50).Microseconds()) / 1000),
+			P99Millis:  benchRound(float64(percentile(lats, 99).Microseconds()) / 1000),
+		}
+		progress("%s: %d jobs in %.2fs (%.2f jobs/sec, p50 %.2fms, p99 %.2fms)",
+			name, p.Jobs, p.Seconds, p.JobsPerSec, p.P50Millis, p.P99Millis)
+		return p, nil
+	}
+
+	cold, err := pass("cold", false)
+	if err != nil {
+		return BenchReport{}, err
+	}
+	warm, err := pass("warm", true)
+	if err != nil {
+		return BenchReport{}, err
+	}
+
+	// Cross-check against the server's own counters: the warm pass must
+	// have been pure cache hits, with no extra executions.
+	if got, want := srv.stats.Executed.Load(), uint64(opts.Jobs); got != want {
+		return BenchReport{}, fmt.Errorf("serve: bench: %d executions, want %d (warm pass re-executed)", got, want)
+	}
+	if got, want := srv.stats.CacheHits.Load(), uint64(opts.Jobs); got != want {
+		return BenchReport{}, fmt.Errorf("serve: bench: %d cache hits, want %d", got, want)
+	}
+
+	rep := BenchReport{
+		Schema:     BenchSchema,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       opts.Jobs,
+		Cold:       cold,
+		Warm:       warm,
+	}
+	if cold.JobsPerSec > 0 {
+		rep.WarmSpeedup = benchRound(warm.JobsPerSec / cold.JobsPerSec)
+	}
+	return rep, nil
+}

@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pandora/internal/obs"
+	"pandora/internal/parallel"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address for ListenAndServe ("127.0.0.1:0"
+	// picks an ephemeral port).
+	Addr string
+	// CacheDir roots the content-addressed result store.
+	CacheDir string
+	// Shards / QueueDepth size the worker pool (0 = defaults: one shard
+	// per CPU, 64 queued jobs per shard).
+	Shards     int
+	QueueDepth int
+	// Workers bounds each job's internal analysis fan-out (0 =
+	// GOMAXPROCS). Never part of the cache key.
+	Workers int
+	// Log receives server narrative lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// Stats counts the server's job traffic. Fields are atomics because
+// jobs complete on pool workers while HTTP handlers submit and read
+// concurrently; the obs registry reads them through Load closures.
+type Stats struct {
+	Submitted     atomic.Uint64 // jobs accepted by POST /v1/jobs
+	Executed      atomic.Uint64 // jobs actually run on the pool
+	Completed     atomic.Uint64 // jobs that ran to a stored result
+	Failed        atomic.Uint64 // jobs whose analysis returned an error
+	Deduped       atomic.Uint64 // submissions coalesced onto an in-flight job
+	CacheHits     atomic.Uint64 // submissions served from the store
+	CacheMisses   atomic.Uint64 // submissions that found no entry
+	CacheRejected atomic.Uint64 // entries that failed authentication
+}
+
+// register exposes the counters on an obs registry under serve.*.
+func (st *Stats) register(reg *obs.Registry) {
+	reg.Counter("serve.submitted", st.Submitted.Load)
+	reg.Counter("serve.executed", st.Executed.Load)
+	reg.Counter("serve.completed", st.Completed.Load)
+	reg.Counter("serve.failed", st.Failed.Load)
+	reg.Counter("serve.deduped", st.Deduped.Load)
+	reg.Counter("serve.cache.hits", st.CacheHits.Load)
+	reg.Counter("serve.cache.misses", st.CacheMisses.Load)
+	reg.Counter("serve.cache.rejected", st.CacheRejected.Load)
+}
+
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+	stateFailed  jobState = "failed"
+)
+
+// Job is one tracked submission. Identical submissions share one Job
+// while it is in flight (singleflight) and share its cache entry after.
+type Job struct {
+	id   string
+	key  string
+	spec JobSpec
+	log  *eventLog
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  jobState
+	cached bool
+	body   []byte
+	errMsg string
+}
+
+// JobView is the client-facing rendering of a Job.
+type JobView struct {
+	ID      string          `json:"id"`
+	Key     string          `json:"key"`
+	Kind    JobKind         `json:"kind"`
+	Spec    JobSpec         `json:"spec"`
+	State   string          `json:"state"`
+	Cached  bool            `json:"cached,omitempty"`
+	Deduped bool            `json:"deduped,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *Job) view(deduped bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.id,
+		Key:     j.key,
+		Kind:    j.spec.Kind,
+		Spec:    j.spec,
+		State:   string(j.state),
+		Cached:  j.cached,
+		Deduped: deduped,
+		Error:   j.errMsg,
+	}
+	if j.state == stateDone {
+		v.Result = json.RawMessage(j.body)
+	}
+	return v
+}
+
+// Server is the `pandora serve` service: HTTP job API in front of the
+// content-addressed store and the sharded worker pool.
+type Server struct {
+	opts  Options
+	store *Store
+	pool  *parallel.ShardPool
+	reg   *obs.Registry
+	stats Stats
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	flights map[string]*Job // cache key → in-flight job
+	seq     int
+}
+
+// New builds a Server: opens (or creates) the store and starts the
+// worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.CacheDir == "" {
+		return nil, fmt.Errorf("serve: Options.CacheDir is required")
+	}
+	store, err := OpenStore(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		store:   store,
+		pool:    parallel.NewShardPool(opts.Shards, opts.QueueDepth),
+		reg:     obs.NewRegistry(),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*Job),
+	}
+	s.stats.register(s.reg)
+	s.reg.Gauge("serve.jobs.tracked", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.jobs))
+	})
+	return s, nil
+}
+
+// Store exposes the underlying result store (the -quick self-test
+// tampers entries through it).
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// keyShard routes identical keys to one pool shard, so even a missed
+// dedup would serialize rather than race.
+func keyShard(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// ListenAndServe binds opts.Addr and serves until ctx is cancelled,
+// then shuts down gracefully: stop accepting, finish in-flight
+// handlers, drain the worker pool (queued jobs still run to a stored
+// result).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	s.logf("serve: listening on http://%s (cache %s, %d shards)", ln.Addr(), s.store.Dir(), s.pool.Shards())
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the service on an existing listener (tests and -quick use
+// an ephemeral port). It owns the listener and the graceful drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.pool.Drain()
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("serve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		s.logf("serve: shutdown: %v", err)
+	}
+	<-errc // http.ErrServerClosed
+	s.pool.Drain()
+	s.logf("serve: drained")
+	return nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit is POST /v1/jobs: canonicalize, dedupe against flights,
+// consult the store, and only then queue an execution.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	key, canon, err := Key(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.stats.Submitted.Add(1)
+
+	s.mu.Lock()
+	if leader, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.stats.Deduped.Add(1)
+		writeJSON(w, http.StatusOK, leader.view(true))
+		return
+	}
+	s.seq++
+	j := &Job{
+		id:    fmt.Sprintf("j%06d", s.seq),
+		key:   key,
+		spec:  canon,
+		log:   newEventLog(),
+		done:  make(chan struct{}),
+		state: stateQueued,
+	}
+	s.jobs[j.id] = j
+	s.flights[key] = j
+	s.mu.Unlock()
+	j.log.appendf(PhaseQueued, "%s job %s key %s", canon.Kind, j.id, key)
+
+	// The store consult happens with the flight registered, so a
+	// concurrent identical submission coalesces instead of racing the
+	// lookup.
+	body, outcome, cerr := s.store.Get(key)
+	switch outcome {
+	case Hit:
+		s.stats.CacheHits.Add(1)
+		s.settle(j, body, true, "")
+		writeJSON(w, http.StatusOK, j.view(false))
+		return
+	case Rejected:
+		s.stats.CacheRejected.Add(1)
+		s.logf("%v (recomputing)", cerr)
+		j.log.appendf(PhaseRejected, "%v", cerr)
+	default:
+		s.stats.CacheMisses.Add(1)
+	}
+
+	if err := s.pool.Submit(keyShard(key), func() { s.run(j) }); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		delete(s.flights, key)
+		s.mu.Unlock()
+		j.log.close()
+		if errors.Is(err, parallel.ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, "server is draining")
+		} else {
+			httpError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+// run executes one job on a pool worker and stores its result.
+func (s *Server) run(j *Job) {
+	j.mu.Lock()
+	j.state = stateRunning
+	j.mu.Unlock()
+	s.stats.Executed.Add(1)
+	j.log.appendf(PhaseStarted, "executing %s job (workers=%d)", j.spec.Kind, parallel.Workers(s.opts.Workers))
+
+	bridge := &probeBridge{log: j.log}
+	runner, ok := Runner(j.spec.Kind)
+	if !ok { // unreachable: Key validated the kind
+		s.fail(j, fmt.Errorf("serve: no runner for kind %q", j.spec.Kind))
+		return
+	}
+	res, err := runner.Run(context.Background(), j.spec, RunOpts{
+		Workers: s.opts.Workers,
+		Log:     func(format string, args ...any) { j.log.appendf(PhaseLog, format, args...) },
+		Probe:   bridge,
+	})
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	res.Key = j.key
+	body, err := MarshalResult(res)
+	if err != nil {
+		s.fail(j, err)
+		return
+	}
+	if err := s.store.Put(j.key, body); err != nil {
+		// The result still serves from memory; only later submissions
+		// lose the cache.
+		s.logf("%v", err)
+	}
+	s.stats.Completed.Add(1)
+	if n := bridge.count(); n > 0 {
+		j.log.appendf(PhaseLog, "probe emitted %d events", n)
+	}
+	s.settle(j, body, false, "")
+}
+
+// fail finishes a job whose analysis errored.
+func (s *Server) fail(j *Job, err error) {
+	s.stats.Failed.Add(1)
+	s.logf("serve: job %s failed: %v", j.id, err)
+	s.settle(j, nil, false, err.Error())
+}
+
+// settle moves a job to its terminal state, emits the terminal event,
+// releases the flight and closes the stream.
+func (s *Server) settle(j *Job, body []byte, cached bool, errMsg string) {
+	j.mu.Lock()
+	j.body = body
+	j.cached = cached
+	j.errMsg = errMsg
+	switch {
+	case errMsg != "":
+		j.state = stateFailed
+	default:
+		j.state = stateDone
+	}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.flights[j.key] == j {
+		delete(s.flights, j.key)
+	}
+	s.mu.Unlock()
+
+	switch {
+	case errMsg != "":
+		j.log.appendf(PhaseFailed, "%s", errMsg)
+	case cached:
+		j.log.appendf(PhaseCached, "served from cache entry %s", j.key)
+	default:
+		j.log.appendf(PhaseDone, "result stored under %s", j.key)
+	}
+	close(j.done)
+	j.log.close()
+}
+
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// handleJob is GET /v1/jobs/{id}, with ?wait=<duration> blocking until
+// the job settles (or the wait/request expires — the job view then
+// reports whatever state it reached).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad wait %q: %v", waitStr, err)
+			return
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.view(false))
+}
+
+// handleList is GET /v1/jobs: every tracked job, id-ordered, without
+// result bodies.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		v := j.view(false)
+		v.Result = nil
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: the job's progress stream,
+// as Server-Sent Events when the client asks for text/event-stream and
+// as JSON Lines otherwise. The stream replays history, follows live
+// events, and ends when the job settles.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev JobEvent) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	replay, live, cancel := j.log.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleStats is GET /v1/stats: the obs registry snapshot as a flat
+// name → value JSON object.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot().Map())
+}

@@ -20,6 +20,8 @@ package taint
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"pandora/internal/emu"
 	"pandora/internal/isa"
@@ -96,6 +98,29 @@ type Secret struct {
 	Name string
 	Base uint64
 	Len  uint64
+}
+
+// ParseSecret parses the textual secret-region form "base:len[:name]"
+// (numbers in any Go literal base) shared by the `pandora scan -secret`
+// flag and the serve job API. The name defaults to "secret".
+func ParseSecret(s string) (Secret, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Secret{}, fmt.Errorf("taint: bad secret %q: want base:len[:name]", s)
+	}
+	base, err := strconv.ParseUint(parts[0], 0, 64)
+	if err != nil {
+		return Secret{}, fmt.Errorf("taint: bad secret base %q: %v", parts[0], err)
+	}
+	n, err := strconv.ParseUint(parts[1], 0, 64)
+	if err != nil || n == 0 {
+		return Secret{}, fmt.Errorf("taint: bad secret length %q", parts[1])
+	}
+	name := "secret"
+	if len(parts) == 3 {
+		name = parts[2]
+	}
+	return Secret{Name: name, Base: base, Len: n}, nil
 }
 
 // State is the full shadow of one machine: register labels, per-byte

@@ -11,6 +11,10 @@
 // itself, in which case the writes are the owner maintaining its own
 // counters.
 //
+// With -v (before the roots) the clean path also lists the Stats-owning
+// packages, so CI output shows which packages the rule currently
+// covers (internal/cache, internal/pipeline, internal/serve, ...).
+//
 // Exit status is non-zero when any violation is found.
 package main
 
@@ -27,7 +31,13 @@ import (
 )
 
 func main() {
-	roots := os.Args[1:]
+	args := os.Args[1:]
+	verbose := false
+	if len(args) > 0 && args[0] == "-v" {
+		verbose = true
+		args = args[1:]
+	}
+	roots := args
 	if len(roots) == 0 {
 		roots = []string{"internal", "cmd"}
 	}
@@ -91,6 +101,14 @@ func main() {
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "statscheck: %d violation(s)\n", violations)
 		os.Exit(1)
+	}
+	if verbose {
+		owners := make([]string, 0, len(ownsStats))
+		for dir := range ownsStats {
+			owners = append(owners, dir)
+		}
+		sort.Strings(owners)
+		fmt.Printf("statscheck: %d Stats-owning package(s): %s\n", len(owners), strings.Join(owners, " "))
 	}
 	fmt.Println("statscheck: ok")
 }
