@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick serve serve-quick statscheck bench bench-cycles bench-cycles-check bench-serve clean
+.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick serve serve-quick serve-chaos statscheck bench bench-cycles bench-cycles-check bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ serve: build
 # per type, cache hit byte-identity, tamper rejection.
 serve-quick: build
 	$(GO) run -race ./cmd/pandora serve -quick
+
+# Chaos self-test used by CI, under the race detector: injected panics
+# retried to success, deterministic failures cached, deadline
+# enforcement, crash-recovery replay, journal tamper rejection, circuit
+# shedding.
+serve-chaos: build
+	$(GO) run -race ./cmd/pandora serve -chaos-quick
 
 # Stats-encapsulation lint: no cross-package raw Stats writes.
 statscheck:

@@ -56,6 +56,16 @@ go run -race ./cmd/pandora fault -quick
 # the graceful drain all run concurrently.
 go run -race ./cmd/pandora serve -quick
 
+# Chaos gate: the same service under seeded fault injection. Every
+# accepted job reaches a terminal state; first-attempt panics retry to
+# success with attempt history in the stored result; deterministic
+# failures cache and never retry; a deadline kills a runaway job through
+# the pipeline's cooperative cancellation checkpoint; a simulated crash
+# (journaled acceptance, no stored result) replays to a byte-identical
+# result exactly once on restart; a tampered journal record fails its
+# HMAC and is rejected; an open circuit sheds with 503 + Retry-After.
+go run -race ./cmd/pandora serve -chaos-quick
+
 # Cycle-loop throughput gate: re-measure single-core cycles/sec and fail
 # if it regressed more than 10% below the committed BENCH_cycles.json
 # baseline. The check self-skips (exit 0, warning) when the baseline was

@@ -118,14 +118,14 @@ func runScan(args []string) int {
 func runScanQuick() int {
 	q := cli.NewQuickSuite("SCAN")
 
-	base, err := core.ScanAES(false)
+	base, err := core.ScanAES(context.Background(), false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: aes baseline: %v\n", err)
 		return 1
 	}
 	q.Assertf("aes-baseline-clean", base.Total == 0, "%d events", base.Total)
 
-	ss, err := core.ScanAES(true)
+	ss, err := core.ScanAES(context.Background(), true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: aes silent-stores: %v\n", err)
 		return 1
@@ -133,7 +133,7 @@ func runScanQuick() int {
 	q.Assertf("aes-silentstore-leak", ss.HasLeak("silent-store", "key"),
 		"%d silent-store events", ss.Count("silent-store"))
 
-	ebpf, err := core.ScanEBPF()
+	ebpf, err := core.ScanEBPF(context.Background())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: ebpf: %v\n", err)
 		return 1
@@ -141,14 +141,14 @@ func runScanQuick() int {
 	q.Assertf("ebpf-prefetcher-leak", ebpf.HasLeak("prefetcher", "kernel"),
 		"%d prefetcher events", ebpf.Count("prefetcher"))
 
-	stlfBase, err := core.ScanStLF(false)
+	stlfBase, err := core.ScanStLF(context.Background(), false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: stlf baseline: %v\n", err)
 		return 1
 	}
 	q.Assertf("stlf-baseline-clean", stlfBase.Total == 0, "%d events", stlfBase.Total)
 
-	stlf, err := core.ScanStLF(true)
+	stlf, err := core.ScanStLF(context.Background(), true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: stlf: %v\n", err)
 		return 1
@@ -156,14 +156,14 @@ func runScanQuick() int {
 	q.Assertf("stlf-forward-leak", stlf.HasLeak("spec-forward", "secret"),
 		"%d spec-forward events", stlf.Count("spec-forward"))
 
-	svBase, err := core.ScanSpecVect(false)
+	svBase, err := core.ScanSpecVect(context.Background(), false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: specvect baseline: %v\n", err)
 		return 1
 	}
 	q.Assertf("specvect-baseline-clean", svBase.Total == 0, "%d events", svBase.Total)
 
-	sv, err := core.ScanSpecVect(true)
+	sv, err := core.ScanSpecVect(context.Background(), true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pandora: scan: specvect: %v\n", err)
 		return 1

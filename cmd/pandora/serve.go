@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pandora/cmd/pandora/internal/cli"
+	"pandora/internal/faults"
 	"pandora/internal/serve"
 )
 
@@ -36,6 +38,11 @@ func runServe(args []string) int {
 	cacheDir := fs.String("cache", ".pandora-cache", "result cache directory")
 	shards := fs.Int("shards", 0, "worker pool shards (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "queued jobs per shard before 503 back-pressure (0 = 64)")
+	timeout := fs.Duration("timeout", 0, "default per-job deadline when the spec omits timeout_ms (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "upper bound on client-requested job deadlines")
+	drain := fs.Duration("drain", 15*time.Second, "shutdown window for in-flight jobs before they are cancelled and journaled for replay")
+	retries := fs.Int("retries", 3, "attempt budget per job for transient failures (panics, watchdog stalls)")
+	chaosQuick := fs.Bool("chaos-quick", false, "chaos self-test: injected panics, crash recovery, journal tamper, load shedding")
 	if err := c.Parse(args); err != nil {
 		return 2
 	}
@@ -44,17 +51,24 @@ func runServe(args []string) int {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	if *chaosQuick {
+		return serveChaosQuick(*c.Parallel)
+	}
 	if *c.Quick {
 		return serveQuick(*c.Parallel)
 	}
 
 	srv, err := serve.New(serve.Options{
-		Addr:       *addr,
-		CacheDir:   *cacheDir,
-		Shards:     *shards,
-		QueueDepth: *queue,
-		Workers:    *c.Parallel,
-		Log:        logf,
+		Addr:           *addr,
+		CacheDir:       *cacheDir,
+		Shards:         *shards,
+		QueueDepth:     *queue,
+		Workers:        *c.Parallel,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainWindow:    *drain,
+		MaxAttempts:    *retries,
+		Log:            logf,
 	})
 	if err != nil {
 		return c.Errorf(1, "%v", err)
@@ -188,6 +202,11 @@ func serveQuick(workers int) int {
 		"serve.executed=%d", st["serve.executed"])
 	q.Assertf("warm-pass-pure-hits", st["serve.cache.hits"] == uint64(len(specs)),
 		"serve.cache.hits=%d", st["serve.cache.hits"])
+	// On the happy path none of the reliability machinery fires.
+	q.Assertf("happy-path-no-reliability-events",
+		st["serve.retries"] == 0 && st["serve.shed"] == 0 && st["serve.wal_replayed"] == 0,
+		"retries=%d shed=%d wal_replayed=%d",
+		st["serve.retries"], st["serve.shed"], st["serve.wal_replayed"])
 
 	// Corrupt the scan job's stored entry on disk; the next submission
 	// must reject the entry and transparently recompute the same bytes.
@@ -230,6 +249,299 @@ func serveQuick(workers int) int {
 			bytes.Contains(events, []byte(`"phase":"started"`)) &&
 			bytes.Contains(events, []byte(`"phase":"done"`)),
 		"%d stream bytes", len(events))
+
+	return q.Done()
+}
+
+// chaosProbe is the -chaos-quick suite's HTTP client against one server
+// instance: submit without settling, settle by polling, and read the
+// stats counters.
+type chaosProbe struct{ base string }
+
+func (p chaosProbe) submit(spec serve.JobSpec) (serve.JobView, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobView{}, 0, err
+	}
+	resp, err := http.Post(p.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var view serve.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil && resp.StatusCode < 400 {
+		return view, resp.StatusCode, err
+	}
+	return view, resp.StatusCode, nil
+}
+
+// settle polls until the job reaches a terminal state — unlike the
+// happy-path suite it treats "failed" as a valid outcome, because half
+// of what chaos-quick checks is that failures are VISIBLE.
+func (p chaosProbe) settle(view serve.JobView) (serve.JobView, error) {
+	deadline := time.Now().Add(120 * time.Second)
+	for view.State != "done" && view.State != "failed" {
+		if time.Now().After(deadline) {
+			return view, fmt.Errorf("job %s did not settle (state %s)", view.ID, view.State)
+		}
+		resp, err := http.Get(p.base + "/v1/jobs/" + view.ID + "?wait=30s")
+		if err != nil {
+			return view, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return view, err
+		}
+	}
+	return view, nil
+}
+
+func (p chaosProbe) run(spec serve.JobSpec) (serve.JobView, error) {
+	view, code, err := p.submit(spec)
+	if err != nil {
+		return view, err
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		return view, fmt.Errorf("submit: HTTP %d: %s", code, view.Error)
+	}
+	return p.settle(view)
+}
+
+func (p chaosProbe) stats() (map[string]uint64, error) {
+	resp, err := http.Get(p.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]uint64
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// serveChaosQuick is the chaos gate (ISSUE acceptance criteria): under
+// seeded fault injection every accepted job still reaches a terminal
+// state, transient failures retry to success with their attempt history
+// recorded, deterministic failures are cached and never retried,
+// deadlines kill runaway jobs visibly, a simulated crash replays to a
+// stored result exactly once, a tampered journal record is rejected
+// rather than replayed, and an open circuit sheds load with 503 +
+// Retry-After.
+func serveChaosQuick(workers int) int {
+	q := cli.NewQuickSuite("SERVE-CHAOS")
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "pandora: serve: chaos: "+format+"\n", args...)
+		return 1
+	}
+
+	dir, err := os.MkdirTemp("", "pandora-serve-chaos-")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	start := func(opts serve.Options) (*serve.Server, chaosProbe, func(), error) {
+		srv, err := serve.New(opts)
+		if err != nil {
+			return nil, chaosProbe{}, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return nil, chaosProbe{}, nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve(ctx, ln) }()
+		stop := func() { cancel(); <-served }
+		return srv, chaosProbe{base: "http://" + ln.Addr().String()}, stop, nil
+	}
+
+	// Server A: every job's FIRST attempt panics. Retry must absorb all
+	// of it.
+	chaos := &faults.ChaosPlan{Seed: 1, PanicPerMille: 1000, FirstAttemptsOnly: true}
+	srvA, probeA, stopA, err := start(serve.Options{
+		CacheDir:  dir,
+		Workers:   workers,
+		RetryBase: 5 * time.Millisecond,
+		Chaos:     chaos,
+	})
+	if err != nil {
+		return fail("server A: %v", err)
+	}
+
+	check := serve.JobSpec{Kind: serve.KindCheck, Programs: 6, Masks: 1, Seed: 1}
+	scan := serve.JobSpec{Kind: serve.KindScan, Scenario: "stlf"}
+	for _, spec := range []serve.JobSpec{check, scan} {
+		view, err := probeA.run(spec)
+		if err != nil {
+			return fail("%s under chaos: %v", spec.Kind, err)
+		}
+		q.Assertf(string(spec.Kind)+"-transient-retried-to-success",
+			view.State == "done" && !view.Cached,
+			"state=%s after injected first-attempt panic", view.State)
+		if spec.Kind == serve.KindCheck {
+			q.Assertf("attempt-history-in-stored-result",
+				bytes.Contains(view.Result, []byte(`"attempts"`)) &&
+					bytes.Contains(view.Result, []byte(`"transient"`)),
+				"%d result bytes", len(view.Result))
+		}
+	}
+
+	// A deterministic failure (unassemblable source) is never retried,
+	// and its failure caches: the resubmission serves it without
+	// executing.
+	bad := serve.JobSpec{Kind: serve.KindScan, Source: "this is not an instruction\n"}
+	badCold, err := probeA.run(bad)
+	if err != nil {
+		return fail("deterministic failure: %v", err)
+	}
+	badWarm, err := probeA.run(bad)
+	if err != nil {
+		return fail("deterministic resubmit: %v", err)
+	}
+	q.Assertf("deterministic-failure-visible",
+		badCold.State == "failed" && badCold.Error != "",
+		"state=%s error=%q", badCold.State, badCold.Error)
+	q.Assertf("deterministic-failure-cached",
+		badWarm.State == "failed" && badWarm.Cached && badWarm.Error == badCold.Error,
+		"state=%s cached=%v", badWarm.State, badWarm.Cached)
+
+	// A deadline kills a job that would run far longer, visibly.
+	slow := serve.JobSpec{Kind: serve.KindCheck, Programs: 200000, Masks: 3, Seed: 9, TimeoutMS: 150}
+	timedOut, err := probeA.run(slow)
+	if err != nil {
+		return fail("deadline job: %v", err)
+	}
+	q.Assertf("deadline-kills-runaway-job",
+		timedOut.State == "failed" && strings.Contains(timedOut.Error, "deadline"),
+		"state=%s error=%q", timedOut.State, timedOut.Error)
+
+	st, err := probeA.stats()
+	if err != nil {
+		return fail("stats A: %v", err)
+	}
+	// 4 first-attempt panics retried (check, scan, bad scan, deadline
+	// job); the bad scan's second attempt failed deterministically with
+	// no further retry; the deadline job's second attempt was aborted.
+	q.Assertf("retries-counted", st["serve.retries"] == 4, "serve.retries=%d", st["serve.retries"])
+	q.Assertf("timeouts-counted", st["serve.timeouts"] == 1, "serve.timeouts=%d", st["serve.timeouts"])
+	q.Assertf("executed-exactly-per-job", st["serve.executed"] == 4, "serve.executed=%d", st["serve.executed"])
+	stopA()
+	pending, _ := srvA.WALDiagnostics()
+	q.Assertf("no-job-lost-in-journal", pending == 0, "pending=%d after full drain", pending)
+
+	// Crash recovery: forge a server that died after journaling an
+	// acceptance but before storing the result, then restart on the same
+	// directory. The replayed job's first attempt panics too — recovery
+	// and retry must compose.
+	crashed := serve.JobSpec{Kind: serve.KindCheck, Programs: 5, Masks: 1, Seed: 99}
+	key, err := serve.SimulateCrashedJob(dir, crashed)
+	if err != nil {
+		return fail("SimulateCrashedJob: %v", err)
+	}
+	srvB, probeB, stopB, err := start(serve.Options{
+		CacheDir:  dir,
+		Workers:   workers,
+		RetryBase: 5 * time.Millisecond,
+		Chaos:     chaos,
+	})
+	if err != nil {
+		return fail("server B: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var outcome serve.Outcome
+	for {
+		_, outcome, _ = srvB.Store().Get(key)
+		if outcome == serve.Hit || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	q.Assertf("crashed-job-replayed-to-stored-result", outcome == serve.Hit, "outcome=%v", outcome)
+	st, err = probeB.stats()
+	if err != nil {
+		return fail("stats B: %v", err)
+	}
+	q.Assertf("replay-exactly-once",
+		st["serve.wal_replayed"] == 1 && st["serve.executed"] == 1,
+		"wal_replayed=%d executed=%d", st["serve.wal_replayed"], st["serve.executed"])
+	stopB()
+
+	// Journal tamper: flip one byte inside a forged pending record. The
+	// restart must reject it rather than replay a spec it cannot
+	// authenticate.
+	forged := serve.JobSpec{Kind: serve.KindCheck, Programs: 7, Masks: 1, Seed: 42}
+	if _, err := serve.SimulateCrashedJob(dir, forged); err != nil {
+		return fail("forge tamper target: %v", err)
+	}
+	raw, err := os.ReadFile(serve.WALPath(dir))
+	if err != nil {
+		return fail("read journal: %v", err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"programs":7`), []byte(`"programs":8`), 1)
+	if bytes.Equal(tampered, raw) {
+		return fail("tamper target not found in journal")
+	}
+	if err := os.WriteFile(serve.WALPath(dir), tampered, 0o600); err != nil {
+		return fail("write tampered journal: %v", err)
+	}
+	srvC, probeC, stopC, err := start(serve.Options{CacheDir: dir, Workers: workers})
+	if err != nil {
+		return fail("server C: %v", err)
+	}
+	st, err = probeC.stats()
+	if err != nil {
+		return fail("stats C: %v", err)
+	}
+	q.Assertf("tampered-journal-record-rejected",
+		st["serve.wal_rejected"] >= 1 && st["serve.wal_replayed"] == 0 && st["serve.executed"] == 0,
+		"wal_rejected=%d wal_replayed=%d executed=%d",
+		st["serve.wal_rejected"], st["serve.wal_replayed"], st["serve.executed"])
+	stopC()
+	_ = srvC
+
+	// Load shedding: two consecutive deterministic scan failures open
+	// the scan circuit; the next scan is shed with 503 + Retry-After.
+	dir2, err := os.MkdirTemp("", "pandora-serve-chaos-breaker-")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(dir2)
+	_, probeD, stopD, err := start(serve.Options{
+		CacheDir:         dir2,
+		Workers:          workers,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		return fail("server D: %v", err)
+	}
+	defer stopD()
+	for i, src := range []string{"bogus one\n", "bogus two\n"} {
+		view, err := probeD.run(serve.JobSpec{Kind: serve.KindScan, Source: src})
+		if err != nil || view.State != "failed" {
+			return fail("breaker setup %d: state=%s err=%v", i, view.State, err)
+		}
+	}
+	shedView, code, err := probeD.submit(serve.JobSpec{Kind: serve.KindScan, Scenario: "stlf"})
+	if err != nil {
+		return fail("shed submit: %v", err)
+	}
+	resp, err := http.Get(probeD.base + "/readyz")
+	if err != nil {
+		return fail("readyz: %v", err)
+	}
+	resp.Body.Close()
+	st, err = probeD.stats()
+	if err != nil {
+		return fail("stats D: %v", err)
+	}
+	q.Assertf("open-circuit-sheds-with-503",
+		code == http.StatusServiceUnavailable && st["serve.shed"] == 1,
+		"HTTP %d (%s), serve.shed=%d", code, shedView.Error, st["serve.shed"])
+	q.Assertf("readyz-reports-open-circuit",
+		resp.StatusCode == http.StatusServiceUnavailable,
+		"readyz HTTP %d", resp.StatusCode)
 
 	return q.Done()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,7 +39,7 @@ func runTrace(args []string) int {
 		return traceQuick(c)
 	}
 
-	res, err := core.RunTrace(*scenario, *c.Seed, *c.Parallel)
+	res, err := core.RunTrace(context.Background(), *scenario, *c.Seed, *c.Parallel)
 	if err != nil {
 		return c.Errorf(1, "%v", err)
 	}
@@ -108,7 +109,7 @@ func parseWindow(s string) (lo, hi int64, err error) {
 func traceQuick(c *cli.Command) int {
 	q := cli.NewQuickSuite("TRACE")
 
-	aes, err := core.RunTrace("aes", *c.Seed, *c.Parallel)
+	aes, err := core.RunTrace(context.Background(), "aes", *c.Seed, *c.Parallel)
 	if err != nil {
 		return c.Errorf(1, "aes: %v", err)
 	}
@@ -130,7 +131,7 @@ func traceQuick(c *cli.Command) int {
 	q.Assertf("report-renders", report.Len() > 0, "%d bytes", report.Len())
 
 	jsonl := func(workers int) ([]byte, error) {
-		res, err := core.RunTrace("sweep", *c.Seed, workers)
+		res, err := core.RunTrace(context.Background(), "sweep", *c.Seed, workers)
 		if err != nil {
 			return nil, err
 		}

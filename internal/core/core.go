@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,7 +35,24 @@ type Options struct {
 	Parallel int
 	// Trace receives narrative progress lines when non-nil.
 	Trace func(format string, args ...any)
+	// Ctx, when non-nil, bounds the experiment: multi-phase experiments
+	// check it between phases and sweep-shaped experiments pass it to the
+	// parallel engine, so a cancelled or expired job stops instead of
+	// running its remaining work. Nil means context.Background().
+	Ctx context.Context
 }
+
+// ctx returns the experiment's bounding context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// err reports the bounding context's cancellation state — the check
+// multi-phase experiments run between phases.
+func (o Options) err() error { return o.ctx().Err() }
 
 // Workers returns the effective worker count for the options.
 func (o Options) Workers() int { return parallel.Workers(o.Parallel) }

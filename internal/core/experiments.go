@@ -177,7 +177,7 @@ func fig4Case(name string, cfg pipeline.Config, warm bool, src string) (string, 
 	return b.String(), m.Stats(), nil
 }
 
-func runFig4(Options) (Result, error) {
+func runFig4(o Options) (Result, error) {
 	ssCfg := func() pipeline.Config {
 		c := pipeline.DefaultConfig()
 		c.SilentStores = &pipeline.SilentStoreConfig{}
@@ -204,6 +204,9 @@ func runFig4(Options) (Result, error) {
 	}
 	b.WriteString(text + "\n")
 	metrics["caseA_silent"] = float64(stats.SilentStores)
+	if err := o.err(); err != nil {
+		return Result{}, err
+	}
 
 	// Case B: value mismatch.
 	text, stats, err = fig4Case("Case B: store value != loaded (non-silent store)",
@@ -213,6 +216,9 @@ func runFig4(Options) (Result, error) {
 	}
 	b.WriteString(text + "\n")
 	metrics["caseB_mismatch"] = float64(stats.NonSilentChecks)
+	if err := o.err(); err != nil {
+		return Result{}, err
+	}
 
 	// Case C: no free load port.
 	cfgC := ssCfg()
@@ -234,6 +240,9 @@ func runFig4(Options) (Result, error) {
 	}
 	b.WriteString(text + "\n")
 	metrics["caseC_noport"] = float64(stats.SSLoadNoPort)
+	if err := o.err(); err != nil {
+		return Result{}, err
+	}
 
 	// Case D: SS-Load returns late (cold line).
 	text, stats, err = fig4Case("Case D: SS-Load returns late (non-silent store)", ssCfg(), false, `
@@ -296,9 +305,12 @@ func gadgetRun(storeVal int64) (int64, error) {
 	return res.Cycles, nil
 }
 
-func runFig5(Options) (Result, error) {
+func runFig5(o Options) (Result, error) {
 	silent, err := gadgetRun(7)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := o.err(); err != nil {
 		return Result{}, err
 	}
 	nonSilent, err := gadgetRun(8)
@@ -335,6 +347,9 @@ func runFig6(o Options) (Result, error) {
 	rng.Read(ak[:])
 	a, err := attack.NewBSAESAttack(attack.DefaultBSAESConfig(), vk, vp, ak)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := o.err(); err != nil {
 		return Result{}, err
 	}
 	// Samples are sharded over the worker pool with per-sample seeds, so
@@ -429,6 +444,9 @@ func runURG(o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := o.err(); err != nil {
+		return Result{}, err
+	}
 	got, correct, err := u.LeakRangeParallel(o.Parallel, n)
 	text := fmt.Sprintf(`Figure 1 / Section V-B — universal read gadget via the 3-level IMP
 
@@ -515,6 +533,9 @@ func runKeyRecovery(o Options) (Result, error) {
 	rng.Read(ak[:])
 	a, err := attack.NewBSAESAttack(attack.DefaultBSAESConfig(), vk, vp, ak)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := o.err(); err != nil {
 		return Result{}, err
 	}
 	truth := a.VictimSlices()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -134,7 +135,7 @@ func summarize(st *taint.State, scenario, machine string) ScanSummary {
 // with them enabled every spill store's elision check reads the stale
 // key-derived bytes — the Figure 6 precondition, rediscovered by the
 // scanner without any timing measurement.
-func ScanAES(silentStores bool) (ScanSummary, error) {
+func ScanAES(ctx context.Context, silentStores bool) (ScanSummary, error) {
 	var victimKey, victimPlain [16]byte
 	for i := range victimKey {
 		victimKey[i] = byte(0x0f ^ i*0x11)
@@ -152,6 +153,9 @@ func ScanAES(silentStores bool) (ScanSummary, error) {
 	}
 	cfg := pipeline.DefaultConfig()
 	cfg.Taint = st
+	flag, stop := pipeline.CancelFromContext(ctx)
+	defer stop()
+	cfg.Cancel = flag
 	scenario := "aes-baseline"
 	if silentStores {
 		cfg.SilentStores = &pipeline.SilentStoreConfig{}
@@ -194,7 +198,7 @@ func ScanAES(silentStores bool) (ScanSummary, error) {
 // labeled kernel region, run once on a machine whose 3-level IMP is
 // shadowed. The scanner reports the prefetcher reading labeled kernel
 // bytes and forming prefetch addresses from them.
-func ScanEBPF() (ScanSummary, error) {
+func ScanEBPF(ctx context.Context) (ScanSummary, error) {
 	secret := []byte("pandora-scan-secret-byte")
 	st := taint.NewState()
 	cfg := attack.DefaultURGConfig()
@@ -204,6 +208,9 @@ func ScanEBPF() (ScanSummary, error) {
 		return ScanSummary{}, err
 	}
 	if _, err := st.DefineSecret(taint.Secret{Name: "kernel", Base: u.SecretBase(), Len: uint64(len(secret))}); err != nil {
+		return ScanSummary{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return ScanSummary{}, err
 	}
 	if err := u.RunOnce(0); err != nil {
@@ -218,8 +225,8 @@ func ScanEBPF() (ScanSummary, error) {
 // address derives from the labeled secret before that address resolves,
 // so both the forwarding decision and the retire-time replay depend on
 // the secret. With it disabled the same kernel scans clean.
-func ScanStLF(stlf bool) (ScanSummary, error) {
-	return scanSpecWitness("store-to-leak forwarding", "stlf", stlf)
+func ScanStLF(ctx context.Context, stlf bool) (ScanSummary, error) {
+	return scanSpecWitness(ctx, "store-to-leak forwarding", "stlf", stlf)
 }
 
 // ScanSpecVect scans the speculative-vectorization witness kernel
@@ -228,8 +235,8 @@ func ScanStLF(stlf bool) (ScanSummary, error) {
 // labeled secret — the squash unwinds the ROB, not the cache, so the
 // event is recorded even though the load is architecturally dead. With
 // speculation disabled the lane never issues and the kernel scans clean.
-func ScanSpecVect(wrongPath bool) (ScanSummary, error) {
-	return scanSpecWitness("wrong-path vector lane", "specvect", wrongPath)
+func ScanSpecVect(ctx context.Context, wrongPath bool) (ScanSummary, error) {
+	return scanSpecWitness(ctx, "wrong-path vector lane", "specvect", wrongPath)
 }
 
 // scanSpecWitness runs one of the speculation timing witnesses under the
@@ -237,7 +244,7 @@ func ScanSpecVect(wrongPath bool) (ScanSummary, error) {
 // labeled instead of contrasted — pairing the timing evidence with
 // shadow-label evidence exactly like TestWitnessScanPairing does for
 // every witness.
-func scanSpecWitness(name, scenario string, enabled bool) (ScanSummary, error) {
+func scanSpecWitness(ctx context.Context, name, scenario string, enabled bool) (ScanSummary, error) {
 	var w witness
 	found := false
 	for _, cand := range witnesses() {
@@ -271,6 +278,9 @@ func scanSpecWitness(name, scenario string, enabled bool) (ScanSummary, error) {
 	}
 	cfg := mk()
 	cfg.Taint = st
+	flag, stop := pipeline.CancelFromContext(ctx)
+	defer stop()
+	cfg.Cancel = flag
 	machine, err := pipeline.New(cfg, m, hier)
 	if err != nil {
 		return ScanSummary{}, err
@@ -289,7 +299,7 @@ func scanSpecWitness(name, scenario string, enabled bool) (ScanSummary, error) {
 // labeled regions, optionally extended by extra), runs it once on the
 // machine described by spec, and reports every optimization trigger
 // condition that depended on a secret.
-func ScanSource(src, spec string, extra []taint.Secret) (ScanSummary, error) {
+func ScanSource(ctx context.Context, src, spec string, extra []taint.Secret) (ScanSummary, error) {
 	unit, err := asm.AssembleUnit(src)
 	if err != nil {
 		return ScanSummary{}, err
@@ -309,6 +319,9 @@ func ScanSource(src, spec string, extra []taint.Secret) (ScanSummary, error) {
 	}
 	st := taint.NewState()
 	cfg.Taint = st
+	flag, stop := pipeline.CancelFromContext(ctx)
+	defer stop()
+	cfg.Cancel = flag
 	m := mem.New()
 	hier, err := cache.NewHierarchy(cache.DefaultHierConfig())
 	if err != nil {

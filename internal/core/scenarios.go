@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,13 +23,14 @@ type Scenario struct {
 	Name string
 	// Title is a one-line description for listings.
 	Title string
-	// Scan runs the scenario under the taint scanner.
-	Scan func() (ScanSummary, error)
-	// Trace runs the scenario under the cycle-accurate probe. seed and
-	// workers only affect corpus scenarios (sweep); extra, when non-nil,
-	// receives a copy of every probe event alongside the recording trace
-	// (the serve layer's live progress bridge).
-	Trace func(seed int64, workers int, extra obs.Probe) (*TraceResult, error)
+	// Scan runs the scenario under the taint scanner. ctx bounds the
+	// run: cancellation stops the machine at its next checkpoint.
+	Scan func(ctx context.Context) (ScanSummary, error)
+	// Trace runs the scenario under the cycle-accurate probe. ctx bounds
+	// the run; seed and workers only affect corpus scenarios (sweep);
+	// extra, when non-nil, receives a copy of every probe event alongside
+	// the recording trace (the serve layer's live progress bridge).
+	Trace func(ctx context.Context, seed int64, workers int, extra obs.Probe) (*TraceResult, error)
 }
 
 // scenarioTable is the single source of truth, in display order.
@@ -36,46 +38,52 @@ var scenarioTable = []Scenario{
 	{
 		Name:  "aes",
 		Title: "bitslice-AES victim spills under silent stores (Figure 6 precondition)",
-		Scan:  func() (ScanSummary, error) { return ScanAES(true) },
-		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceAES(true, extra) },
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanAES(ctx, true) },
+		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceAES(ctx, true, extra)
+		},
 	},
 	{
 		Name:  "aes-baseline",
 		Title: "the same AES kernel on a baseline machine (scans clean)",
-		Scan:  func() (ScanSummary, error) { return ScanAES(false) },
-		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceAES(false, extra) },
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanAES(ctx, false) },
+		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceAES(ctx, false, extra)
+		},
 	},
 	{
 		Name:  "ebpf",
 		Title: "eBPF universal read gadget through the 3-level IMP (Section V-B)",
-		Scan:  func() (ScanSummary, error) { return ScanEBPF() },
-		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) { return traceEBPF(extra) },
+		Scan:  ScanEBPF,
+		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceEBPF(ctx, extra)
+		},
 	},
 	{
 		Name:  "stlf",
 		Title: "store-to-leak forwarding witness (arXiv:1905.05725)",
-		Scan:  func() (ScanSummary, error) { return ScanStLF(true) },
-		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) {
-			return traceSpec("store-to-leak forwarding", "stlf", extra)
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanStLF(ctx, true) },
+		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceSpec(ctx, "store-to-leak forwarding", "stlf", extra)
 		},
 	},
 	{
 		Name:  "stlf-baseline",
 		Title: "the same kernel with the forwarding predictor off (scans clean)",
-		Scan:  func() (ScanSummary, error) { return ScanStLF(false) },
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanStLF(ctx, false) },
 	},
 	{
 		Name:  "specvect",
 		Title: "wrong-path vector-lane leakage (arXiv:2302.01131)",
-		Scan:  func() (ScanSummary, error) { return ScanSpecVect(true) },
-		Trace: func(_ int64, _ int, extra obs.Probe) (*TraceResult, error) {
-			return traceSpec("wrong-path vector lane", "specvect", extra)
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanSpecVect(ctx, true) },
+		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
+			return traceSpec(ctx, "wrong-path vector lane", "specvect", extra)
 		},
 	},
 	{
 		Name:  "specvect-baseline",
 		Title: "the same kernel with speculation off (scans clean)",
-		Scan:  func() (ScanSummary, error) { return ScanSpecVect(false) },
+		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanSpecVect(ctx, false) },
 	},
 	{
 		Name:  "sweep",
@@ -125,19 +133,22 @@ func TraceScenarios() []string {
 }
 
 // ScanScenario runs one built-in scenario under the taint scanner.
-func ScanScenario(name string) (ScanSummary, error) {
+// ctx bounds the run: a cancelled or expired context stops the machine
+// at its next cooperative checkpoint.
+func ScanScenario(ctx context.Context, name string) (ScanSummary, error) {
 	s, ok := ScenarioByName(name)
 	if !ok || s.Scan == nil {
 		return ScanSummary{}, fmt.Errorf("core: unknown scan scenario %q (want %s)",
 			name, strings.Join(ScanScenarios(), ", "))
 	}
-	return s.Scan()
+	return s.Scan(ctx)
 }
 
-// RunTrace runs one built-in scenario under the probe. workers only
-// affects the sweep scenario's execution schedule, never its output.
-func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
-	return RunTraceProbed(scenario, seed, workers, nil)
+// RunTrace runs one built-in scenario under the probe. ctx bounds the
+// run; workers only affects the sweep scenario's execution schedule,
+// never its output.
+func RunTrace(ctx context.Context, scenario string, seed int64, workers int) (*TraceResult, error) {
+	return RunTraceProbed(ctx, scenario, seed, workers, nil)
 }
 
 // RunTraceProbed is RunTrace with a live event bridge: extra, when
@@ -145,11 +156,11 @@ func RunTrace(scenario string, seed int64, workers int) (*TraceResult, error) {
 // concurrently from worker goroutines for corpus scenarios, so extra
 // must be safe for concurrent Emit there. The recorded TraceResult is
 // unaffected by extra.
-func RunTraceProbed(scenario string, seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
+func RunTraceProbed(ctx context.Context, scenario string, seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
 	s, ok := ScenarioByName(scenario)
 	if !ok || s.Trace == nil {
 		return nil, fmt.Errorf("core: unknown trace scenario %q (want %s)",
 			scenario, strings.Join(TraceScenarios(), ", "))
 	}
-	return s.Trace(seed, workers, extra)
+	return s.Trace(ctx, seed, workers, extra)
 }

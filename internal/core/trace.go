@@ -44,7 +44,7 @@ type TraceResult struct {
 // and the attacker encryption runs over them. With silent stores the
 // trace carries uopt silent-store activations and taint-leak events —
 // the Figure 6 precondition, visible per cycle.
-func traceAES(silentStores bool, extra obs.Probe) (*TraceResult, error) {
+func traceAES(ctx context.Context, silentStores bool, extra obs.Probe) (*TraceResult, error) {
 	var victimKey, victimPlain [16]byte
 	for i := range victimKey {
 		victimKey[i] = byte(0x0f ^ i*0x11)
@@ -63,6 +63,9 @@ func traceAES(silentStores bool, extra obs.Probe) (*TraceResult, error) {
 	cfg := pipeline.DefaultConfig()
 	cfg.Taint = st
 	cfg.Probe = obs.Fanout(trace, extra)
+	flag, stop := pipeline.CancelFromContext(ctx)
+	defer stop()
+	cfg.Cancel = flag
 	scenario := "aes-baseline"
 	if silentStores {
 		cfg.SilentStores = &pipeline.SilentStoreConfig{}
@@ -109,7 +112,7 @@ func traceAES(silentStores bool, extra obs.Probe) (*TraceResult, error) {
 // of the verified sandbox program on the three-level-IMP machine. The
 // trace shows the prefetch cascade on the prefetch track and the taint
 // leaks where the IMP's addresses derive from labeled kernel bytes.
-func traceEBPF(extra obs.Probe) (*TraceResult, error) {
+func traceEBPF(ctx context.Context, extra obs.Probe) (*TraceResult, error) {
 	secret := []byte("pandora-scan-secret-byte")
 	trace := obs.NewTrace()
 	st := taint.NewState()
@@ -121,6 +124,9 @@ func traceEBPF(extra obs.Probe) (*TraceResult, error) {
 		return nil, err
 	}
 	if _, err := st.DefineSecret(taint.Secret{Name: "kernel", Base: u.SecretBase(), Len: uint64(len(secret))}); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := u.RunOnce(0); err != nil {
@@ -141,7 +147,7 @@ func traceEBPF(extra obs.Probe) (*TraceResult, error) {
 // squash for specvect, speculative forwards and the verify replay for
 // stlf — alongside the taint-leak events those µops emit before being
 // squashed.
-func traceSpec(name, scenario string, extra obs.Probe) (*TraceResult, error) {
+func traceSpec(ctx context.Context, name, scenario string, extra obs.Probe) (*TraceResult, error) {
 	var w witness
 	found := false
 	for _, cand := range witnesses() {
@@ -170,6 +176,9 @@ func traceSpec(name, scenario string, extra obs.Probe) (*TraceResult, error) {
 	cfg := w.config()
 	cfg.Taint = st
 	cfg.Probe = obs.Fanout(trace, extra)
+	flag, stop := pipeline.CancelFromContext(ctx)
+	defer stop()
+	cfg.Cancel = flag
 	machine, err := pipeline.New(cfg, m, hier)
 	if err != nil {
 		return nil, err
@@ -199,7 +208,7 @@ const sweepPrograms = 12
 // order with their cycle stamps shifted to follow one another. The
 // parallel engine only changes which worker runs which program — the
 // merged trace is byte-identical at every worker count.
-func traceSweep(seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
+func traceSweep(ctx context.Context, seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
 	type part struct {
 		trace  *obs.Trace
 		cycles int64
@@ -209,8 +218,8 @@ func traceSweep(seed int64, workers int, extra obs.Probe) (*TraceResult, error) 
 	for i := range idx {
 		idx[i] = i
 	}
-	parts, err := parallel.Map(context.Background(), workers, idx,
-		func(_ context.Context, _ int, i int) (part, error) {
+	parts, err := parallel.Map(ctx, workers, idx,
+		func(ctx context.Context, _ int, i int) (part, error) {
 			prog, err := asm.Assemble(sweepProgram(seed, i))
 			if err != nil {
 				return part{}, fmt.Errorf("sweep program %d: %w", i, err)
@@ -218,6 +227,9 @@ func traceSweep(seed int64, workers int, extra obs.Probe) (*TraceResult, error) 
 			tr := obs.NewTrace()
 			cfg := pipeline.DefaultConfig()
 			cfg.Probe = obs.Fanout(tr, extra)
+			flag, stop := pipeline.CancelFromContext(ctx)
+			defer stop()
+			cfg.Cancel = flag
 			m, err := pipeline.New(cfg, mem.New(), cache.MustNewHierarchy(cache.DefaultHierConfig()))
 			if err != nil {
 				return part{}, err

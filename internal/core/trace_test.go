@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // sweepJSONL runs the sweep scenario and exports it as JSONL.
 func sweepJSONL(t *testing.T, seed int64, workers int) []byte {
 	t.Helper()
-	res, err := RunTrace("sweep", seed, workers)
+	res, err := RunTrace(context.Background(), "sweep", seed, workers)
 	if err != nil {
 		t.Fatalf("sweep workers=%d: %v", workers, err)
 	}
@@ -44,7 +45,7 @@ func TestTraceSweepDeterministicAcrossWorkers(t *testing.T) {
 // Chrome export of the aes scenario is valid JSON and its retire
 // track's maximum timestamp equals the scenario's cycle count.
 func TestTraceAESChromeCycles(t *testing.T) {
-	res, err := RunTrace("aes", 1, 1)
+	res, err := RunTrace(context.Background(), "aes", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTraceAESChromeCycles(t *testing.T) {
 
 // TestTraceScenarioErrors covers the unknown-scenario path.
 func TestTraceScenarioErrors(t *testing.T) {
-	if _, err := RunTrace("nope", 1, 1); err == nil {
+	if _, err := RunTrace(context.Background(), "nope", 1, 1); err == nil {
 		t.Error("unknown scenario did not error")
 	}
 }

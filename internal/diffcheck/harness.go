@@ -121,6 +121,13 @@ func Check(ctx context.Context, opts Options) (Report, error) {
 	}
 	nFixtures := len(cases)
 	for i := 0; i < opts.Programs; i++ {
+		// Corpus generation can dominate huge sweeps; honor deadlines
+		// here too, not just between runs.
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
 		rng := rand.New(rand.NewSource(parallel.Seed(opts.Seed, i)))
 		cases = append(cases, Case{
 			Name: fmt.Sprintf("gen-%04d", i),

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Chaos is the service-level sibling of the microarchitectural fault
+// plans: where a Plan flips bits inside a simulated structure, a
+// ChaosPlan injects process-level failures — worker panics, stalls and
+// slow-downs — into the serve layer's job execution, so the retry,
+// watchdog and crash-recovery machinery can be proven against real
+// failures instead of hand-mocked ones.
+//
+// The same discipline applies as everywhere else in this package: a
+// decision is a pure function of (plan, job key, attempt), so a chaos
+// run is reproducible from its seed, and a nil *ChaosPlan is a
+// guaranteed no-op — production servers pay one nil check per job.
+
+// ChaosAction is what a chaos decision tells the executor to do.
+type ChaosAction uint8
+
+const (
+	// ChaosNone means run the job normally.
+	ChaosNone ChaosAction = iota
+	// ChaosPanic means panic mid-execution, as a buggy runner would.
+	ChaosPanic
+	// ChaosStall means fail the attempt the way the forward-progress
+	// watchdog reports a hung run (the executor converts this to its
+	// stall error path rather than actually burning wall-clock).
+	ChaosStall
+	// ChaosSlow means delay the attempt by ChaosDecision.Delay before
+	// running it normally — load for deadline and drain testing.
+	ChaosSlow
+)
+
+var chaosActionNames = [...]string{
+	ChaosNone:  "none",
+	ChaosPanic: "panic",
+	ChaosStall: "stall",
+	ChaosSlow:  "slow",
+}
+
+func (a ChaosAction) String() string {
+	if int(a) < len(chaosActionNames) {
+		return chaosActionNames[a]
+	}
+	return fmt.Sprintf("chaos(%d)", uint8(a))
+}
+
+// ChaosPlan decides, deterministically, which job attempts fail and
+// how. Rates are per-mille (0-1000) so plans stay integer-only; they
+// are evaluated in order panic, stall, slow against disjoint slices of
+// one uniform draw, so PanicPerMille=100 and StallPerMille=100 means
+// 10% panics, 10% stalls, 80% untouched.
+type ChaosPlan struct {
+	// Seed isolates one chaos run from another; two plans with the same
+	// rates but different seeds pick different victims.
+	Seed int64
+	// PanicPerMille is the per-attempt probability (in 1/1000) of a
+	// ChaosPanic decision.
+	PanicPerMille int
+	// StallPerMille likewise for ChaosStall.
+	StallPerMille int
+	// SlowPerMille likewise for ChaosSlow.
+	SlowPerMille int
+	// SlowDelay is the delay attached to ChaosSlow decisions.
+	SlowDelay time.Duration
+	// FirstAttemptsOnly restricts injection to attempt 0 of each job,
+	// guaranteeing every chaos-hit transient succeeds on retry — the
+	// configuration the chaos gate uses to assert "all transients
+	// retried to success".
+	FirstAttemptsOnly bool
+}
+
+// ChaosDecision is one attempt's fate.
+type ChaosDecision struct {
+	Action ChaosAction
+	// Delay is non-zero for ChaosSlow.
+	Delay time.Duration
+}
+
+// ChaosError is the error surfaced by executors honoring a ChaosStall
+// (and the panic value for ChaosPanic), tagged so failure classifiers
+// can treat injected chaos as transient.
+type ChaosError struct {
+	Action ChaosAction
+	Key    string
+	Att    int
+}
+
+func (e *ChaosError) Error() string {
+	return fmt.Sprintf("faults: injected chaos %s (job %s attempt %d)", e.Action, e.Key, e.Att)
+}
+
+// Decide returns the fate of one attempt of one job. A nil plan always
+// returns ChaosNone. The draw hashes (seed, key, attempt) through
+// FNV-1a and a splitmix64 finisher, so decisions are independent across
+// jobs and attempts but fully reproducible.
+func (p *ChaosPlan) Decide(key string, attempt int) ChaosDecision {
+	if p == nil {
+		return ChaosDecision{}
+	}
+	if p.FirstAttemptsOnly && attempt > 0 {
+		return ChaosDecision{}
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(p.Seed) >> (8 * i))
+		b[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	x := splitmix64(h.Sum64())
+	draw := int(x % 1000)
+	switch {
+	case draw < p.PanicPerMille:
+		return ChaosDecision{Action: ChaosPanic}
+	case draw < p.PanicPerMille+p.StallPerMille:
+		return ChaosDecision{Action: ChaosStall}
+	case draw < p.PanicPerMille+p.StallPerMille+p.SlowPerMille:
+		return ChaosDecision{Action: ChaosSlow, Delay: p.SlowDelay}
+	default:
+		return ChaosDecision{}
+	}
+}
+
+// splitmix64 is the standard finisher: it scrambles the FNV digest so
+// the modulo draw is uniform even for near-identical inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

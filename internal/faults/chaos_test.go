@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestChaosNilPlanIsNoOp(t *testing.T) {
+	var p *ChaosPlan
+	for a := 0; a < 4; a++ {
+		if d := p.Decide("job", a); d.Action != ChaosNone || d.Delay != 0 {
+			t.Fatalf("nil plan decided %+v, want none", d)
+		}
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	p := &ChaosPlan{Seed: 42, PanicPerMille: 300, StallPerMille: 300, SlowPerMille: 300, SlowDelay: time.Millisecond}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		first := p.Decide(key, 0)
+		if again := p.Decide(key, 0); again != first {
+			t.Fatalf("job %s: decision not deterministic: %+v vs %+v", key, first, again)
+		}
+	}
+}
+
+func TestChaosRatesRoughlyHold(t *testing.T) {
+	p := &ChaosPlan{Seed: 7, PanicPerMille: 250, StallPerMille: 250}
+	counts := map[ChaosAction]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[p.Decide(fmt.Sprintf("k%d", i), 0).Action]++
+	}
+	// 25% each with generous slack; the draw is a hash, not a statistics
+	// engine, so only gross miscalibration should fail.
+	for _, a := range []ChaosAction{ChaosPanic, ChaosStall} {
+		if c := counts[a]; c < n/8 || c > n/2 {
+			t.Fatalf("%v fired %d/%d times, want roughly %d", a, c, n, n/4)
+		}
+	}
+	if counts[ChaosSlow] != 0 {
+		t.Fatalf("slow fired with zero rate")
+	}
+}
+
+func TestChaosSeedChangesVictims(t *testing.T) {
+	a := &ChaosPlan{Seed: 1, PanicPerMille: 500}
+	b := &ChaosPlan{Seed: 2, PanicPerMille: 500}
+	same := 0
+	const n = 256
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if a.Decide(k, 0).Action == b.Decide(k, 0).Action {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("seeds 1 and 2 picked identical victims across %d jobs", n)
+	}
+}
+
+func TestChaosFirstAttemptsOnly(t *testing.T) {
+	p := &ChaosPlan{Seed: 9, PanicPerMille: 1000, FirstAttemptsOnly: true}
+	if d := p.Decide("k", 0); d.Action != ChaosPanic {
+		t.Fatalf("attempt 0: %+v, want panic at rate 1000", d)
+	}
+	if d := p.Decide("k", 1); d.Action != ChaosNone {
+		t.Fatalf("attempt 1: %+v, want none under FirstAttemptsOnly", d)
+	}
+}
+
+func TestChaosErrorMessage(t *testing.T) {
+	e := &ChaosError{Action: ChaosStall, Key: "abc", Att: 2}
+	want := "faults: injected chaos stall (job abc attempt 2)"
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+}

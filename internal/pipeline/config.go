@@ -166,6 +166,13 @@ type Config struct {
 	// an error when exceeded.
 	MaxCycles int64
 
+	// Cancel, when non-nil, is the cooperative cancellation flag: raising
+	// it from any goroutine makes Run abort with ErrCancelled at its next
+	// checkpoint (every cancelCheckInterval cycles). This is how a job
+	// deadline stops a simulation in wall-clock time — MaxCycles bounds
+	// simulated time only. Nil costs one pointer compare per cycle.
+	Cancel *CancelFlag
+
 	// RecordEvents enables the per-µop event log used to render the
 	// Figure 4 timelines.
 	RecordEvents bool

@@ -60,13 +60,13 @@ type Machine struct {
 	// Free lists and per-cycle scratch buffers (see pool.go). All reuse
 	// their backing arrays so the steady-state cycle loop allocates
 	// nothing.
-	uopPool         []*uop
-	sqPool          []*sqEntry
+	uopPool []*uop
+	sqPool  []*sqEntry
 	// Total objects ever handed out by the pools. After a clean run every
 	// object is back in its free list, so len(pool) == allocated — the
 	// leak-detection invariant alloc_test pins across abort paths.
-	uopAllocated int
-	sqAllocated  int
+	uopAllocated    int
+	sqAllocated     int
 	issueScratch    []*uop
 	completeScratch []*uop
 	squashScratch   []*uop
@@ -360,8 +360,16 @@ func (m *Machine) Run(prog isa.Program) (Result, error) {
 		m.lastRetired = m.lastRetired[:0]
 		wdNext = m.cycle + wd.window()
 	}
+	// The cancellation checkpoint keeps its flag in a local so the nil
+	// path is one register compare per cycle, and the armed path one
+	// masked compare plus an atomic load every cancelCheckInterval
+	// cycles — both allocation-free.
+	cancel := m.cfg.Cancel
 	for {
 		m.cycle++
+		if cancel != nil && m.cycle&(cancelCheckInterval-1) == 0 && cancel.Cancelled() {
+			return m.finishRun(startCycle), ErrCancelled
+		}
 		if m.cfg.Faults != nil {
 			m.faultTick()
 		}

@@ -26,6 +26,8 @@ const (
 	PhaseProbe    = "probe"
 	PhaseCached   = "cached"
 	PhaseRejected = "rejected"
+	PhaseRetry    = "retry"
+	PhaseReplayed = "replayed"
 	PhaseDone     = "done"
 	PhaseFailed   = "failed"
 )

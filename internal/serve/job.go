@@ -54,6 +54,13 @@ type JobSpec struct {
 	// trace sweep, bench experiments that sample).
 	Seed int64 `json:"seed,omitempty"`
 
+	// TimeoutMS bounds the job's execution in wall-clock milliseconds.
+	// Zero means the server default; the server caps requested values at
+	// its configured maximum. Like Workers, a timeout changes how long a
+	// result may take to compute, never what it is, so Normalize drops it
+	// from the canonical spec and it does not fragment the cache.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
 	// Experiment names the core experiment a bench job reproduces.
 	Experiment string `json:"experiment,omitempty"`
 	// Samples / SecretLen / Full mirror core.Options for bench jobs.
@@ -106,6 +113,15 @@ type JobResult struct {
 	Output json.RawMessage `json:"output,omitempty"`
 	// Metrics carries headline numbers (cycles, event counts, rates).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Error is set on cached deterministic failures: the analysis error
+	// that any re-execution of this spec would reproduce. A result with
+	// Error set serves as a failed job, never re-executed.
+	Error string `json:"error,omitempty"`
+	// Attempts lists the failed tries that preceded this terminal result,
+	// oldest first. Empty (and omitted) when the first attempt succeeded,
+	// so retry-free results serialize byte-identically to a server that
+	// never retried anything.
+	Attempts []Attempt `json:"attempts,omitempty"`
 }
 
 // keyEnvelope is what the job key actually hashes: the code version and

@@ -88,7 +88,7 @@ func (benchRunner) Normalize(spec JobSpec) (JobSpec, error) {
 	}, nil
 }
 
-func (benchRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
+func (benchRunner) Run(ctx context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
 	e, ok := core.Get(spec.Experiment)
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown experiment %q", spec.Experiment)
@@ -99,6 +99,7 @@ func (benchRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResul
 		Full:      spec.Full,
 		Parallel:  opts.Workers,
 		Trace:     opts.Log,
+		Ctx:       ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -190,7 +191,7 @@ func (scanRunner) Normalize(spec JobSpec) (JobSpec, error) {
 	}
 }
 
-func (scanRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
+func (scanRunner) Run(ctx context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
 	var (
 		sum core.ScanSummary
 		err error
@@ -199,7 +200,7 @@ func (scanRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResult
 		if opts.Log != nil {
 			opts.Log("scan: scenario %s", spec.Scenario)
 		}
-		sum, err = core.ScanScenario(spec.Scenario)
+		sum, err = core.ScanScenario(ctx, spec.Scenario)
 	} else {
 		if opts.Log != nil {
 			opts.Log("scan: %d bytes of source on machine %q", len(spec.Source), spec.Machine)
@@ -212,7 +213,7 @@ func (scanRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResult
 			}
 			extra = append(extra, sec)
 		}
-		sum, err = core.ScanSource(spec.Source, spec.Machine, extra)
+		sum, err = core.ScanSource(ctx, spec.Source, spec.Machine, extra)
 	}
 	if err != nil {
 		return nil, err
@@ -336,8 +337,8 @@ func (traceRunner) Normalize(spec JobSpec) (JobSpec, error) {
 	return norm, nil
 }
 
-func (traceRunner) Run(_ context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
-	res, err := core.RunTraceProbed(spec.Scenario, spec.Seed, opts.Workers, opts.Probe)
+func (traceRunner) Run(ctx context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
+	res, err := core.RunTraceProbed(ctx, spec.Scenario, spec.Seed, opts.Workers, opts.Probe)
 	if err != nil {
 		return nil, err
 	}

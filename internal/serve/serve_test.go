@@ -18,7 +18,17 @@ import (
 // directory and tears it down (gracefully) at test end.
 func startServer(t *testing.T) (base string, srv *Server) {
 	t.Helper()
-	srv, err := New(Options{CacheDir: t.TempDir()})
+	return startServerWith(t, Options{CacheDir: t.TempDir()})
+}
+
+// startServerWith is startServer with explicit options (CacheDir is
+// filled in when empty).
+func startServerWith(t *testing.T, opts Options) (base string, srv *Server) {
+	t.Helper()
+	if opts.CacheDir == "" {
+		opts.CacheDir = t.TempDir()
+	}
+	srv, err := New(opts)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -8,12 +8,14 @@ import (
 	"hash/fnv"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pandora/internal/faults"
 	"pandora/internal/obs"
 	"pandora/internal/parallel"
 )
@@ -23,7 +25,8 @@ type Options struct {
 	// Addr is the listen address for ListenAndServe ("127.0.0.1:0"
 	// picks an ephemeral port).
 	Addr string
-	// CacheDir roots the content-addressed result store.
+	// CacheDir roots the content-addressed result store and the job
+	// journal.
 	CacheDir string
 	// Shards / QueueDepth size the worker pool (0 = defaults: one shard
 	// per CPU, 64 queued jobs per shard).
@@ -34,7 +37,46 @@ type Options struct {
 	Workers int
 	// Log receives server narrative lines (nil = silent).
 	Log func(format string, args ...any)
+
+	// DefaultTimeout bounds jobs that request no deadline of their own
+	// (0 = unbounded). MaxTimeout caps client-requested deadlines
+	// (0 = a 10-minute default cap).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainWindow is how long a shutting-down server lets in-flight and
+	// queued jobs run before cancelling them (cancelled jobs replay from
+	// the journal on the next start). 0 = 15s.
+	DrainWindow time.Duration
+	// MaxAttempts is the per-job attempt budget for transient failures
+	// (0 = 3; 1 disables retries). RetryBase/RetryMax shape the capped
+	// exponential backoff between attempts (0 = 25ms / 2s).
+	MaxAttempts int
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+	// BreakerThreshold consecutive terminal failures of one job kind
+	// open that kind's circuit for BreakerCooldown, shedding its
+	// submissions with 503 + Retry-After (0 = 5 failures / 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// KindConcurrency caps concurrently executing jobs per kind;
+	// submissions over the cap are shed with 503 (0 = unlimited).
+	KindConcurrency int
+	// Chaos, when non-nil, injects seeded failures (panics, stalls,
+	// slow-downs) into job attempts. Test-only: the -chaos-quick gate
+	// and the chaos tests drive it; production servers leave it nil.
+	Chaos *faults.ChaosPlan
 }
+
+// Defaulted option values.
+const (
+	defaultMaxTimeout       = 10 * time.Minute
+	defaultDrainWindow      = 15 * time.Second
+	defaultMaxAttempts      = 3
+	defaultRetryBase        = 25 * time.Millisecond
+	defaultRetryMax         = 2 * time.Second
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 5 * time.Second
+)
 
 // Stats counts the server's job traffic. Fields are atomics because
 // jobs complete on pool workers while HTTP handlers submit and read
@@ -43,11 +85,16 @@ type Stats struct {
 	Submitted     atomic.Uint64 // jobs accepted by POST /v1/jobs
 	Executed      atomic.Uint64 // jobs actually run on the pool
 	Completed     atomic.Uint64 // jobs that ran to a stored result
-	Failed        atomic.Uint64 // jobs whose analysis returned an error
+	Failed        atomic.Uint64 // jobs whose analysis reached a terminal failure
 	Deduped       atomic.Uint64 // submissions coalesced onto an in-flight job
 	CacheHits     atomic.Uint64 // submissions served from the store
 	CacheMisses   atomic.Uint64 // submissions that found no entry
 	CacheRejected atomic.Uint64 // entries that failed authentication
+	Retries       atomic.Uint64 // extra attempts after transient failures
+	Shed          atomic.Uint64 // submissions refused by breaker/concurrency limits
+	TimedOut      atomic.Uint64 // jobs terminated by their deadline
+	WALReplayed   atomic.Uint64 // journaled jobs recovered on startup
+	WALRejected   atomic.Uint64 // journal records that failed authentication
 }
 
 // register exposes the counters on an obs registry under serve.*.
@@ -60,6 +107,11 @@ func (st *Stats) register(reg *obs.Registry) {
 	reg.Counter("serve.cache.hits", st.CacheHits.Load)
 	reg.Counter("serve.cache.misses", st.CacheMisses.Load)
 	reg.Counter("serve.cache.rejected", st.CacheRejected.Load)
+	reg.Counter("serve.retries", st.Retries.Load)
+	reg.Counter("serve.shed", st.Shed.Load)
+	reg.Counter("serve.timeouts", st.TimedOut.Load)
+	reg.Counter("serve.wal_replayed", st.WALReplayed.Load)
+	reg.Counter("serve.wal_rejected", st.WALRejected.Load)
 }
 
 type jobState string
@@ -74,11 +126,16 @@ const (
 // Job is one tracked submission. Identical submissions share one Job
 // while it is in flight (singleflight) and share its cache entry after.
 type Job struct {
-	id   string
-	key  string
-	spec JobSpec
-	log  *eventLog
-	done chan struct{}
+	id      string
+	key     string
+	spec    JobSpec
+	timeout time.Duration
+	log     *eventLog
+	done    chan struct{}
+
+	// executing marks a job that holds an in-flight execution slot
+	// (guarded by Server.mu, released at settle).
+	executing bool
 
 	mu     sync.Mutex
 	state  jobState
@@ -113,57 +170,180 @@ func (j *Job) view(deduped bool) JobView {
 		Deduped: deduped,
 		Error:   j.errMsg,
 	}
-	if j.state == stateDone {
+	// Failed jobs carry a body too when the failure was cached (a
+	// deterministic failure's result records the error and any attempt
+	// history).
+	if len(j.body) > 0 {
 		v.Result = json.RawMessage(j.body)
 	}
 	return v
 }
 
 // Server is the `pandora serve` service: HTTP job API in front of the
-// content-addressed store and the sharded worker pool.
+// content-addressed store, the job journal and the sharded worker pool.
 type Server struct {
 	opts  Options
 	store *Store
 	pool  *parallel.ShardPool
 	reg   *obs.Registry
 	stats Stats
+	wal   *wal
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	flights map[string]*Job // cache key → in-flight job
-	seq     int
+	// lifeCtx is the server's lifecycle context: every job attempt runs
+	// under a context derived from it, so a shutdown (after the drain
+	// window) cancels in-flight work instead of orphaning it.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
+	breakers map[JobKind]*breaker
+	draining atomic.Bool
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	flights  map[string]*Job // cache key → in-flight job
+	inflight map[JobKind]int // executing jobs per kind
+	seq      int
 }
 
-// New builds a Server: opens (or creates) the store and starts the
-// worker pool.
+// New builds a Server: opens (or creates) the store and the job
+// journal, starts the worker pool, and replays any jobs a previous
+// process accepted but never finished.
 func New(opts Options) (*Server, error) {
 	if opts.CacheDir == "" {
 		return nil, fmt.Errorf("serve: Options.CacheDir is required")
+	}
+	if opts.MaxTimeout == 0 {
+		opts.MaxTimeout = defaultMaxTimeout
+	}
+	if opts.DrainWindow == 0 {
+		opts.DrainWindow = defaultDrainWindow
+	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = defaultMaxAttempts
+	}
+	if opts.RetryBase == 0 {
+		opts.RetryBase = defaultRetryBase
+	}
+	if opts.RetryMax == 0 {
+		opts.RetryMax = defaultRetryMax
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	}
+	if opts.BreakerCooldown == 0 {
+		opts.BreakerCooldown = defaultBreakerCooldown
 	}
 	store, err := OpenStore(opts.CacheDir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		opts:    opts,
-		store:   store,
-		pool:    parallel.NewShardPool(opts.Shards, opts.QueueDepth),
-		reg:     obs.NewRegistry(),
-		jobs:    make(map[string]*Job),
-		flights: make(map[string]*Job),
+	w, pending, rejected, err := openWAL(opts.CacheDir, store.secret)
+	if err != nil {
+		return nil, err
 	}
+	lifeCtx, lifeCancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		store:      store,
+		pool:       parallel.NewShardPool(opts.Shards, opts.QueueDepth),
+		reg:        obs.NewRegistry(),
+		wal:        w,
+		lifeCtx:    lifeCtx,
+		lifeCancel: lifeCancel,
+		breakers:   make(map[JobKind]*breaker),
+		jobs:       make(map[string]*Job),
+		flights:    make(map[string]*Job),
+		inflight:   make(map[JobKind]int),
+	}
+	for _, kind := range Kinds() {
+		s.breakers[kind] = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
+	s.stats.WALRejected.Add(uint64(rejected))
 	s.stats.register(s.reg)
 	s.reg.Gauge("serve.jobs.tracked", func() uint64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return uint64(len(s.jobs))
 	})
+	if err := s.replay(pending); err != nil {
+		lifeCancel()
+		return nil, err
+	}
 	return s, nil
+}
+
+// replay recovers the journal's pending jobs: each is either already in
+// the cache (the process died between storing the result and marking
+// the journal — complete it without re-executing) or re-queued for
+// execution. Replayed jobs bypass the breaker and concurrency checks:
+// they were accepted once already.
+func (s *Server) replay(pending []walPending) error {
+	for _, p := range pending {
+		s.stats.WALReplayed.Add(1)
+		j := s.newJobLocked(p.Key, p.Spec, s.effectiveTimeout(p.Spec.TimeoutMS))
+		j.log.appendf(PhaseReplayed, "recovered from journal (accepted by a previous process)")
+		s.logf("serve: replaying journaled job %s key %.12s…", j.id, j.key)
+
+		if body, outcome, _ := s.store.Get(p.Key); outcome == Hit {
+			// Completed before the crash; only the done marker was lost.
+			s.stats.CacheHits.Add(1)
+			s.walDone(j.key)
+			s.settleFromBody(j, body, true)
+			continue
+		}
+		s.mu.Lock()
+		j.executing = true
+		s.inflight[j.spec.Kind]++
+		s.mu.Unlock()
+		if err := s.pool.Submit(keyShard(p.Key), func() { s.run(j) }); err != nil {
+			return fmt.Errorf("serve: replay %s: %w", p.Key, err)
+		}
+	}
+	return nil
+}
+
+// newJobLocked allocates and registers a Job (takes s.mu itself).
+func (s *Server) newJobLocked(key string, spec JobSpec, timeout time.Duration) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j%06d", s.seq),
+		key:     key,
+		spec:    spec,
+		timeout: timeout,
+		log:     newEventLog(),
+		done:    make(chan struct{}),
+		state:   stateQueued,
+	}
+	s.jobs[j.id] = j
+	s.flights[key] = j
+	return j
+}
+
+// effectiveTimeout resolves a job's deadline from its requested
+// TimeoutMS and the server's default/max policy.
+func (s *Server) effectiveTimeout(requestedMS int) time.Duration {
+	d := s.opts.DefaultTimeout
+	if requestedMS > 0 {
+		d = time.Duration(requestedMS) * time.Millisecond
+	}
+	if s.opts.MaxTimeout > 0 && d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d
 }
 
 // Store exposes the underlying result store (the -quick self-test
 // tampers entries through it).
 func (s *Server) Store() *Store { return s.store }
+
+// WALDiagnostics re-reads the on-disk journal and reports its pending
+// and rejected record counts (exported for the -chaos-quick self-test).
+func (s *Server) WALDiagnostics() (pending, rejected int) {
+	return verifyWAL(s.store.Dir(), s.store.secret)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Log != nil {
@@ -187,13 +367,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
 // ListenAndServe binds opts.Addr and serves until ctx is cancelled,
 // then shuts down gracefully: stop accepting, finish in-flight
 // handlers, drain the worker pool (queued jobs still run to a stored
-// result).
+// result within the drain window).
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.opts.Addr)
 	if err != nil {
@@ -204,28 +386,53 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 }
 
 // Serve runs the service on an existing listener (tests and -quick use
-// an ephemeral port). It owns the listener and the graceful drain.
+// an ephemeral port). It owns the listener and the graceful drain:
+// on ctx cancellation intake stops, queued and in-flight jobs get
+// DrainWindow to finish, and whatever is still running after that is
+// cancelled through the lifecycle context — those jobs stay pending in
+// the journal and replay on the next start.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		s.pool.Drain()
+		s.stop()
 		return err
 	case <-ctx.Done():
 	}
 	s.logf("serve: shutting down")
+	s.draining.Store(true)
 	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		s.logf("serve: shutdown: %v", err)
 	}
 	<-errc // http.ErrServerClosed
-	s.pool.Drain()
+	s.stop()
 	s.logf("serve: drained")
 	return nil
 }
+
+// stop drains the pool under the drain window, cancels whatever
+// outlives it, and closes the journal. Safe to call more than once.
+func (s *Server) stop() {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		timer := time.AfterFunc(s.opts.DrainWindow, s.lifeCancel)
+		s.pool.Drain()
+		timer.Stop()
+		s.lifeCancel()
+		if err := s.wal.close(); err != nil {
+			s.logf("serve: %v", err)
+		}
+	})
+}
+
+// Close shuts the server down outside Serve: drains the pool (within
+// the drain window) and closes the journal. Tests and the -chaos-quick
+// gate use it to release the cache directory before a restart.
+func (s *Server) Close() { s.stop() }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -241,8 +448,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// shed refuses a submission with 503 + Retry-After and counts it.
+func (s *Server) shed(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	s.stats.Shed.Add(1)
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
+	httpError(w, http.StatusServiceUnavailable, format, args...)
+}
+
 // handleSubmit is POST /v1/jobs: canonicalize, dedupe against flights,
-// consult the store, and only then queue an execution.
+// consult the store, and only then — behind the breaker and concurrency
+// limits, through the journal — queue an execution.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
@@ -265,28 +483,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, leader.view(true))
 		return
 	}
-	s.seq++
-	j := &Job{
-		id:    fmt.Sprintf("j%06d", s.seq),
-		key:   key,
-		spec:  canon,
-		log:   newEventLog(),
-		done:  make(chan struct{}),
-		state: stateQueued,
-	}
-	s.jobs[j.id] = j
-	s.flights[key] = j
 	s.mu.Unlock()
+	j := s.newJobLocked(key, canon, s.effectiveTimeout(spec.TimeoutMS))
 	j.log.appendf(PhaseQueued, "%s job %s key %s", canon.Kind, j.id, key)
 
 	// The store consult happens with the flight registered, so a
 	// concurrent identical submission coalesces instead of racing the
-	// lookup.
+	// lookup. Cache hits are served even while shedding: they cost no
+	// execution.
 	body, outcome, cerr := s.store.Get(key)
 	switch outcome {
 	case Hit:
 		s.stats.CacheHits.Add(1)
-		s.settle(j, body, true, "")
+		s.settleFromBody(j, body, true)
 		writeJSON(w, http.StatusOK, j.view(false))
 		return
 	case Rejected:
@@ -297,23 +506,81 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.stats.CacheMisses.Add(1)
 	}
 
-	if err := s.pool.Submit(keyShard(key), func() { s.run(j) }); err != nil {
+	unregister := func() {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		delete(s.flights, key)
 		s.mu.Unlock()
 		j.log.close()
+	}
+
+	// Execution needed: check the kind's circuit breaker and concurrency
+	// limit before committing to it.
+	now := time.Now()
+	if ok, retryAfter := s.breakerFor(canon.Kind).allow(now); !ok {
+		unregister()
+		s.shed(w, retryAfter, "%s circuit open (recent failures); retry later", canon.Kind)
+		return
+	}
+	s.mu.Lock()
+	if s.opts.KindConcurrency > 0 && s.inflight[canon.Kind] >= s.opts.KindConcurrency {
+		s.mu.Unlock()
+		unregister()
+		s.shed(w, time.Second, "%s concurrency limit reached; retry later", canon.Kind)
+		return
+	}
+	j.executing = true
+	s.inflight[canon.Kind]++
+	s.mu.Unlock()
+
+	// Journal the acceptance before queueing: from here the job either
+	// reaches a terminal state or replays after a crash.
+	if err := s.wal.accept(key, canon); err != nil {
+		s.logf("%v", err)
+	}
+	if err := s.pool.Submit(keyShard(key), func() { s.run(j) }); err != nil {
+		s.walDone(key) // never queued; the client sees the refusal
+		s.mu.Lock()
+		s.inflight[canon.Kind]--
+		j.executing = false
+		s.mu.Unlock()
+		unregister()
 		if errors.Is(err, parallel.ErrDraining) {
-			httpError(w, http.StatusServiceUnavailable, "server is draining")
+			s.shed(w, time.Second, "server is draining")
 		} else {
-			httpError(w, http.StatusServiceUnavailable, "job queue full, retry later")
+			s.shed(w, time.Second, "job queue full, retry later")
 		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
-// run executes one job on a pool worker and stores its result.
+func (s *Server) breakerFor(kind JobKind) *breaker {
+	if b, ok := s.breakers[kind]; ok {
+		return b
+	}
+	// Unreachable for validated specs; keep a permissive fallback.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.breakers[kind]; ok {
+		return b
+	}
+	b := newBreaker(s.opts.BreakerThreshold, s.opts.BreakerCooldown)
+	s.breakers[kind] = b
+	return b
+}
+
+// walDone marks a job terminal in the journal, tolerating journal
+// errors (worst case the job replays once more).
+func (s *Server) walDone(key string) {
+	if err := s.wal.done(key); err != nil {
+		s.logf("%v", err)
+	}
+}
+
+// run executes one job on a pool worker: attempts with retry/backoff
+// for transient failures, deterministic failures cached as failed
+// results, deadline and shutdown cancellation told apart at the end.
 func (s *Server) run(j *Job) {
 	j.mu.Lock()
 	j.state = stateRunning
@@ -321,48 +588,172 @@ func (s *Server) run(j *Job) {
 	s.stats.Executed.Add(1)
 	j.log.appendf(PhaseStarted, "executing %s job (workers=%d)", j.spec.Kind, parallel.Workers(s.opts.Workers))
 
-	bridge := &probeBridge{log: j.log}
+	ctx := s.lifeCtx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
+	policy := RetryPolicy{MaxAttempts: s.opts.MaxAttempts, Base: s.opts.RetryBase, Max: s.opts.RetryMax}
+
+	var attempts []Attempt
+	for att := 0; ; att++ {
+		if att > 0 {
+			s.stats.Retries.Add(1)
+		}
+		res, err := s.attempt(ctx, j, att)
+		if err == nil {
+			res.Key = j.key
+			res.Attempts = attempts
+			body, merr := MarshalResult(res)
+			if merr != nil {
+				s.failTerminal(j, merr, true)
+				return
+			}
+			if perr := s.store.Put(j.key, body); perr != nil {
+				// The result still serves from memory; only later
+				// submissions lose the cache.
+				s.logf("%v", perr)
+			}
+			s.stats.Completed.Add(1)
+			s.walDone(j.key)
+			s.breakerFor(j.spec.Kind).record(true, time.Now())
+			s.settle(j, body, false, "")
+			return
+		}
+
+		switch class := Classify(err); class {
+		case ClassAborted:
+			if s.lifeCtx.Err() != nil {
+				// Server shutdown: no done marker — the journal keeps the
+				// job pending and the next start replays it, so the
+				// accepted job is not silently lost.
+				s.logf("serve: job %s cancelled by shutdown (will replay)", j.id)
+				s.stats.Failed.Add(1)
+				s.settle(j, nil, false, "server shutting down; job will resume on restart")
+				return
+			}
+			// The job's own deadline: a terminal, client-visible failure.
+			s.stats.TimedOut.Add(1)
+			s.logf("serve: job %s exceeded its %v deadline", j.id, j.timeout)
+			s.failTerminal(j, fmt.Errorf("job deadline (%v) exceeded: %w", j.timeout, err), true)
+			return
+		case ClassTransient:
+			if att+1 < policy.MaxAttempts {
+				backoff := policy.Backoff(att, j.key)
+				attempts = append(attempts, Attempt{N: att, Class: class.String(), Error: err.Error(), BackoffMS: backoff.Milliseconds()})
+				j.log.appendf(PhaseRetry, "attempt %d failed (%v): retrying in %v", att, err, backoff)
+				s.logf("serve: job %s attempt %d transient failure: %v (retry in %v)", j.id, att, err, backoff)
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+					continue
+				case <-ctx.Done():
+					t.Stop()
+					// Re-enter the loop; the next attempt sees the
+					// cancelled context and takes the aborted path.
+					continue
+				}
+			}
+			attempts = append(attempts, Attempt{N: att, Class: class.String(), Error: err.Error()})
+			s.failTerminal(j, fmt.Errorf("%d attempts exhausted, last: %w", policy.MaxAttempts, err), true)
+			return
+		default: // deterministic: cache the failure, never retry
+			res := &JobResult{Kind: j.spec.Kind, Key: j.key, Error: err.Error(), Attempts: attempts}
+			body, merr := MarshalResult(res)
+			if merr != nil {
+				s.failTerminal(j, err, true)
+				return
+			}
+			if perr := s.store.Put(j.key, body); perr != nil {
+				s.logf("%v", perr)
+			}
+			s.stats.Failed.Add(1)
+			s.walDone(j.key)
+			s.breakerFor(j.spec.Kind).record(false, time.Now())
+			s.logf("serve: job %s failed deterministically (cached): %v", j.id, err)
+			s.settle(j, body, false, err.Error())
+			return
+		}
+	}
+}
+
+// attempt runs one try of a job's analysis: chaos injection first, then
+// the runner under the attempt context, with panics recovered into
+// parallel.PanicError — a pool shard must survive a buggy (or
+// chaos-poisoned) runner.
+func (s *Server) attempt(ctx context.Context, j *Job, att int) (res *JobResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if ce, ok := v.(*faults.ChaosError); ok {
+				err = &parallel.PanicError{Index: att, Value: ce, Stack: string(debug.Stack())}
+				return
+			}
+			err = &parallel.PanicError{Index: att, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if d := s.opts.Chaos.Decide(j.key, att); d.Action != faults.ChaosNone {
+		switch d.Action {
+		case faults.ChaosPanic:
+			panic(&faults.ChaosError{Action: d.Action, Key: j.key, Att: att})
+		case faults.ChaosStall:
+			return nil, &faults.ChaosError{Action: d.Action, Key: j.key, Att: att}
+		case faults.ChaosSlow:
+			t := time.NewTimer(d.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	runner, ok := Runner(j.spec.Kind)
 	if !ok { // unreachable: Key validated the kind
-		s.fail(j, fmt.Errorf("serve: no runner for kind %q", j.spec.Kind))
-		return
+		return nil, fmt.Errorf("serve: no runner for kind %q", j.spec.Kind)
 	}
-	res, err := runner.Run(context.Background(), j.spec, RunOpts{
+	bridge := &probeBridge{log: j.log}
+	res, err = runner.Run(ctx, j.spec, RunOpts{
 		Workers: s.opts.Workers,
 		Log:     func(format string, args ...any) { j.log.appendf(PhaseLog, format, args...) },
 		Probe:   bridge,
 	})
-	if err != nil {
-		s.fail(j, err)
-		return
+	if err == nil {
+		if n := bridge.count(); n > 0 {
+			j.log.appendf(PhaseLog, "probe emitted %d events", n)
+		}
 	}
-	res.Key = j.key
-	body, err := MarshalResult(res)
-	if err != nil {
-		s.fail(j, err)
-		return
-	}
-	if err := s.store.Put(j.key, body); err != nil {
-		// The result still serves from memory; only later submissions
-		// lose the cache.
-		s.logf("%v", err)
-	}
-	s.stats.Completed.Add(1)
-	if n := bridge.count(); n > 0 {
-		j.log.appendf(PhaseLog, "probe emitted %d events", n)
-	}
-	s.settle(j, body, false, "")
+	return res, err
 }
 
-// fail finishes a job whose analysis errored.
-func (s *Server) fail(j *Job, err error) {
+// failTerminal finishes a job in a visible, journaled failure (without
+// caching it — transient exhaustion and deadlines may succeed on a
+// fresh submission).
+func (s *Server) failTerminal(j *Job, err error, walDone bool) {
 	s.stats.Failed.Add(1)
+	if walDone {
+		s.walDone(j.key)
+	}
+	s.breakerFor(j.spec.Kind).record(false, time.Now())
 	s.logf("serve: job %s failed: %v", j.id, err)
 	s.settle(j, nil, false, err.Error())
 }
 
+// settleFromBody finishes a job from stored result bytes, surfacing
+// cached deterministic failures as failed jobs.
+func (s *Server) settleFromBody(j *Job, body []byte, cached bool) {
+	var probe struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	s.settle(j, body, cached, probe.Error)
+}
+
 // settle moves a job to its terminal state, emits the terminal event,
-// releases the flight and closes the stream.
+// releases the flight and execution slot, and closes the stream.
 func (s *Server) settle(j *Job, body []byte, cached bool, errMsg string) {
 	j.mu.Lock()
 	j.body = body
@@ -379,6 +770,10 @@ func (s *Server) settle(j *Job, body []byte, cached bool, errMsg string) {
 	s.mu.Lock()
 	if s.flights[j.key] == j {
 		delete(s.flights, j.key)
+	}
+	if j.executing {
+		s.inflight[j.spec.Kind]--
+		j.executing = false
 	}
 	s.mu.Unlock()
 
@@ -441,6 +836,51 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
 	writeJSON(w, http.StatusOK, views)
+}
+
+// handleHealthz is GET /healthz: liveness — the process is up and
+// serving HTTP. Always 200; drain state is reported, not failed, so
+// orchestrators do not kill a server mid-drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.draining.Load(),
+	})
+}
+
+// handleReadyz is GET /readyz: readiness to take new work — 503 while
+// draining or while any kind's circuit is open, with the per-kind
+// breaker and in-flight detail either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	draining := s.draining.Load()
+	breakers := map[string]string{}
+	ready := !draining
+	for _, kind := range Kinds() {
+		st := s.breakerFor(kind).state(now)
+		breakers[string(kind)] = st
+		if st == "open" {
+			ready = false
+		}
+	}
+	inflight := map[string]int{}
+	s.mu.Lock()
+	for kind, n := range s.inflight {
+		if n > 0 {
+			inflight[string(kind)] = n
+		}
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":    ready,
+		"draining": draining,
+		"breakers": breakers,
+		"inflight": inflight,
+	})
 }
 
 // handleEvents is GET /v1/jobs/{id}/events: the job's progress stream,

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job journal makes accepted work crash-safe: every job the server
+// accepts for execution is appended (and fsynced) to an append-only
+// write-ahead log before it is queued, and marked done when it reaches
+// a terminal state the client could observe (stored result, cached
+// failure, exhausted retries, expired deadline). A job the process died
+// holding — accepted, never marked done — is replayed on the next open,
+// so an accepted job is either completed-and-cached or visibly failed,
+// never silently lost. Jobs cancelled by a server shutdown are
+// deliberately NOT marked done: they are the replay set.
+//
+// Records carry the store's HMAC identity discipline (the campaign
+// journal's header idea applied per record): a record whose bytes were
+// modified on disk fails authentication on open and is skipped and
+// counted, never replayed — a tampered journal can lose pending work
+// (like deleting the file can) but cannot make the server run a spec it
+// never accepted. Torn trailing writes from a crash mid-append are
+// tolerated the same way.
+
+// walFile is the journal's name inside the cache directory.
+const walFile = "jobs.wal"
+
+// WALPath returns where the job journal for a cache directory lives
+// (exported for the -chaos-quick self-test, which tampers with it).
+func WALPath(dir string) string { return filepath.Join(dir, walFile) }
+
+type walOp string
+
+const (
+	walAccept walOp = "accept"
+	walDone   walOp = "done"
+)
+
+// walRecord is one journal line.
+type walRecord struct {
+	Seq  int      `json:"seq"`
+	Op   walOp    `json:"op"`
+	Key  string   `json:"key"`
+	Spec *JobSpec `json:"spec,omitempty"` // accept records only
+	MAC  string   `json:"mac"`
+}
+
+// walPending is one accepted-but-unfinished job recovered on open.
+type walPending struct {
+	Key  string
+	Spec JobSpec
+}
+
+// wal is the open journal handle. Appends are serialized and fsynced:
+// an accept record is durable before the job is queued.
+type wal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	secret []byte
+	seq    int
+	closed bool
+}
+
+// walMAC authenticates one record's identity fields under the store
+// secret. The sequence number is bound in, so records cannot be
+// reordered or replayed under another sequence, and the spec bytes are
+// bound for accepts, so a tampered spec fails authentication.
+func walMAC(secret []byte, seq int, op walOp, key string, spec *JobSpec) (string, error) {
+	h := hmac.New(sha256.New, secret)
+	fmt.Fprintf(h, "%d\n%s\n%s\n", seq, op, key)
+	if spec != nil {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			return "", fmt.Errorf("serve: wal: marshal spec: %w", err)
+		}
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// openWAL opens (creating if needed) the journal in dir, returning the
+// handle, the jobs left pending by the previous process in acceptance
+// order, and how many records were rejected (tampered or torn). The
+// surviving pending set is compacted into a fresh journal before the
+// handle is returned, so the file does not grow without bound across
+// restarts.
+func openWAL(dir string, secret []byte) (*wal, []walPending, int, error) {
+	path := filepath.Join(dir, walFile)
+	pending, rejected := replayWAL(path, secret)
+
+	// Compact: rewrite only the pending accepts, re-sequenced, through a
+	// temp file + rename so a crash mid-compaction leaves the old
+	// journal intact.
+	w := &wal{path: path, secret: secret}
+	tmp, err := os.CreateTemp(dir, "."+walFile+".tmp*")
+	if err != nil {
+		return nil, nil, rejected, fmt.Errorf("serve: wal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	for _, p := range pending {
+		spec := p.Spec
+		line, err := w.encode(walAccept, p.Key, &spec)
+		if err != nil {
+			tmp.Close()
+			return nil, nil, rejected, err
+		}
+		if _, err := tmp.Write(line); err != nil {
+			tmp.Close()
+			return nil, nil, rejected, fmt.Errorf("serve: wal: compact: %w", err)
+		}
+		w.seq++
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, nil, rejected, fmt.Errorf("serve: wal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, nil, rejected, fmt.Errorf("serve: wal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, nil, rejected, fmt.Errorf("serve: wal: compact: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, rejected, fmt.Errorf("serve: wal: open: %w", err)
+	}
+	w.f = f
+	return w, pending, rejected, nil
+}
+
+// replayWAL reads a journal and reduces it to the pending set:
+// authenticated accepts minus authenticated dones, in acceptance order.
+// Unparseable, torn or MAC-failing lines are skipped and counted.
+func replayWAL(path string, secret []byte) (pending []walPending, rejected int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0 // no journal yet (or unreadable: nothing to replay)
+	}
+	open := map[string]int{} // key → index into pending (-1 = done)
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			rejected++
+			continue
+		}
+		want, err := walMAC(secret, rec.Seq, rec.Op, rec.Key, rec.Spec)
+		if err != nil || !hmac.Equal([]byte(want), []byte(rec.MAC)) {
+			rejected++
+			continue
+		}
+		switch rec.Op {
+		case walAccept:
+			if _, seen := open[rec.Key]; seen || rec.Spec == nil {
+				continue // duplicate accept or malformed: keep first
+			}
+			open[rec.Key] = len(pending)
+			pending = append(pending, walPending{Key: rec.Key, Spec: *rec.Spec})
+		case walDone:
+			if i, seen := open[rec.Key]; seen && i >= 0 {
+				pending[i].Key = "" // tombstone, filtered below
+				open[rec.Key] = -1
+			}
+		default:
+			rejected++
+		}
+	}
+	out := pending[:0]
+	for _, p := range pending {
+		if p.Key != "" {
+			out = append(out, p)
+		}
+	}
+	return out, rejected
+}
+
+// encode serializes the next record (advancing no state; the caller
+// owns w.seq) as a newline-terminated JSON line.
+func (w *wal) encode(op walOp, key string, spec *JobSpec) ([]byte, error) {
+	mac, err := walMAC(w.secret, w.seq, op, key, spec)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(walRecord{Seq: w.seq, Op: op, Key: key, Spec: spec, MAC: mac})
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal: marshal record: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// append writes and fsyncs one record. The record is durable when
+// append returns.
+func (w *wal) append(op walOp, key string, spec *JobSpec) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("serve: wal: append to closed journal")
+	}
+	line, err := w.encode(op, key, spec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("serve: wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("serve: wal: sync: %w", err)
+	}
+	w.seq++
+	return nil
+}
+
+// accept journals a job acceptance; it must be durable before the job
+// is queued.
+func (w *wal) accept(key string, spec JobSpec) error {
+	return w.append(walAccept, key, &spec)
+}
+
+// done journals a job's terminal state.
+func (w *wal) done(key string) error {
+	return w.append(walDone, key, nil)
+}
+
+// close releases the journal handle. Pending records stay on disk for
+// the next open to replay.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// verifyWAL re-reads a journal from disk and reports its pending and
+// rejected counts — the -chaos-quick self-test's view into journal
+// integrity without opening a second append handle.
+func verifyWAL(dir string, secret []byte) (pending, rejected int) {
+	p, r := replayWAL(filepath.Join(dir, walFile), secret)
+	return len(p), r
+}
+
+// SimulateCrashedJob forges the on-disk state of a server that crashed
+// after accepting spec but before storing its result: an authenticated
+// accept record with no done marker, appended to dir's journal. The
+// restart-recovery tests and the -chaos-quick self-test use it to
+// exercise replay without killing a process mid-job. It returns the
+// job key the next server must recover.
+func SimulateCrashedJob(dir string, spec JobSpec) (string, error) {
+	store, err := OpenStore(dir)
+	if err != nil {
+		return "", err
+	}
+	key, canon, err := Key(spec)
+	if err != nil {
+		return "", err
+	}
+	w, _, _, err := openWAL(dir, store.secret)
+	if err != nil {
+		return "", err
+	}
+	defer w.close()
+	if err := w.accept(key, canon); err != nil {
+		return "", err
+	}
+	return key, nil
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func walSecret(t *testing.T, dir string) []byte {
+	t.Helper()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return store.secret
+}
+
+func TestWALAcceptDoneRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	secret := walSecret(t, dir)
+	w, pending, rejected, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	if len(pending) != 0 || rejected != 0 {
+		t.Fatalf("fresh journal: pending=%d rejected=%d", len(pending), rejected)
+	}
+	specA := JobSpec{Kind: KindCheck, Programs: 4, Masks: 1, Seed: 7}
+	specB := JobSpec{Kind: KindScan, Scenario: "stlf"}
+	if err := w.accept("key-a", specA); err != nil {
+		t.Fatalf("accept a: %v", err)
+	}
+	if err := w.accept("key-b", specB); err != nil {
+		t.Fatalf("accept b: %v", err)
+	}
+	if err := w.done("key-a"); err != nil {
+		t.Fatalf("done a: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen: only the unfinished job is pending, with its spec intact.
+	w2, pending, rejected, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.close()
+	if rejected != 0 {
+		t.Fatalf("reopen rejected %d records from a clean journal", rejected)
+	}
+	if len(pending) != 1 || pending[0].Key != "key-b" || pending[0].Spec.Scenario != "stlf" {
+		t.Fatalf("pending = %+v, want key-b with its spec", pending)
+	}
+
+	// Compaction rewrote the journal to the pending set only.
+	raw, err := os.ReadFile(WALPath(dir))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if strings.Contains(string(raw), "key-a") {
+		t.Fatalf("compacted journal still carries the finished job:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), "key-b") {
+		t.Fatalf("compacted journal lost the pending job:\n%s", raw)
+	}
+}
+
+func TestWALTamperedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	secret := walSecret(t, dir)
+	w, _, _, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	if err := w.accept("key-a", JobSpec{Kind: KindCheck, Programs: 4}); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	w.close()
+
+	// Flip one byte inside the record (the spec's programs count).
+	raw, err := os.ReadFile(WALPath(dir))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"programs":4`), []byte(`"programs":9`), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatalf("tamper target not found in journal:\n%s", raw)
+	}
+	if err := os.WriteFile(WALPath(dir), tampered, 0o600); err != nil {
+		t.Fatalf("write tampered journal: %v", err)
+	}
+
+	w2, pending, rejected, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.close()
+	if len(pending) != 0 {
+		t.Fatalf("tampered record replayed: %+v", pending)
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	secret := walSecret(t, dir)
+	w, _, _, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	if err := w.accept("key-a", JobSpec{Kind: KindScan, Scenario: "stlf"}); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	w.close()
+
+	// A crash mid-append leaves a torn trailing line.
+	f, err := os.OpenFile(WALPath(dir), os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	f.WriteString(`{"seq":1,"op":"done","key":"key-a","ma`)
+	f.Close()
+
+	w2, pending, rejected, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.close()
+	if len(pending) != 1 || pending[0].Key != "key-a" {
+		t.Fatalf("pending = %+v, want the intact accept", pending)
+	}
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1 (the torn line)", rejected)
+	}
+}
+
+func TestWALDoneForUnknownKeyIgnored(t *testing.T) {
+	dir := t.TempDir()
+	secret := walSecret(t, dir)
+	w, _, _, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("openWAL: %v", err)
+	}
+	if err := w.done("never-accepted"); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+	w.close()
+	w2, pending, rejected, err := openWAL(dir, secret)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.close()
+	if len(pending) != 0 || rejected != 0 {
+		t.Fatalf("pending=%d rejected=%d, want 0/0", len(pending), rejected)
+	}
+}
