@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick serve serve-quick serve-chaos statscheck bench bench-cycles bench-cycles-check bench-serve clean
+.PHONY: build test race ci check check-quick scan fault fault-quick trace trace-quick serve serve-quick serve-chaos contract contract-quick statscheck bench bench-cycles bench-cycles-check bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,19 @@ serve-quick: build
 # shedding.
 serve-chaos: build
 	$(GO) run -race ./cmd/pandora serve -chaos-quick
+
+# Leakage-contract enumeration: every crypto kernel × all 512
+# optimization-toggle masks × every cache variant, regenerating the
+# committed CONTRACT_table.json golden (byte-identical at any -parallel).
+contract: build
+	$(GO) run ./cmd/pandora contract -json -o CONTRACT_table.json
+	git diff --stat CONTRACT_table.json
+
+# Bounded gate used by CI, under the race detector: full kernel library
+# over the rotating mask schedule, designed verdicts pinned, report
+# byte-identical at 1 and 8 workers.
+contract-quick: build
+	$(GO) run -race ./cmd/pandora contract -quick
 
 # Stats-encapsulation lint: no cross-package raw Stats writes.
 statscheck:

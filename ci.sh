@@ -47,6 +47,17 @@ go run -race ./cmd/pandora trace -quick
 # and zero false positives on the no-fault control arm.
 go run -race ./cmd/pandora fault -quick
 
+# Leakage-contract gate: the crypto-kernel library (ChaCha20 quarter
+# round, Poly1305 accumulation, bitslice and table-lookup AES SubBytes,
+# Montgomery-ladder cswap) enumerated over the rotating mask schedule ×
+# two cache geometries. The constant-time kernels must verdict clean at
+# mask 0, the table-lookup AES must leak through cache addresses at mask
+# 0, the known optimization-induced breaks (silent stores vs the cswap,
+# computation simplification vs everything) must appear, and the report
+# must be byte-identical at 1 worker and 8 — under the race detector,
+# since the enumeration rides the parallel engine.
+go run -race ./cmd/pandora contract -quick
+
 # Job service: a real `pandora serve` instance on an ephemeral port,
 # driven over HTTP — one job per job type, an identical resubmission
 # must be a byte-identical cache hit without re-executing (the

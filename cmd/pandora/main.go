@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pandora/internal/asm"
 	"pandora/internal/cache"
@@ -59,6 +60,9 @@ func main() {
 	}
 	if cmd == "serve" {
 		os.Exit(runServe(os.Args[2:]))
+	}
+	if cmd == "contract" {
+		os.Exit(runContract(os.Args[2:]))
 	}
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -229,15 +233,19 @@ func usage() {
 	for _, e := range core.Experiments() {
 		fmt.Printf("  %-16s %-24s %s\n", e.Name, e.Artifact, e.Title)
 	}
+	fmt.Println("\nscenarios (registry; crypto kernels self-register alongside the built-ins):")
+	fmt.Printf("  scan:  %s\n", strings.Join(core.ScanScenarios(), " | "))
+	fmt.Printf("  trace: %s\n", strings.Join(core.TraceScenarios(), " | "))
 	fmt.Println("\nusage: pandora <experiment>|all|list [-samples N] [-secretlen N] [-full] [-parallel N] [-v]")
 	fmt.Println("       pandora bench [-parallel N] [-json path] | -cycles [-check] | -serve [-jobs N]")
 	fmt.Println("       pandora run [-machine spec] [-events] [-pipeview] [-regs] <file.s>")
 	fmt.Println("       pandora check [-n N] [-seed S] [-masks K] [-quick] [-inject] [-parallel N] [-v]")
 	fmt.Println("       pandora scan [-machine spec] [-secret base:len[:name]] [-json] <file.s>")
-	fmt.Println("       pandora scan -scenario aes|aes-baseline|ebpf|stlf|specvect[-baseline] | -quick | -inject")
+	fmt.Println("       pandora scan -scenario <scan scenario> | -quick | -inject")
 	fmt.Println("       pandora fault [-seed S] [-trials N] [-sites a,b] [-quick] [-journal path [-resume]]")
 	fmt.Println("                     [-dump-dir dir] [-json] [-parallel N] [-v]")
-	fmt.Println("       pandora trace [-scenario aes|aes-baseline|ebpf|stlf|specvect|sweep] [-format jsonl|chrome|report]")
+	fmt.Println("       pandora trace [-scenario <trace scenario>] [-format jsonl|chrome|report]")
 	fmt.Println("                     [-window lo:hi] [-o path] [-seed S] [-parallel N] | -quick")
 	fmt.Println("       pandora serve [-addr host:port] [-cache dir] [-shards N] [-queue N] [-parallel N] | -quick")
+	fmt.Println("       pandora contract [-kernels a,b] [-variants a,b] [-masks N] [-json] [-o path] [-parallel N] | -quick")
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -51,7 +50,7 @@ func ParseMachineSpec(spec string) (pipeline.Config, error) {
 			}
 			n, err := strconv.Atoi(arg)
 			if err != nil || n <= 0 {
-				return 0, fmt.Errorf("core: feature %q: bad argument %q", name, arg)
+				return 0, &SpecError{Feature: name, Arg: arg, Reason: "bad argument"}
 			}
 			return n, nil
 		}
@@ -119,7 +118,7 @@ func ParseMachineSpec(spec string) (pipeline.Config, error) {
 		case "ld":
 			cfg.LoadPorts, err = argN(cfg.LoadPorts)
 		default:
-			return cfg, fmt.Errorf("core: unknown machine feature %q", name)
+			return cfg, &SpecError{Feature: name, Reason: "unknown feature"}
 		}
 		if err != nil {
 			return cfg, err

@@ -100,6 +100,14 @@ func (s ScanSummary) Format() string {
 	return b.String()
 }
 
+// Summarize folds a shadow state's recorder into a report. Exported for
+// contributor packages (internal/kernels) that build their own machines
+// but want their scan output in the same shape as the built-in
+// scenarios.
+func Summarize(st *taint.State, scenario, machine string) ScanSummary {
+	return summarize(st, scenario, machine)
+}
+
 // summarize folds a shadow state's recorder into a report.
 func summarize(st *taint.State, scenario, machine string) ScanSummary {
 	s := ScanSummary{

@@ -4,20 +4,49 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"pandora/internal/obs"
 )
 
+// Analysis names one of the front ends that can run a scenario. The
+// capability question "can scenario X be scanned/traced?" is asked in
+// three places (the scan CLI, the trace CLI, and serve's job-spec
+// validation); Scenario.Supports answers it once, so the three can
+// never drift apart the way the old nil-function checks could.
+type Analysis int
+
+const (
+	// AnalysisScan is the taint-scanner front end (`pandora scan`,
+	// serve's scan jobs).
+	AnalysisScan Analysis = iota
+	// AnalysisTrace is the cycle-accurate probe front end
+	// (`pandora trace`, serve's trace jobs).
+	AnalysisTrace
+)
+
+// String names the analysis for error messages.
+func (a Analysis) String() string {
+	switch a {
+	case AnalysisScan:
+		return "scan"
+	case AnalysisTrace:
+		return "trace"
+	}
+	return fmt.Sprintf("Analysis(%d)", int(a))
+}
+
 // Scenario is one named leakage scenario and every analysis that can
 // run it. `pandora scan`, `pandora trace` and the serve job runners all
-// resolve scenarios from this one table, so a scenario added here is
-// immediately reachable from every front end — the previous split
-// (a switch in cmd/pandora/scan.go, a second in RunTrace) let the two
-// lists drift apart (stlf-baseline existed for scan but not trace).
+// resolve scenarios from this one registry, so a scenario registered
+// here is immediately reachable from every front end — the previous
+// split (a switch in cmd/pandora/scan.go, a second in RunTrace) let the
+// two lists drift apart (stlf-baseline existed for scan but not trace).
 //
 // A nil Scan or Trace entry means the scenario does not support that
 // analysis: sweep is a trace-only corpus, and the speculation baselines
-// are scan-only contrast runs.
+// are scan-only contrast runs. Callers should ask Supports rather than
+// testing the function fields directly.
 type Scenario struct {
 	// Name is the CLI/API key, e.g. "aes" or "stlf-baseline".
 	Name string
@@ -33,118 +62,172 @@ type Scenario struct {
 	Trace func(ctx context.Context, seed int64, workers int, extra obs.Probe) (*TraceResult, error)
 }
 
-// scenarioTable is the single source of truth, in display order.
-var scenarioTable = []Scenario{
-	{
+// Supports reports whether the scenario can run under the given
+// analysis front end.
+func (s Scenario) Supports(a Analysis) bool {
+	switch a {
+	case AnalysisScan:
+		return s.Scan != nil
+	case AnalysisTrace:
+		return s.Trace != nil
+	}
+	return false
+}
+
+// registry holds every registered scenario in registration order, which
+// is the display order. Registration happens in package init functions
+// (core's built-ins first — package init order follows the import
+// graph, so core's init always precedes an importer's), after which the
+// table is effectively read-only; the mutex guards against a misbehaved
+// late registration racing a reader.
+var scenarioReg struct {
+	mu    sync.RWMutex
+	order []Scenario
+	names map[string]int
+}
+
+// RegisterScenario adds a scenario to the shared table. It is intended
+// to be called from package init functions: core registers its
+// built-ins, and contributor packages (internal/kernels) register
+// theirs without editing core. The display order is registration order.
+// A duplicate name, an empty name, or a scenario supporting no analysis
+// at all panics — these are programmer errors that should fail at init,
+// not surface as a half-working table at run time.
+func RegisterScenario(s Scenario) {
+	if s.Name == "" {
+		panic("core: RegisterScenario with empty name")
+	}
+	if s.Scan == nil && s.Trace == nil {
+		panic(fmt.Sprintf("core: scenario %q supports no analysis", s.Name))
+	}
+	scenarioReg.mu.Lock()
+	defer scenarioReg.mu.Unlock()
+	if scenarioReg.names == nil {
+		scenarioReg.names = make(map[string]int)
+	}
+	if _, dup := scenarioReg.names[s.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate scenario %q", s.Name))
+	}
+	scenarioReg.names[s.Name] = len(scenarioReg.order)
+	scenarioReg.order = append(scenarioReg.order, s)
+}
+
+// init registers the built-in scenarios, in display order.
+func init() {
+	RegisterScenario(Scenario{
 		Name:  "aes",
 		Title: "bitslice-AES victim spills under silent stores (Figure 6 precondition)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanAES(ctx, true) },
 		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
 			return traceAES(ctx, true, extra)
 		},
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "aes-baseline",
 		Title: "the same AES kernel on a baseline machine (scans clean)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanAES(ctx, false) },
 		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
 			return traceAES(ctx, false, extra)
 		},
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "ebpf",
 		Title: "eBPF universal read gadget through the 3-level IMP (Section V-B)",
 		Scan:  ScanEBPF,
 		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
 			return traceEBPF(ctx, extra)
 		},
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "stlf",
 		Title: "store-to-leak forwarding witness (arXiv:1905.05725)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanStLF(ctx, true) },
 		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
 			return traceSpec(ctx, "store-to-leak forwarding", "stlf", extra)
 		},
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "stlf-baseline",
 		Title: "the same kernel with the forwarding predictor off (scans clean)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanStLF(ctx, false) },
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "specvect",
 		Title: "wrong-path vector-lane leakage (arXiv:2302.01131)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanSpecVect(ctx, true) },
 		Trace: func(ctx context.Context, _ int64, _ int, extra obs.Probe) (*TraceResult, error) {
 			return traceSpec(ctx, "wrong-path vector lane", "specvect", extra)
 		},
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "specvect-baseline",
 		Title: "the same kernel with speculation off (scans clean)",
 		Scan:  func(ctx context.Context) (ScanSummary, error) { return ScanSpecVect(ctx, false) },
-	},
-	{
+	})
+	RegisterScenario(Scenario{
 		Name:  "sweep",
 		Title: "seeded straight-line corpus traced program by program",
 		Trace: traceSweep,
-	},
+	})
 }
 
 // Scenarios returns the scenario table in display order. The slice is
 // the caller's to keep; the Scenario values are immutable.
 func Scenarios() []Scenario {
-	return append([]Scenario(nil), scenarioTable...)
+	scenarioReg.mu.RLock()
+	defer scenarioReg.mu.RUnlock()
+	return append([]Scenario(nil), scenarioReg.order...)
 }
 
 // ScenarioByName resolves one scenario.
 func ScenarioByName(name string) (Scenario, bool) {
-	for _, s := range scenarioTable {
-		if s.Name == name {
-			return s, true
-		}
+	scenarioReg.mu.RLock()
+	defer scenarioReg.mu.RUnlock()
+	if i, ok := scenarioReg.names[name]; ok {
+		return scenarioReg.order[i], true
 	}
 	return Scenario{}, false
+}
+
+// ScenarioNames names the scenarios supporting the given analysis, in
+// display order.
+func ScenarioNames(a Analysis) []string {
+	scenarioReg.mu.RLock()
+	defer scenarioReg.mu.RUnlock()
+	var out []string
+	for _, s := range scenarioReg.order {
+		if s.Supports(a) {
+			out = append(out, s.Name)
+		}
+	}
+	return out
 }
 
 // ScanScenarios names the scenarios the taint scanner can run, in
 // display order.
 func ScanScenarios() []string {
-	var out []string
-	for _, s := range scenarioTable {
-		if s.Scan != nil {
-			out = append(out, s.Name)
-		}
-	}
-	return out
+	return ScenarioNames(AnalysisScan)
 }
 
 // TraceScenarios names the scenarios the trace probe can run, in
 // display order.
 func TraceScenarios() []string {
-	var out []string
-	for _, s := range scenarioTable {
-		if s.Trace != nil {
-			out = append(out, s.Name)
-		}
-	}
-	return out
+	return ScenarioNames(AnalysisTrace)
 }
 
-// ScanScenario runs one built-in scenario under the taint scanner.
+// ScanScenario runs one registered scenario under the taint scanner.
 // ctx bounds the run: a cancelled or expired context stops the machine
 // at its next cooperative checkpoint.
 func ScanScenario(ctx context.Context, name string) (ScanSummary, error) {
 	s, ok := ScenarioByName(name)
-	if !ok || s.Scan == nil {
+	if !ok || !s.Supports(AnalysisScan) {
 		return ScanSummary{}, fmt.Errorf("core: unknown scan scenario %q (want %s)",
 			name, strings.Join(ScanScenarios(), ", "))
 	}
 	return s.Scan(ctx)
 }
 
-// RunTrace runs one built-in scenario under the probe. ctx bounds the
+// RunTrace runs one registered scenario under the probe. ctx bounds the
 // run; workers only affects the sweep scenario's execution schedule,
 // never its output.
 func RunTrace(ctx context.Context, scenario string, seed int64, workers int) (*TraceResult, error) {
@@ -158,7 +241,7 @@ func RunTrace(ctx context.Context, scenario string, seed int64, workers int) (*T
 // unaffected by extra.
 func RunTraceProbed(ctx context.Context, scenario string, seed int64, workers int, extra obs.Probe) (*TraceResult, error) {
 	s, ok := ScenarioByName(scenario)
-	if !ok || s.Trace == nil {
+	if !ok || !s.Supports(AnalysisTrace) {
 		return nil, fmt.Errorf("core: unknown trace scenario %q (want %s)",
 			scenario, strings.Join(TraceScenarios(), ", "))
 	}

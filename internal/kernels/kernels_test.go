@@ -1,0 +1,179 @@
+package kernels
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pandora/internal/asm"
+	"pandora/internal/diffcheck"
+	"pandora/internal/emu"
+	"pandora/internal/mem"
+)
+
+// TestKernelReferenceOutputs runs every kernel on the functional
+// emulator and verifies its outputs against the Go reference
+// implementation of the primitive (Check): the kernels compute real
+// crypto, not plausible-looking arithmetic.
+func TestKernelReferenceOutputs(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			unit, err := k.assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := mem.New()
+			k.Setup(m)
+			mc := emu.New(m)
+			if err := mc.Run(unit.Prog, 1_000_000); err != nil {
+				t.Fatalf("emulator: %v", err)
+			}
+			if err := k.Check(m); err != nil {
+				t.Fatalf("reference mismatch: %v", err)
+			}
+		})
+	}
+}
+
+// TestKernelBaselineVerdicts scans every kernel on the baseline machine
+// (mask 0, default cache) under the base contract: the constant-time
+// kernels must be spotless, the table-lookup AES must leak through its
+// access addresses — and nothing else.
+func TestKernelBaselineVerdicts(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sum, err := scanKernel(context.Background(), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k.ConstantTime {
+				if sum.Total != 0 {
+					t.Fatalf("designed constant-time but recorded %d leak events: %+v", sum.Total, sum.ByClass)
+				}
+				return
+			}
+			if !sum.HasLeak("cache-addr", "state") {
+				t.Fatalf("table lookup must leak state through cache-addr; got %+v", sum.ByClass)
+			}
+			for _, bc := range sum.ByClass {
+				if bc.Opt != "cache-addr" {
+					t.Errorf("unexpected baseline class %q", bc.Opt)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelSecretsLabeled asserts every kernel declares at least one
+// .secret region and that the assembler accepts the generated source.
+func TestKernelSecretsLabeled(t *testing.T) {
+	for _, k := range Kernels() {
+		unit, err := asm.AssembleUnit(k.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if len(unit.Secrets) == 0 {
+			t.Fatalf("%s: no .secret region", k.Name)
+		}
+	}
+}
+
+// TestEnumerateDeterministic checks the acceptance bar for the report:
+// the marshalled bytes are identical at 1 worker and at 8, over a
+// representative slice of the space (one ct kernel, one violating
+// kernel, a handful of masks, two cache variants).
+func TestEnumerateDeterministic(t *testing.T) {
+	opt := Options{
+		Kernels:  []string{"aes-ttable", "montladder-cswap"},
+		Masks:    []diffcheck.ToggleMask{0, diffcheck.TogSilentStores, diffcheck.TogSimplifier},
+		Variants: []string{"default-lru", "tiny-plru-pow2"},
+	}
+	opt.Workers = 1
+	rep1, err := Enumerate(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	rep8, err := Enumerate(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := rep1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := rep8.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b8) {
+		t.Fatalf("report differs between 1 and 8 workers:\n%s\n----\n%s", b1, b8)
+	}
+	if rep1.Kernels[0].Kernel != "aes-ttable" || rep1.Kernels[0].BaselineVerdict != "leaks" {
+		t.Fatalf("aes-ttable baseline verdict: %+v", rep1.Kernels[0])
+	}
+	if rep1.Kernels[1].BaselineVerdict != "clean" || rep1.Kernels[1].Verdict != "leaks" {
+		t.Fatalf("montladder-cswap verdicts: %+v", rep1.Kernels[1])
+	}
+}
+
+// TestValidateNames pins the selection semantics: empty means all, in
+// library order; order of the request does not matter; unknown names
+// error.
+func TestValidateNames(t *testing.T) {
+	all, err := ValidateNames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Kernels()) {
+		t.Fatalf("got %d names, want %d", len(all), len(Kernels()))
+	}
+	sub, err := ValidateNames([]string{"bsaes-sbox", "chacha20-qr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0] != "chacha20-qr" || sub[1] != "bsaes-sbox" {
+		t.Fatalf("library order not imposed: %v", sub)
+	}
+	if _, err := ValidateNames([]string{"no-such-kernel"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+// TestKnownOptimizationLeaks pins the headline Table-I cells: silent
+// stores break the branchless cswap, and computation simplification
+// breaks even the bitslice AES and ChaCha kernels.
+func TestKnownOptimizationLeaks(t *testing.T) {
+	cases := []struct {
+		kernel string
+		mask   diffcheck.ToggleMask
+		class  string
+	}{
+		{"montladder-cswap", diffcheck.TogSilentStores, "silent-store"},
+		{"chacha20-qr", diffcheck.TogSimplifier, "comp-simplification"},
+		{"bsaes-sbox", diffcheck.TogSimplifier, "comp-simplification"},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s-%s", tc.kernel, tc.class), func(t *testing.T) {
+			k, ok := KernelByName(tc.kernel)
+			if !ok {
+				t.Fatalf("kernel %q missing", tc.kernel)
+			}
+			sum, err := Run(context.Background(), k, diffcheck.PipeConfig(tc.mask), baselineHier(), false, tc.mask.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, bc := range sum.ByClass {
+				if bc.Opt == tc.class {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("expected %s leak under mask %s; got %+v", tc.class, tc.mask, sum.ByClass)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"fmt"
+
+	"pandora/internal/mem"
+)
+
+// Montgomery-ladder conditional swap: the branchless big-num cswap at
+// the heart of every X25519/P-256 ladder step. mask = 0−bit; for each
+// limb t = (x^y)&mask, x^=t, y^=t — so both limb arrays are read and
+// written whether or not the swap happens, and the addresses never
+// depend on the secret bit. Constant time under the base contract; the
+// interesting failure is silent stores: when bit = 0 every store writes
+// back the value already in memory, so a store-elision check compares
+// secret-derived data and the "free" optimization reintroduces the
+// timing difference the branchless form was written to kill.
+
+const (
+	montXAddr   = 0x1600 // 4×u64 secret limb array X
+	montYAddr   = 0x1640 // 4×u64 secret limb array Y
+	montBitAddr = 0x1680 // secret swap bit (u64, 0 or 1)
+	montLimbs   = 4
+)
+
+var (
+	montX = [montLimbs]uint64{0x243f6a8885a308d3, 0x13198a2e03707344, 0xa4093822299f31d0, 0x082efa98ec4e6c89}
+	montY = [montLimbs]uint64{0x452821e638d01377, 0xbe5466cf34e90c6c, 0xc0ac29b7c97c50dd, 0x3f84d5b5b5470917}
+	// montBit is 0: the no-swap case, which is the case silent stores
+	// turn observable (every write-back is silent).
+	montBit = uint64(0)
+)
+
+func montSrc() string {
+	var b []byte
+	emit := func(s string, args ...any) { b = append(b, []byte(fmt.Sprintf(s, args...))...) }
+	emit(".secret %#x, %d, x\n", montXAddr, montLimbs*8)
+	emit(".secret %#x, %d, y\n", montYAddr, montLimbs*8)
+	emit(".secret %#x, 8, bit\n", montBitAddr)
+	emit("	li   x5, %#x\n", montXAddr)
+	emit("	li   x6, %#x\n", montYAddr)
+	emit("	li   x7, %#x\n", montBitAddr)
+	emit("	ld   x8, 0(x7)\n")
+	emit("	neg  x9, x8\n") // mask = 0 - bit
+	for i := 0; i < montLimbs; i++ {
+		emit("	ld   x10, %d(x5)\n", 8*i)
+		emit("	ld   x11, %d(x6)\n", 8*i)
+		emit("	xor  x12, x10, x11\n")
+		emit("	and  x12, x12, x9\n")
+		emit("	xor  x10, x10, x12\n")
+		emit("	xor  x11, x11, x12\n")
+		emit("	sd   x10, %d(x5)\n", 8*i)
+		emit("	sd   x11, %d(x6)\n", 8*i)
+	}
+	emit("	halt\n")
+	return string(b)
+}
+
+func montLadderCSwap() Kernel {
+	return Kernel{
+		Name:         "montladder-cswap",
+		Title:        "Montgomery-ladder branchless conditional limb swap",
+		ConstantTime: true,
+		Source:       montSrc(),
+		Setup: func(m *mem.Memory) {
+			for i := 0; i < montLimbs; i++ {
+				m.Write(montXAddr+uint64(8*i), 8, montX[i])
+				m.Write(montYAddr+uint64(8*i), 8, montY[i])
+			}
+			m.Write(montBitAddr, 8, montBit)
+		},
+		Check: func(m *mem.Memory) error {
+			wantX, wantY := montX, montY
+			if montBit != 0 {
+				wantX, wantY = wantY, wantX
+			}
+			for i := 0; i < montLimbs; i++ {
+				if got := m.Read(montXAddr+uint64(8*i), 8); got != wantX[i] {
+					return fmt.Errorf("x[%d] = %#x, want %#x", i, got, wantX[i])
+				}
+				if got := m.Read(montYAddr+uint64(8*i), 8); got != wantY[i] {
+					return fmt.Errorf("y[%d] = %#x, want %#x", i, got, wantY[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -763,6 +763,14 @@ func (m *Machine) issue() {
 				m.readSources(u)
 				u.addr = u.inst.EffectiveAddr(u.srcVals[0])
 				u.storeVal = u.srcVals[1]
+				if ts := m.cfg.Taint; ts != nil {
+					// Address-formation labels only (srcLabels(0)): a
+					// constant-time kernel may store secret data to a
+					// public slot, and u.labels would drag the data
+					// labels in. No-op unless the scan armed
+					// ObserveAddrs.
+					ts.ObserveCacheAddr(m.cycle, u.pc, u.addr, u.srcLabels(0, ts))
+				}
 				m.startExec(u, m.storeAddrLat()) // AGU
 			}
 		}
@@ -812,6 +820,11 @@ func (m *Machine) issue() {
 func (m *Machine) lqReadyLoad(u *uop) bool {
 	m.readSources(u)
 	u.addr = u.inst.EffectiveAddr(u.srcVals[0])
+	// u.labels here is exactly the address-formation label set (the data
+	// labels join below, after the read): the contract checker's
+	// cache-address observation point. A wrong-path load may fire both
+	// this and the wrong-path observer — they answer different contracts.
+	m.cfg.Taint.ObserveCacheAddr(m.cycle, u.pc, u.addr, u.labels)
 	if u.wrongPath {
 		// At this point u.labels is exactly the address-formation label
 		// set. The access below changes real cache state even though the

@@ -1,9 +1,10 @@
 // Package serve is the leakage-analysis-as-a-service layer behind
 // `pandora serve`: a long-running HTTP/JSON job service that runs the
-// repository's five analyses — bench (experiment reproduction), check
+// repository's six analyses — bench (experiment reproduction), check
 // (differential oracle), scan (taint scanner), fault (injection
-// campaign) and trace (cycle-accurate probe) — on a sharded worker pool
-// behind a content-addressed, tamper-evident result cache.
+// campaign), trace (cycle-accurate probe) and contract (crypto-kernel
+// leakage-contract enumeration) — on a sharded worker pool behind a
+// content-addressed, tamper-evident result cache.
 //
 // Every job is described by a JobSpec whose canonical form (defaults
 // filled in, fields foreign to the job kind zeroed) is hashed together
@@ -29,17 +30,20 @@ import (
 // build. It participates in every job key, so results cached by an
 // older service version miss (rather than poison) a newer one. Bump it
 // whenever an analysis' observable output changes.
-const CodeVersion = "pandora-serve-v1"
+// v2: scan jobs canonicalize the machine spec (equivalent spellings now
+// share a cache key) and the contract kind exists.
+const CodeVersion = "pandora-serve-v2"
 
-// JobKind names one of the five analyses.
+// JobKind names one of the six analyses.
 type JobKind string
 
 const (
-	KindBench JobKind = "bench"
-	KindCheck JobKind = "check"
-	KindScan  JobKind = "scan"
-	KindFault JobKind = "fault"
-	KindTrace JobKind = "trace"
+	KindBench    JobKind = "bench"
+	KindCheck    JobKind = "check"
+	KindScan     JobKind = "scan"
+	KindFault    JobKind = "fault"
+	KindTrace    JobKind = "trace"
+	KindContract JobKind = "contract"
 )
 
 // JobSpec describes one job. Only the fields meaningful for the Kind
@@ -88,6 +92,13 @@ type JobSpec struct {
 	// Trials / Sites mirror campaign.Options for fault jobs.
 	Trials int      `json:"trials,omitempty"`
 	Sites  []string `json:"sites,omitempty"`
+
+	// Kernels / Variants select the crypto-kernel and cache-variant
+	// subsets for contract jobs (empty = all, in library/harness order).
+	// Contract jobs reuse Masks as "enumerate the first N toggle masks"
+	// (0 = the full 2⁹ space).
+	Kernels  []string `json:"kernels,omitempty"`
+	Variants []string `json:"variants,omitempty"`
 }
 
 // JobResult is the canonical result body stored in the cache and
@@ -138,7 +149,7 @@ type keyEnvelope struct {
 func Canonical(spec JobSpec) (JobSpec, error) {
 	r, ok := runners[spec.Kind]
 	if !ok {
-		return JobSpec{}, fmt.Errorf("serve: unknown job kind %q (want bench, check, scan, fault or trace)", spec.Kind)
+		return JobSpec{}, fmt.Errorf("serve: unknown job kind %q (want bench, check, scan, fault, trace or contract)", spec.Kind)
 	}
 	norm, err := r.Normalize(spec)
 	if err != nil {

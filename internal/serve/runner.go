@@ -10,6 +10,7 @@ import (
 	"pandora/internal/diffcheck"
 	"pandora/internal/faults"
 	"pandora/internal/faults/campaign"
+	"pandora/internal/kernels"
 	"pandora/internal/obs"
 	"pandora/internal/taint"
 )
@@ -48,11 +49,12 @@ type JobRunner interface {
 
 // runners is the registry, one entry per JobKind.
 var runners = map[JobKind]JobRunner{
-	KindBench: benchRunner{},
-	KindCheck: checkRunner{},
-	KindScan:  scanRunner{},
-	KindFault: faultRunner{},
-	KindTrace: traceRunner{},
+	KindBench:    benchRunner{},
+	KindCheck:    checkRunner{},
+	KindScan:     scanRunner{},
+	KindFault:    faultRunner{},
+	KindTrace:    traceRunner{},
+	KindContract: contractRunner{},
 }
 
 // Runner returns the registered runner for a kind.
@@ -63,7 +65,7 @@ func Runner(kind JobKind) (JobRunner, bool) {
 
 // Kinds lists the job kinds in display order.
 func Kinds() []JobKind {
-	return []JobKind{KindBench, KindCheck, KindScan, KindFault, KindTrace}
+	return []JobKind{KindBench, KindCheck, KindScan, KindFault, KindTrace, KindContract}
 }
 
 // benchRunner reproduces one registered core experiment. The bench CLI
@@ -172,12 +174,16 @@ func (scanRunner) Normalize(spec JobSpec) (JobSpec, error) {
 	case spec.Scenario != "" && spec.Source != "":
 		return JobSpec{}, fmt.Errorf("serve: scan job: scenario and source are mutually exclusive")
 	case spec.Scenario != "":
-		if s, ok := core.ScenarioByName(spec.Scenario); !ok || s.Scan == nil {
+		if s, ok := core.ScenarioByName(spec.Scenario); !ok || !s.Supports(core.AnalysisScan) {
 			return JobSpec{}, fmt.Errorf("serve: unknown scan scenario %q (want one of %v)", spec.Scenario, core.ScanScenarios())
 		}
 		return JobSpec{Scenario: spec.Scenario}, nil
 	case spec.Source != "":
-		if _, err := core.ParseMachineSpec(spec.Machine); err != nil {
+		// The canonical spelling — not the submitted one — goes into the
+		// job key, so "vp:8,ss" and "silentstores, vp : 8" share a cache
+		// entry.
+		machine, err := core.CanonicalMachineSpec(spec.Machine)
+		if err != nil {
 			return JobSpec{}, fmt.Errorf("serve: scan job: %w", err)
 		}
 		for _, s := range spec.Secrets {
@@ -185,7 +191,7 @@ func (scanRunner) Normalize(spec JobSpec) (JobSpec, error) {
 				return JobSpec{}, fmt.Errorf("serve: scan job: %w", err)
 			}
 		}
-		return JobSpec{Source: spec.Source, Machine: spec.Machine, Secrets: spec.Secrets}, nil
+		return JobSpec{Source: spec.Source, Machine: machine, Secrets: spec.Secrets}, nil
 	default:
 		return JobSpec{}, fmt.Errorf("serve: scan job needs a scenario or source")
 	}
@@ -315,7 +321,7 @@ func (traceRunner) Normalize(spec JobSpec) (JobSpec, error) {
 	if spec.Scenario == "" {
 		return JobSpec{}, fmt.Errorf("serve: trace job needs a scenario (one of %v)", core.TraceScenarios())
 	}
-	if s, ok := core.ScenarioByName(spec.Scenario); !ok || s.Trace == nil {
+	if s, ok := core.ScenarioByName(spec.Scenario); !ok || !s.Supports(core.AnalysisTrace) {
 		return JobSpec{}, fmt.Errorf("serve: unknown trace scenario %q (want one of %v)", spec.Scenario, core.TraceScenarios())
 	}
 	norm := JobSpec{Scenario: spec.Scenario, Format: spec.Format}
@@ -335,6 +341,83 @@ func (traceRunner) Normalize(spec JobSpec) (JobSpec, error) {
 		}
 	}
 	return norm, nil
+}
+
+// contractRunner is the crypto-kernel leakage-contract enumeration
+// (`pandora contract`): selected kernels × toggle masks × cache
+// variants under the taint scanner, verdicts against each kernel's
+// designed constant-time contract.
+type contractRunner struct{}
+
+func (contractRunner) Kind() JobKind { return KindContract }
+
+func (contractRunner) Normalize(spec JobSpec) (JobSpec, error) {
+	names, err := kernels.ValidateNames(spec.Kernels)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("serve: contract job: %w", err)
+	}
+	variants, err := kernels.ValidateVariants(spec.Variants)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("serve: contract job: %w", err)
+	}
+	if spec.Masks < 0 || spec.Masks > diffcheck.AllMasks {
+		return JobSpec{}, fmt.Errorf("serve: contract job: masks %d out of range [0, %d]", spec.Masks, diffcheck.AllMasks)
+	}
+	norm := JobSpec{Kernels: names, Variants: variants, Masks: spec.Masks}
+	if norm.Masks == 0 {
+		norm.Masks = diffcheck.AllMasks
+	}
+	return norm, nil
+}
+
+func (contractRunner) Run(ctx context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {
+	if opts.Log != nil {
+		opts.Log("contract: %d kernel(s) × %d mask(s) × %d cache variant(s)",
+			len(spec.Kernels), spec.Masks, len(spec.Variants))
+	}
+	masks := make([]diffcheck.ToggleMask, spec.Masks)
+	for i := range masks {
+		masks[i] = diffcheck.ToggleMask(i)
+	}
+	rep, err := kernels.Enumerate(ctx, kernels.Options{
+		Kernels:  spec.Kernels,
+		Masks:    masks,
+		Variants: spec.Variants,
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := rep.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// Pass means every kernel honored its designed base contract: the
+	// constant-time kernels scanned clean at mask 0 and the deliberate
+	// violations were caught there. Optimization-induced leaks at other
+	// masks are the finding, not a failure.
+	out := &JobResult{Kind: KindContract, Pass: true, Text: rep.Format(), Output: raw}
+	cells, leaking := 0, 0
+	for _, k := range rep.Kernels {
+		want := "leaks"
+		if k.ConstantTime {
+			want = "clean"
+		}
+		if k.BaselineVerdict != want {
+			out.Pass = false
+			out.Note = fmt.Sprintf("kernel %s: baseline verdict %s, designed %s", k.Kernel, k.BaselineVerdict, want)
+		}
+		for _, v := range k.Variants {
+			cells += v.Clean + v.Leaking
+			leaking += v.Leaking
+		}
+	}
+	out.Metrics = map[string]float64{
+		"kernels":       float64(len(rep.Kernels)),
+		"cells":         float64(cells),
+		"leaking_cells": float64(leaking),
+	}
+	return out, nil
 }
 
 func (traceRunner) Run(ctx context.Context, spec JobSpec, opts RunOpts) (*JobResult, error) {

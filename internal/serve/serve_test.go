@@ -381,6 +381,8 @@ func TestRunnersCoverEveryKindDeterministically(t *testing.T) {
 		KindScan:  {Kind: KindScan, Scenario: "stlf"},
 		KindFault: {Kind: KindFault, Trials: 1, Sites: []string{"fence-stuck"}, Seed: 3},
 		KindTrace: {Kind: KindTrace, Scenario: "stlf", Format: "jsonl"},
+		KindContract: {Kind: KindContract, Kernels: []string{"montladder-cswap"},
+			Variants: []string{"default-lru"}, Masks: 4},
 	}
 	for _, kind := range Kinds() {
 		spec, ok := specs[kind]

@@ -43,6 +43,13 @@ const (
 	// (Karuppanan & Mirbagher, 2302.01131). The squash unwinds the ROB,
 	// not the cache.
 	OptWrongPath
+	// OptCacheAddr: a demand load or store formed its cache-visible
+	// address from tainted state — the classical cache side channel the
+	// constant-time contract forbids. Unlike every other class this is
+	// not an optimization's trigger condition but the baseline
+	// observation model itself, so it is gated behind State.ObserveAddrs
+	// and only the contract checker (internal/kernels) turns it on.
+	OptCacheAddr
 
 	numOptClasses // sentinel
 )
@@ -72,6 +79,8 @@ func (c OptClass) String() string {
 		return "spec-forward"
 	case OptWrongPath:
 		return "wrong-path-load"
+	case OptCacheAddr:
+		return "cache-addr"
 	}
 	return fmt.Sprintf("opt(%d)", uint8(c))
 }
@@ -101,6 +110,8 @@ func (c OptClass) MLDRef() string {
 		return "store_to_leak"
 	case OptWrongPath:
 		return "spec_vectorization"
+	case OptCacheAddr:
+		return "cache_address"
 	}
 	return ""
 }

@@ -100,3 +100,16 @@ func (st *State) ObserveSpecForward(cycle, pc int64, labels LabelSet) {
 func (st *State) ObserveWrongPathLoad(cycle, pc int64, labels LabelSet) {
 	st.observe(OptWrongPath, cycle, pc, "", "squashed load's cache access", labels)
 }
+
+// ObserveCacheAddr reports a demand access whose address was computed
+// from tainted state — the classical data-cache channel every machine
+// has. labels must be the address-formation labels only, never the
+// data's: a constant-time kernel is free to store secret bytes to a
+// public address. No-op unless the state was armed with ObserveAddrs,
+// so scenarios studying only the optimization channels are unaffected.
+func (st *State) ObserveCacheAddr(cycle, pc int64, addr uint64, labels LabelSet) {
+	if st == nil || !st.ObserveAddrs {
+		return
+	}
+	st.observe(OptCacheAddr, cycle, pc, "", fmt.Sprintf("tainted access address %#x", addr), labels)
+}

@@ -154,6 +154,15 @@ type State struct {
 	// results. It exists only so the self-test (`pandora scan -inject`)
 	// can prove VerifyPropagation detects a broken propagation rule.
 	BreakALU bool
+
+	// ObserveAddrs arms the cache-address observer: every demand load or
+	// store whose address-formation operands carry labels records an
+	// OptCacheAddr event. Off by default — the optimization scenarios
+	// study channels beyond the classical cache one, and their reports
+	// stay byte-identical with the flag off. The contract checker
+	// (internal/kernels) turns it on to enforce the constant-time
+	// baseline contract.
+	ObserveAddrs bool
 }
 
 // NewState returns an empty shadow with a fresh registry and recorder.
